@@ -1,0 +1,440 @@
+// Benchmarks regenerating the paper's tables and figures (one bench
+// per evaluation artifact) plus ablation benches for the design
+// choices called out in DESIGN.md §5. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench reports its headline quantity as custom metrics
+// (b.ReportMetric) so `go test -bench` output doubles as the data
+// table; cmd/omsrepro prints the full series.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/annsolo"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hdc"
+	"repro/internal/hyperoms"
+	"repro/internal/msdata"
+	"repro/internal/perf"
+	"repro/internal/rram"
+	"repro/internal/spectrum"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Scale: 0.001, Seed: 1, Quick: true}
+}
+
+// BenchmarkTable1Workloads generates both dataset presets (Table 1).
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Storage measures the storage bit-error sweep and
+// reports the 3 bits/cell BER at one day.
+func BenchmarkFigure7Storage(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].BER[2]
+	}
+	b.ReportMetric(last*100, "%BER_3b_1day")
+}
+
+// BenchmarkFigure8Relaxation regenerates the conductance histograms.
+func BenchmarkFigure8Relaxation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9Encoding measures in-memory encoding errors vs
+// activated rows; reports the 3 bits/cell error at the largest count.
+func BenchmarkFigure9Encoding(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9Encoding(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].Err[2]
+	}
+	b.ReportMetric(last*100, "%encErr_3b_128rows")
+}
+
+// BenchmarkFigure9Search measures in-memory search RMSE vs rows.
+func BenchmarkFigure9Search(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9Search(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].Err[2]
+	}
+	b.ReportMetric(last, "RMSE_3b_128rows")
+}
+
+// BenchmarkFigure10Venn runs the three-tool comparison.
+func BenchmarkFigure10Venn(b *testing.B) {
+	var shared, total int
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := results[0]
+		shared = v.Regions["TAH"] + v.Regions["TA"] + v.Regions["TH"]
+		total = v.ThisWork
+	}
+	if total > 0 {
+		b.ReportMetric(100*float64(shared)/float64(total), "%shared_thiswork")
+	}
+}
+
+// BenchmarkFigure11Robustness runs the BER sweep on iPRG2012 and
+// reports the retention of identifications at 10% BER.
+func BenchmarkFigure11Robustness(b *testing.B) {
+	var retention float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure11(benchOptions(), "iPRG2012")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].IDs[2] > 0 {
+			retention = float64(rows[3].IDs[2]) / float64(rows[0].IDs[2])
+		}
+	}
+	b.ReportMetric(retention*100, "%IDs_at_10pcBER")
+}
+
+// BenchmarkFigure12Perf evaluates the analytical cost model and
+// reports the headline energy improvement.
+func BenchmarkFigure12Perf(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure12()
+		energy = rows[len(rows)-1].EnergyImprovement
+	}
+	b.ReportMetric(energy, "energyImprovement_x")
+}
+
+// BenchmarkFigure13Dimension sweeps the HD dimension.
+func BenchmarkFigure13Dimension(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hi := rows[0]
+		if hi.Ideal > 0 {
+			gap = float64(hi.InRRAM) / float64(hi.Ideal)
+		}
+	}
+	b.ReportMetric(gap*100, "%RRAM_vs_ideal_atMaxD")
+}
+
+// --- Core operation microbenchmarks -----------------------------------
+
+// benchWorkload caches a dataset for the operation benches.
+func benchWorkload(b *testing.B) *msdata.Dataset {
+	b.Helper()
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkEncodeSpectrum measures ID-Level encoding throughput at the
+// paper's D=8192, 3-bit precision operating point.
+func BenchmarkEncodeSpectrum(b *testing.B) {
+	cfg := accel.DefaultConfig()
+	ids, levels, err := accel.NewEncoderComponents(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := hdc.NewEncoder(ids, levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	peaks := make([]spectrum.QuantizedPeak, 100)
+	for i := range peaks {
+		peaks[i] = spectrum.QuantizedPeak{Bin: rng.Intn(cfg.NumBins), Level: rng.Intn(cfg.Q)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(peaks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHammingSearch1k measures exact Hamming top-5 search over 1k
+// references at D=8192.
+func BenchmarkHammingSearch1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	refs := make([]hdc.BinaryHV, 1000)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(8192, rng)
+	}
+	s, err := hdc.NewSearcher(refs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := hdc.RandomBinaryHV(8192, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TopK(q, nil, 5)
+	}
+}
+
+// BenchmarkOMSQueryThisWork measures one end-to-end HD query.
+func BenchmarkOMSQueryThisWork(b *testing.B) {
+	ds := benchWorkload(b)
+	p := core.DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 128
+	engine, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.SearchOne(ds.Queries[i%len(ds.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOMSQueryANNSoLo measures one end-to-end cascade query.
+func BenchmarkOMSQueryANNSoLo(b *testing.B) {
+	ds := benchWorkload(b)
+	eng, err := annsolo.NewEngine(annsolo.DefaultParams(), ds.Library)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.SearchOne(ds.Queries[i%len(ds.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOMSQueryHyperOMS measures one end-to-end binary-HD query.
+func BenchmarkOMSQueryHyperOMS(b *testing.B) {
+	ds := benchWorkload(b)
+	p := hyperoms.DefaultParams()
+	p.D = 2048
+	eng, err := hyperoms.NewEngine(p, ds.Library)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchAll(queries[i%len(queries) : i%len(queries)+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) -----------------------------------
+
+// BenchmarkAblationDifferentialMapping compares search RMSE with
+// differential vs single-ended weight storage. The non-differential
+// variant is emulated by doubling the effective conductance noise (a
+// single-ended read lacks common-mode rejection).
+func BenchmarkAblationDifferentialMapping(b *testing.B) {
+	var rmse float64
+	for i := 0; i < b.N; i++ {
+		cfg := accel.DefaultConfig()
+		cfg.D = 512
+		cfg.NumBins = 300
+		cfg.NumChunks = 64
+		cfg.Elapsed = 2 * time.Hour
+		rng := rand.New(rand.NewSource(3))
+		refs := make([]hdc.BinaryHV, 16)
+		for j := range refs {
+			refs[j] = hdc.RandomBinaryHV(cfg.D, rng)
+		}
+		hw, err := accel.NewHWSearcher(cfg, refs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries := []hdc.BinaryHV{hdc.RandomBinaryHV(cfg.D, rng)}
+		rmse, err = hw.SearchRMSE(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rmse, "RMSE_differential")
+}
+
+// BenchmarkAblationChunkedLevels compares encoding cycle counts with
+// chunked level hypervectors (one MVM per chunk) against the naive
+// element-wise schedule (one cycle per dimension), the §4.2.1 gain.
+func BenchmarkAblationChunkedLevels(b *testing.B) {
+	w := perf.IPRG2012Workload()
+	var chunked, naive int64
+	for i := 0; i < b.N; i++ {
+		chunked = perf.EncodeCyclesPerQuery(w)
+		batches := int64((w.PeaksPerQuery + w.ActiveRows - 1) / w.ActiveRows)
+		naive = batches * int64(w.D)
+	}
+	b.ReportMetric(float64(naive)/float64(chunked), "cycleReduction_x")
+}
+
+// BenchmarkAblationIDPrecision reports identifications per ID
+// precision at a fixed dimension (the §4.2.2 multi-bit gain).
+func BenchmarkAblationIDPrecision(b *testing.B) {
+	ds := benchWorkload(b)
+	ids := [3]int{}
+	for i := 0; i < b.N; i++ {
+		for precision := 1; precision <= 3; precision++ {
+			p := core.DefaultParams()
+			p.Accel.D = 1024
+			p.Accel.NumChunks = 64
+			p.Accel.IDPrecision = precision
+			engine, _, err := core.BuildExact(p, ds.Library)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := engine.Run(ds.Queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[precision-1] = len(res.Accepted)
+		}
+	}
+	b.ReportMetric(float64(ids[2]), "IDs_3bit")
+	b.ReportMetric(float64(ids[0]), "IDs_1bit")
+}
+
+// BenchmarkAblationBitsPerCell reports storage BER per density.
+func BenchmarkAblationBitsPerCell(b *testing.B) {
+	bers := [3]float64{}
+	for i := 0; i < b.N; i++ {
+		for bits := 1; bits <= 3; bits++ {
+			dev := rram.NewDevice(rram.DefaultDeviceConfig(), int64(bits))
+			ber, err := rram.BitErrorRate(dev, 1024, bits, 4, 24*time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bers[bits-1] = ber
+		}
+	}
+	for bits := 1; bits <= 3; bits++ {
+		b.ReportMetric(bers[bits-1]*100, fmt.Sprintf("%%BER_%db", bits))
+	}
+}
+
+// BenchmarkAblationActivatedRows reports the throughput/error
+// trade-off of the row activation limit.
+func BenchmarkAblationActivatedRows(b *testing.B) {
+	w := perf.IPRG2012Workload()
+	var c64, c16 int64
+	for i := 0; i < b.N; i++ {
+		w.ActiveRows = 64
+		c64 = perf.SearchCyclesPerQuery(w)
+		w.ActiveRows = 16
+		c16 = perf.SearchCyclesPerQuery(w)
+	}
+	b.ReportMetric(float64(c16)/float64(c64), "cycleSavings_64v16_x")
+}
+
+// BenchmarkAblationGrayCoding reports the storage-mapping BER
+// difference at 3 bits/cell.
+func BenchmarkAblationGrayCoding(b *testing.B) {
+	var plain, gray float64
+	for i := 0; i < b.N; i++ {
+		devP := rram.NewDevice(rram.DefaultDeviceConfig(), 300)
+		p, err := rram.BitErrorRate(devP, 2048, 3, 6, 24*time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		devG := rram.NewDevice(rram.DefaultDeviceConfig(), 300)
+		g, err := rram.GrayBitErrorRate(devG, 2048, 3, 6, 24*time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, gray = p, g
+	}
+	b.ReportMetric(plain*100, "%BER_binary")
+	b.ReportMetric(gray*100, "%BER_gray")
+}
+
+// BenchmarkOMSQueryParallel measures the multicore search path.
+func BenchmarkOMSQueryParallel(b *testing.B) {
+	ds := benchWorkload(b)
+	p := core.DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 128
+	engine, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.SearchAllParallel(ds.Queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ds.Queries)), "queries/op")
+}
+
+// BenchmarkOMSQueryRescored measures the hybrid HD + shifted-dot path.
+func BenchmarkOMSQueryRescored(b *testing.B) {
+	ds := benchWorkload(b)
+	p := core.DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 128
+	engine, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := core.NewRescorer(engine, ds.Library, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.SearchOne(ds.Queries[i%len(ds.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulePaperScale costs the paper-scale workload through
+// the analytical chip scheduler and the stats-based energy model.
+func BenchmarkSchedulePaperScale(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		cfg := accel.DefaultConfig()
+		s, err := accel.PlanSearch(cfg, accel.DefaultChipSpec(), 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := s.WorkloadStats(16000, 100, 0.25)
+		energy = perf.DefaultStatsModel().FromStats(stats).Total()
+	}
+	b.ReportMetric(energy, "joules_iPRG2012")
+}

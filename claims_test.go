@@ -1,0 +1,149 @@
+package repro
+
+// Acceptance tests for the paper's headline claims, each tied to the
+// abstract's sentences. These run the same code paths as the figure
+// experiments but assert the claims directly, so `go test .` is a
+// one-command check that the reproduction still reproduces.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/msdata"
+	"repro/internal/perf"
+	"repro/internal/rram"
+)
+
+// Claim: "utilizing multi-level-cell (MLC) RRAM memory to enhance
+// storage capacity by 3x".
+func TestClaimStorageCapacity3x(t *testing.T) {
+	mlc := accel.DefaultChipSpec()
+	slc := mlc
+	slc.BitsPerCell = 1
+	d := 8190
+	ratio := float64(mlc.HypervectorsStorable(d)) / float64(slc.HypervectorsStorable(d))
+	if math.Abs(ratio-3) > 0.01 {
+		t.Errorf("MLC/SLC capacity ratio = %v, want 3x", ratio)
+	}
+}
+
+// Claim: "up to 77x faster data processing with two to three orders of
+// magnitude better energy efficiency".
+func TestClaimSpeedupAndEnergy(t *testing.T) {
+	rows := perf.Figure12(perf.DefaultAccelModel(), perf.IPRG2012Workload())
+	var this, worstBase *perf.Fig12Row
+	for i := range rows {
+		switch rows[i].Name {
+		case "This Work":
+			this = &rows[i]
+		case "HyperOMS (GPU)":
+			worstBase = &rows[i]
+		}
+	}
+	if this == nil || worstBase == nil {
+		t.Fatal("rows missing")
+	}
+	if this.Speedup < 70 || this.Speedup > 85 {
+		t.Errorf("speedup vs CPU = %v, want ~76.7x", this.Speedup)
+	}
+	// Energy vs the best baseline: 500x-3000x band ("two to three
+	// orders of magnitude").
+	ratio := this.EnergyImprovement / worstBase.EnergyImprovement
+	if ratio < 100 || ratio > 5000 {
+		t.Errorf("energy efficiency vs best baseline = %v, want 2-3 orders", ratio)
+	}
+}
+
+// Claim: "tolerate up to 10% memory errors" — identifications at 10%
+// injected BER stay within 25% of the near-clean level.
+func TestClaimErrorTolerance10Percent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the robustness experiment")
+	}
+	rows, err := experiments.Figure11(experiments.TestOptions(), "iPRG2012")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rows[0].IDs[2] // 0.15% BER
+	at10 := rows[3].IDs[2] // 10% BER
+	at20 := rows[4].IDs[2] // 20% BER
+	if base == 0 {
+		t.Fatal("no identifications at minimal BER")
+	}
+	if float64(at10) < 0.75*float64(base) {
+		t.Errorf("10%% BER broke search: %d -> %d", base, at10)
+	}
+	if at20 >= base {
+		t.Errorf("20%% BER should degrade: %d vs %d", at20, base)
+	}
+}
+
+// Claim (§5.2.2): "our design can activate up to 64 rows with 8-level
+// RRAM, indicating an 16x increase in throughput".
+func TestClaimRowActivation16x(t *testing.T) {
+	tc := accel.DefaultThroughputComparison()
+	if tc.RowSpeedup() != 16 {
+		t.Errorf("row speedup = %v", tc.RowSpeedup())
+	}
+	if tc.ThisLevels != 8 || tc.ThisRows != 64 {
+		t.Errorf("operating point: %+v", tc)
+	}
+}
+
+// Claim (Fig. 7 band): 3 bits/cell storage BER lands near ~8-14% after
+// a day while 1 bit/cell stays near zero.
+func TestClaimStorageBERBands(t *testing.T) {
+	dev3 := rram.NewDevice(rram.DefaultDeviceConfig(), 11)
+	b3, err := rram.BitErrorRate(dev3, 2048, 3, 10, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev1 := rram.NewDevice(rram.DefaultDeviceConfig(), 12)
+	b1, err := rram.BitErrorRate(dev1, 2048, 1, 10, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 < 0.05 || b3 > 0.18 {
+		t.Errorf("3b/cell one-day BER = %v, want ~8-14%%", b3)
+	}
+	if b1 > 0.005 {
+		t.Errorf("1b/cell one-day BER = %v, want ~0", b1)
+	}
+}
+
+// Claim (motivation): open search finds modified peptides that
+// standard search cannot.
+func TestClaimOpenSearchFindsModifications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two engines")
+	}
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 128
+	open, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psms, err := open.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := 0
+	for _, psm := range psms {
+		gt := ds.Truth[psm.QueryID]
+		if gt.Modified && gt.Peptide == psm.Peptide {
+			mod++
+		}
+	}
+	if mod == 0 {
+		t.Error("open search identified no modified peptides")
+	}
+}

@@ -1,0 +1,115 @@
+// Command omsearch runs an open modification search of an MGF query
+// file against an MGF spectral library using the HD engine:
+//
+//	omsearch -library lib.mgf -queries q.mgf [-backend ideal|rram] \
+//	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard]
+//
+// Results are written to stdout as a TSV of accepted PSMs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/spectrum"
+)
+
+func main() {
+	libPath := flag.String("library", "", "library MGF path (required)")
+	qPath := flag.String("queries", "", "query MGF path (required)")
+	backend := flag.String("backend", "ideal", "search backend: ideal or rram")
+	d := flag.Int("d", 8192, "HD dimension")
+	precision := flag.Int("precision", 3, "ID hypervector precision in bits (1-3)")
+	alpha := flag.Float64("fdr", 0.01, "FDR acceptance level")
+	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
+	parallel := flag.Bool("parallel", false, "search queries across CPU cores")
+	rescore := flag.Float64("rescore", 0, "blend factor for shifted-dot rescoring of the HD shortlist (0 = off, 1 = pure shifted-dot)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *libPath == "" || *qPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	library, err := readMGF(*libPath)
+	fatalIf(err)
+	queries, err := readMGF(*qPath)
+	fatalIf(err)
+
+	p := core.DefaultParams()
+	p.Accel.D = *d
+	p.Accel.NumChunks = max(*d/32, 32)
+	p.Accel.IDPrecision = *precision
+	p.Accel.Seed = *seed
+	p.FDRAlpha = *alpha
+	p.Open = !*standard
+
+	var engine *core.Engine
+	switch *backend {
+	case "ideal":
+		engine, _, err = core.BuildExact(p, library)
+	case "rram":
+		engine, err = core.BuildNoisy(p, library, core.NoiseSpec{
+			EncodeBER:     0.04,
+			RefStorageBER: 0.02,
+			SearchSigma:   0.004 * float64(*d),
+			Seed:          *seed + 1,
+		})
+	default:
+		err = fmt.Errorf("unknown backend %q", *backend)
+	}
+	fatalIf(err)
+
+	var res fdr.Result
+	switch {
+	case *rescore > 0:
+		rs, rerr := core.NewRescorer(engine, library, *rescore)
+		fatalIf(rerr)
+		res, err = rs.Run(queries)
+	case *parallel:
+		res, err = engine.RunParallel(queries)
+	default:
+		res, err = engine.Run(queries)
+	}
+	fatalIf(err)
+
+	fmt.Println("query_id\tpeptide\tscore\tmass_shift")
+	for _, psm := range res.Accepted {
+		fmt.Printf("%s\t%s\t%.4f\t%+.4f\n", psm.QueryID, psm.Peptide, psm.Score, psm.MassShift)
+	}
+	fmt.Fprintf(os.Stderr,
+		"omsearch: %d queries, %d library spectra (%d skipped), %d identifications at FDR %.2g\n",
+		len(queries), engine.Library().Len(), engine.Library().Skipped, len(res.Accepted), *alpha)
+}
+
+// readMGF reads a spectra file, selecting the parser by extension
+// (.msp for NIST MSP, anything else MGF).
+func readMGF(path string) ([]*spectrum.Spectrum, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".msp") {
+		return spectrum.ReadMSP(f)
+	}
+	return spectrum.ReadMGF(f)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omsearch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+// Command omsgen generates synthetic OMS workloads to MGF files:
+//
+//	omsgen -preset iPRG2012 -scale 0.01 -out /tmp/ds
+//
+// writes /tmp/ds.library.mgf, /tmp/ds.queries.mgf and
+// /tmp/ds.truth.tsv (query ground truth for evaluation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/msdata"
+	"repro/internal/spectrum"
+)
+
+func main() {
+	preset := flag.String("preset", "iPRG2012", "dataset preset: iPRG2012 or HEK293")
+	scale := flag.Float64("scale", 0.01, "scale relative to Table 1 sizes")
+	out := flag.String("out", "dataset", "output path prefix")
+	seed := flag.Int64("seed", 0, "extra seed offset")
+	proteome := flag.Bool("proteome", false, "build the library from a digested synthetic proteome instead of sampled peptides")
+	proteins := flag.Int("proteins", 200, "protein count for -proteome")
+	format := flag.String("format", "mgf", "library/query file format: mgf or msp")
+	flag.Parse()
+
+	var cfg msdata.Config
+	switch *preset {
+	case "iPRG2012":
+		cfg = msdata.IPRG2012(*scale)
+	case "HEK293":
+		cfg = msdata.HEK293(*scale)
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+	cfg.Seed += *seed
+	var (
+		ds  *msdata.Dataset
+		err error
+	)
+	if *proteome {
+		pcfg := msdata.DefaultProteomeConfig()
+		pcfg.NumProteins = *proteins
+		pcfg.Seed += *seed
+		cfg.NumReferences = 0
+		ds, err = msdata.GenerateFromProteome(cfg, pcfg)
+	} else {
+		ds, err = msdata.Generate(cfg)
+	}
+	fatalIf(err)
+	if *format != "mgf" && *format != "msp" {
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	writeSpectra = writerFor(*format)
+
+	fatalIf(writeSpectra(*out+".library."+*format, ds.Library))
+	fatalIf(writeSpectra(*out+".queries."+*format, ds.Queries))
+	fatalIf(writeTruth(*out+".truth.tsv", ds))
+
+	st := ds.Summarize()
+	fmt.Printf("%s: %d queries (%d modified, %d foreign), %d targets + %d decoys\n",
+		st.Name, st.NumQueries, st.ModifiedQueries, st.ForeignQueries,
+		st.NumTargets, st.NumDecoys)
+}
+
+// writeSpectra is selected by the -format flag.
+var writeSpectra = writerFor("mgf")
+
+func writerFor(format string) func(string, []*spectrum.Spectrum) error {
+	write := spectrum.WriteMGF
+	if format == "msp" {
+		write = spectrum.WriteMSP
+	}
+	return func(path string, spectra []*spectrum.Spectrum) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := write(f, spectra); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+func writeTruth(path string, ds *msdata.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "query_id\tpeptide\tmodified\tmod_name\tmass_shift")
+	for _, q := range ds.Queries {
+		gt := ds.Truth[q.ID]
+		fmt.Fprintf(f, "%s\t%s\t%v\t%s\t%.6f\n",
+			gt.QueryID, gt.Peptide, gt.Modified, gt.ModName, gt.MassShift)
+	}
+	return f.Close()
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "omsgen: %v\n", err)
+	os.Exit(1)
+}

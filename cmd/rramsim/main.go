@@ -1,0 +1,129 @@
+// Command rramsim exercises the standalone MLC RRAM chip simulator:
+// storage bit-error sweeps over time and bits-per-cell, conductance
+// histograms, and MVM error characterization.
+//
+//	rramsim -mode storage|histogram|mvm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/rram"
+)
+
+func main() {
+	mode := flag.String("mode", "storage", "storage, histogram or mvm")
+	seed := flag.Int64("seed", 1, "random seed")
+	d := flag.Int("d", 4096, "hypervector dimension for storage mode")
+	count := flag.Int("count", 32, "hypervectors / trials per configuration")
+	flag.Parse()
+
+	switch *mode {
+	case "storage":
+		storageSweep(*seed, *d, *count)
+	case "histogram":
+		histogram(*seed)
+	case "mvm":
+		mvmSweep(*seed, *count)
+	default:
+		fmt.Fprintf(os.Stderr, "rramsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func storageSweep(seed int64, d, count int) {
+	times := []struct {
+		label   string
+		elapsed time.Duration
+	}{
+		{"1s", time.Second}, {"30min", 30 * time.Minute},
+		{"60min", time.Hour}, {"1day", 24 * time.Hour},
+	}
+	fmt.Printf("%-8s %12s %12s %12s\n", "time", "1 bit/cell", "2 bits/cell", "3 bits/cell")
+	for _, tp := range times {
+		fmt.Printf("%-8s", tp.label)
+		for bits := 1; bits <= 3; bits++ {
+			dev := rram.NewDevice(rram.DefaultDeviceConfig(), seed+int64(bits))
+			ber, err := rram.BitErrorRate(dev, d, bits, count, tp.elapsed)
+			fatalIf(err)
+			fmt.Printf(" %11.3f%%", ber*100)
+		}
+		fmt.Println()
+	}
+}
+
+func histogram(seed int64) {
+	for _, levels := range []int{2, 4, 8} {
+		dev := rram.NewDevice(rram.DefaultDeviceConfig(), seed+int64(levels))
+		grid := rram.NewLevelGrid(levels, rram.DefaultDeviceConfig().GMax)
+		cells := make([]rram.Cell, 4000)
+		for i := range cells {
+			dev.Program(&cells[i], grid.Target(i%levels))
+		}
+		fmt.Printf("%d-level cells, conductance distribution after 1 day:\n", levels)
+		h := rram.Histogram(dev, cells, 24*time.Hour, 60)
+		maxC := 1
+		for _, c := range h {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for _, c := range h {
+			fmt.Print(strings.Repeat("#", c*40/maxC) + "\n")
+		}
+	}
+}
+
+func mvmSweep(seed int64, trials int) {
+	fmt.Printf("%-6s %12s %12s %12s\n", "rows", "1 bit", "2 bits", "3 bits")
+	for _, n := range []int{16, 32, 64, 128} {
+		fmt.Printf("%-6d", n)
+		for bits := 1; bits <= 3; bits++ {
+			dev := rram.NewDevice(rram.DefaultDeviceConfig(), seed+int64(bits))
+			xb, err := rram.NewCrossbar(rram.CrossbarConfig{
+				Rows: 256, Cols: 64, ADCBits: 8, MaxActiveRows: 128, WeightBits: bits,
+			}, dev)
+			fatalIf(err)
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			weights := make([][]float64, 128)
+			for i := range weights {
+				weights[i] = make([]float64, 64)
+				for j := range weights[i] {
+					weights[i][j] = float64(rng.Intn(2)*2 - 1)
+				}
+			}
+			fatalIf(xb.ProgramWeights(weights))
+			var se, sw float64
+			for trial := 0; trial < trials; trial++ {
+				inputs := make([]float64, n)
+				for i := range inputs {
+					inputs[i] = float64(rng.Intn(2)*2 - 1)
+				}
+				got, err := xb.MVM(0, inputs, nil, 2*time.Hour)
+				fatalIf(err)
+				want, err := xb.IdealMVM(0, inputs, nil)
+				fatalIf(err)
+				for j := range got {
+					diff := got[j] - want[j]
+					se += diff * diff
+					sw += want[j] * want[j]
+				}
+			}
+			fmt.Printf(" %12.4f", math.Sqrt(se/sw))
+		}
+		fmt.Println()
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rramsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro reproduces "Efficient Open Modification Spectral
+// Library Searching in High-Dimensional Space with Multi-Level-Cell
+// Memory" (DAC 2024): a hyperdimensional-computing open modification
+// search engine for mass spectrometry, an MLC RRAM compute-in-memory
+// chip simulator, the ANN-SoLo and HyperOMS baselines, and a benchmark
+// harness regenerating every table and figure of the paper's
+// evaluation. See README.md for the layout and DESIGN.md for the
+// system inventory.
+package repro

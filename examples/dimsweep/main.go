@@ -1,0 +1,54 @@
+// Dimsweep studies the HD dimension / ID precision trade-off
+// (paper Fig. 13 and §5.3.2): identifications versus hypervector
+// dimension for each multi-bit ID precision, on the ideal backend.
+//
+//	go run ./examples/dimsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/msdata"
+)
+
+func main() {
+	ds, err := msdata.Generate(msdata.IPRG2012(0.002))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dims := []int{512, 1024, 2048, 4096}
+	fmt.Printf("%-6s %14s %14s %14s\n", "D", "precision=1b", "precision=2b", "precision=3b")
+	for _, d := range dims {
+		fmt.Printf("%-6d", d)
+		for precision := 1; precision <= 3; precision++ {
+			p := core.DefaultParams()
+			p.Accel.D = d
+			p.Accel.NumChunks = max(d/32, 32)
+			p.Accel.IDPrecision = precision
+			p.Accel.Seed = int64(d + precision)
+			engine, _, err := core.BuildExact(p, ds.Library)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := engine.Run(ds.Queries)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %14d", len(res.Accepted))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nHigher dimension separates matches from noise; multi-bit ID")
+	fmt.Println("precision buys identifications at the same dimension for free")
+	fmt.Println("on MLC hardware (§4.2.2).")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

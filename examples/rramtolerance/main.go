@@ -1,0 +1,57 @@
+// Rramtolerance runs the same OMS workload on the ideal software
+// backend and on backends with increasing injected memory error rates,
+// demonstrating the HD robustness headline: search quality holds to
+// about 10% bit errors and collapses beyond.
+//
+//	go run ./examples/rramtolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/msdata"
+)
+
+func main() {
+	ds, err := msdata.Generate(msdata.IPRG2012(0.002))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 128
+
+	ideal, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idealRes, err := ideal.Run(ds.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ideal backend: %d identifications at 1%% FDR\n\n", len(idealRes.Accepted))
+
+	fmt.Printf("%-8s %15s %10s\n", "BER", "identifications", "vs ideal")
+	for _, ber := range []float64{0.0015, 0.01, 0.05, 0.10, 0.20, 0.30} {
+		eng, err := core.BuildNoisy(p, ds.Library, core.NoiseSpec{
+			EncodeBER:     ber,
+			RefStorageBER: ber,
+			Seed:          int64(ber * 1e4),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(ds.Queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %15d %9.0f%%\n",
+			fmt.Sprintf("%.2f%%", ber*100),
+			len(res.Accepted),
+			100*float64(len(res.Accepted))/float64(len(idealRes.Accepted)))
+	}
+	fmt.Println("\nSearch quality is flat through ~10% BER — the margin that lets")
+	fmt.Println("the accelerator use dense, error-prone 3-bit MLC RRAM cells.")
+}

@@ -1,0 +1,251 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/hdc"
+	"repro/internal/spectrum"
+)
+
+// smallConfig returns a fast, low-noise test configuration.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.D = 512
+	cfg.NumBins = 200
+	cfg.NumChunks = 64
+	cfg.ADCBits = 8
+	cfg.ActiveRows = 32
+	cfg.ArrayCols = 128
+	cfg.Elapsed = 0
+	return cfg
+}
+
+func randomPeaks(rng *rand.Rand, n, bins, q int) []spectrum.QuantizedPeak {
+	peaks := make([]spectrum.QuantizedPeak, n)
+	for i := range peaks {
+		peaks[i] = spectrum.QuantizedPeak{Bin: rng.Intn(bins), Level: rng.Intn(q)}
+	}
+	return peaks
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{D: 0, NumBins: 10, ActiveRows: 8, BitsPerCell: 1},
+		{D: 64, NumBins: 0, ActiveRows: 8, BitsPerCell: 1},
+		{D: 64, NumBins: 10, ActiveRows: 0, BitsPerCell: 1},
+		{D: 64, NumBins: 10, ActiveRows: 8, BitsPerCell: 0},
+		{D: 64, NumBins: 10, ActiveRows: 8, BitsPerCell: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := NewHWEncoder(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestHWEncoderMatchesIdealAtLowNoise(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ADCBits = 12 // nearly noise-free digitization
+	enc, err := NewHWEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	peaks := randomPeaks(rng, 60, cfg.NumBins, cfg.Q)
+	lists := [][]spectrum.QuantizedPeak{peaks}
+	ber, err := enc.BitErrorRate(lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber > 0.08 {
+		t.Errorf("high-resolution encode BER = %v, want small", ber)
+	}
+}
+
+func TestHWEncoderEmptyPeaks(t *testing.T) {
+	enc, err := NewHWEncoder(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := enc.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.D != 512 {
+		t.Errorf("empty encode D = %d", h.D)
+	}
+}
+
+func TestHWEncoderRejectsBadBin(t *testing.T) {
+	enc, _ := NewHWEncoder(smallConfig())
+	_, err := enc.Encode([]spectrum.QuantizedPeak{{Bin: 9999, Level: 0}})
+	if err == nil {
+		t.Error("bad bin accepted")
+	}
+}
+
+func TestHWEncoderBERGrowsWithBits(t *testing.T) {
+	// Fig. 9a's ordering: more bits per cell -> more encoding errors.
+	berFor := func(precision int) float64 {
+		cfg := smallConfig()
+		cfg.IDPrecision = precision
+		cfg.ADCBits = 8
+		cfg.Elapsed = 2 * time.Hour
+		enc, err := NewHWEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		lists := make([][]spectrum.QuantizedPeak, 4)
+		for i := range lists {
+			lists[i] = randomPeaks(rng, 80, cfg.NumBins, cfg.Q)
+		}
+		ber, err := enc.BitErrorRate(lists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ber
+	}
+	b1, b3 := berFor(1), berFor(3)
+	if b3 <= b1 {
+		t.Errorf("encode BER ordering: 1bit=%v 3bit=%v", b1, b3)
+	}
+}
+
+func TestHWEncoderStats(t *testing.T) {
+	cfg := smallConfig()
+	enc, _ := NewHWEncoder(cfg)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := enc.Encode(randomPeaks(rng, 40, cfg.NumBins, cfg.Q)); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Stats.MVMCycles == 0 || enc.Stats.CellsProgrammed == 0 {
+		t.Errorf("stats not accumulated: %+v", enc.Stats)
+	}
+}
+
+func TestHWSearcherValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := NewHWSearcher(cfg, nil); err == nil {
+		t.Error("empty refs accepted")
+	}
+	if _, err := NewHWSearcher(cfg, []hdc.BinaryHV{hdc.NewBinaryHV(64)}); err == nil {
+		t.Error("wrong-dimension refs accepted")
+	}
+}
+
+func TestHWSearcherFindsPlantedMatch(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ADCBits = 8
+	rng := rand.New(rand.NewSource(4))
+	refs := make([]hdc.BinaryHV, 60)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(cfg.D, rng)
+	}
+	hw, err := NewHWSearcher(cfg, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := refs[37].Clone()
+	q.FlipExact(20, rng)
+	top, err := hw.TopK(q, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 || top[0].Index != 37 {
+		t.Errorf("top = %+v, want index 37 first", top)
+	}
+	// Similarity estimate should be near the true value 512-20=492.
+	if top[0].Similarity < 470 || top[0].Similarity > 512 {
+		t.Errorf("similarity estimate = %d, want ~492", top[0].Similarity)
+	}
+}
+
+func TestHWSearcherCandidates(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(5))
+	refs := make([]hdc.BinaryHV, 30)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(cfg.D, rng)
+	}
+	hw, _ := NewHWSearcher(cfg, refs)
+	top, err := hw.TopK(refs[7], []int{1, 2, 3, -1, 99}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range top {
+		if m.Index == 7 || m.Index < 0 || m.Index > 29 {
+			t.Errorf("candidate restriction violated: %+v", m)
+		}
+	}
+}
+
+func TestHWSearcherQueryDimensionCheck(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(6))
+	hw, _ := NewHWSearcher(cfg, []hdc.BinaryHV{hdc.RandomBinaryHV(cfg.D, rng)})
+	if _, err := hw.DotProducts(hdc.NewBinaryHV(64)); err == nil {
+		t.Error("wrong query dimension accepted")
+	}
+}
+
+func TestSearchRMSEGrowsWithActiveRows(t *testing.T) {
+	// Fig. 9b: normalized search error grows with activated rows.
+	rmseAt := func(rows int) float64 {
+		cfg := smallConfig()
+		cfg.ActiveRows = rows
+		cfg.ADCBits = 6
+		cfg.Elapsed = 2 * time.Hour
+		rng := rand.New(rand.NewSource(7))
+		refs := make([]hdc.BinaryHV, 24)
+		for i := range refs {
+			refs[i] = hdc.RandomBinaryHV(cfg.D, rng)
+		}
+		hw, err := NewHWSearcher(cfg, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := make([]hdc.BinaryHV, 6)
+		for i := range queries {
+			queries[i] = hdc.RandomBinaryHV(cfg.D, rng)
+		}
+		r, err := hw.SearchRMSE(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	e16, e128 := rmseAt(16), rmseAt(128)
+	if e128 <= e16 {
+		t.Errorf("search RMSE should grow with rows: 16 -> %v, 128 -> %v", e16, e128)
+	}
+}
+
+func TestInsertTopK(t *testing.T) {
+	var best []hdc.Match
+	ms := []hdc.Match{
+		{Index: 0, Similarity: 10},
+		{Index: 1, Similarity: 30},
+		{Index: 2, Similarity: 20},
+		{Index: 3, Similarity: 30},
+		{Index: 4, Similarity: 5},
+	}
+	for _, m := range ms {
+		best = insertTopK(best, m, 3)
+	}
+	want := []hdc.Match{
+		{Index: 1, Similarity: 30},
+		{Index: 3, Similarity: 30},
+		{Index: 2, Similarity: 20},
+	}
+	if len(best) != 3 {
+		t.Fatalf("len = %d", len(best))
+	}
+	for i := range want {
+		if best[i] != want[i] {
+			t.Errorf("best[%d] = %+v, want %+v", i, best[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package accel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/rram"
+)
+
+// TestProbeMVMNoise isolates the conductance-noise contribution to MVM
+// error (ADC nearly ideal) per weight precision. Diagnostic.
+func TestProbeMVMNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, bits := range []int{1, 2, 3} {
+		dev := rram.NewDevice(rram.DefaultDeviceConfig(), 1)
+		cfg := rram.CrossbarConfig{Rows: 64, Cols: 64, ADCBits: 14, MaxActiveRows: 32, WeightBits: bits}
+		x, err := rram.NewCrossbar(cfg, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		maxW := int(cfg.WeightMax())
+		weights := make([][]float64, 32)
+		for i := range weights {
+			weights[i] = make([]float64, 64)
+			for j := range weights[i] {
+				mag := rng.Intn(maxW) + 1
+				if rng.Intn(2) == 0 {
+					mag = -mag
+				}
+				weights[i][j] = float64(mag)
+			}
+		}
+		if err := x.ProgramWeights(weights); err != nil {
+			t.Fatal(err)
+		}
+		var se, sw float64
+		for trial := 0; trial < 30; trial++ {
+			inputs := make([]float64, 32)
+			for i := range inputs {
+				inputs[i] = float64(rng.Intn(2)*2 - 1)
+			}
+			got, err := x.MVM(0, inputs, nil, 2*time.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := x.IdealMVM(0, inputs, nil)
+			for j := range got {
+				d := got[j] - want[j]
+				se += d * d
+				sw += want[j] * want[j]
+			}
+		}
+		t.Logf("bits=%d signalRMS=%.2f errRMS=%.3f nrmse=%.4f",
+			bits, math.Sqrt(sw/float64(30*64)), math.Sqrt(se/float64(30*64)), math.Sqrt(se/sw))
+	}
+}

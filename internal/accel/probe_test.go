@@ -1,0 +1,39 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/spectrum"
+)
+
+// TestProbeBERSweep is a diagnostic: print encode BER for each ID
+// precision and ADC resolution. Run with -v to see the calibration.
+func TestProbeBERSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, adc := range []int{4, 5, 6} {
+		for _, p := range []int{1, 2, 3} {
+			cfg := smallConfig()
+			cfg.IDPrecision = p
+			cfg.ADCBits = adc
+			cfg.Elapsed = 2 * time.Hour
+			enc, err := NewHWEncoder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			lists := make([][]spectrum.QuantizedPeak, 10)
+			for i := range lists {
+				lists[i] = randomPeaks(rng, 80, cfg.NumBins, cfg.Q)
+			}
+			ber, err := enc.BitErrorRate(lists)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("adc=%d precision=%d ber=%.4f", adc, p, ber)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rram"
+)
+
+// Schedule is a chip-level execution plan for an OMS workload: how
+// reference hypervectors are placed across arrays, how many
+// programming operations initialization costs, and how many crossbar
+// cycles each query's encoding and search consume. It produces the
+// same rram.OpStats the cell-accurate simulator counts, but
+// analytically, so paper-scale workloads (millions of references) can
+// be costed without simulating every cell.
+type Schedule struct {
+	// Cfg is the accelerator operating point.
+	Cfg Config
+	// Chip is the physical capacity model.
+	Chip ChipSpec
+	// NumRefs is the reference count to place.
+	NumRefs int
+	// ArraysForSearch is how many arrays hold references.
+	ArraysForSearch int
+	// RefsPerArray is the column capacity per array.
+	RefsPerArray int
+	// RowGroupsPerRef is ceil(D / ActiveRows), the sense cycles needed
+	// to accumulate one full dot product.
+	RowGroupsPerRef int
+	// Waves is how many sequential array reloads a full library scan
+	// needs when the library exceeds on-chip capacity.
+	Waves int
+}
+
+// PlanSearch places a reference library on the chip.
+func PlanSearch(cfg Config, chip ChipSpec, numRefs int) (*Schedule, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if numRefs <= 0 {
+		return nil, fmt.Errorf("accel: non-positive reference count %d", numRefs)
+	}
+	arrayRows := 2 * cfg.ActiveRows // differential pairs per group
+	arrayCells := arrayRows * cfg.ArrayCols
+	if arrayCells <= 0 {
+		return nil, fmt.Errorf("accel: degenerate array shape")
+	}
+	// Each reference needs D dims * 2 cells spread over row groups; a
+	// column tile of ArrayCols references per group of arrays.
+	rowGroups := (cfg.D + cfg.ActiveRows - 1) / cfg.ActiveRows
+	cellsPerRefCol := 2 * cfg.D // differential cells per reference
+	refsOnChip := chip.TotalCells / cellsPerRefCol
+	if refsOnChip < 1 {
+		return nil, fmt.Errorf("accel: chip too small for one reference at D=%d", cfg.D)
+	}
+	waves := (numRefs + refsOnChip - 1) / refsOnChip
+	arrays := (minInt(numRefs, refsOnChip)*cellsPerRefCol + arrayCells - 1) / arrayCells
+	return &Schedule{
+		Cfg:             cfg,
+		Chip:            chip,
+		NumRefs:         numRefs,
+		ArraysForSearch: arrays,
+		RefsPerArray:    cfg.ArrayCols,
+		RowGroupsPerRef: rowGroups,
+		Waves:           waves,
+	}, nil
+}
+
+// ProgramStats returns the one-time programming cost of loading the
+// library (all waves).
+func (s *Schedule) ProgramStats() rram.OpStats {
+	return rram.OpStats{
+		CellsProgrammed: int64(s.NumRefs) * int64(2*s.Cfg.D),
+	}
+}
+
+// SearchStats returns the per-query crossbar operation counts for
+// scanning candidateFraction of the library. Arrays operate in
+// parallel; MVMCycles counts chip-level sequential cycles while
+// RowActivations and ADCConversions count total work (for energy).
+func (s *Schedule) SearchStats(candidateFraction float64) rram.OpStats {
+	if candidateFraction <= 0 {
+		candidateFraction = 1
+	}
+	if candidateFraction > 1 {
+		candidateFraction = 1
+	}
+	cands := int64(math.Ceil(float64(s.NumRefs) * candidateFraction))
+	perWave := int64(s.RefsPerArray) * int64(maxInt(s.ArraysForSearch/s.RowGroupsPerRef, 1))
+	waves := (cands + perWave - 1) / perWave
+	seqCycles := waves * int64(s.RowGroupsPerRef)
+	return rram.OpStats{
+		MVMCycles:      seqCycles,
+		RowActivations: int64(s.Cfg.ActiveRows) * int64(s.RowGroupsPerRef) * cands,
+		ADCConversions: int64(s.RowGroupsPerRef) * cands,
+	}
+}
+
+// EncodeStats returns the per-spectrum in-memory encoding cost for a
+// peak count: batches of ActiveRows peaks, one MVM per chunk per
+// batch; ADC conversions cover every dimension once per batch.
+func (s *Schedule) EncodeStats(numPeaks int) rram.OpStats {
+	if numPeaks <= 0 {
+		return rram.OpStats{}
+	}
+	batches := int64((numPeaks + s.Cfg.ActiveRows - 1) / s.Cfg.ActiveRows)
+	chunks := int64(s.Cfg.NumChunks)
+	return rram.OpStats{
+		MVMCycles:       batches * chunks,
+		RowActivations:  int64(numPeaks) * chunks,
+		ADCConversions:  batches * int64(s.Cfg.D),
+		CellsProgrammed: batches * int64(s.Cfg.ActiveRows) * int64(2*s.Cfg.D) / chunks, // ID reload per batch, amortized across chunk reuse
+	}
+}
+
+// WorkloadStats aggregates a full run: programming once, then
+// per-query encoding and search.
+func (s *Schedule) WorkloadStats(numQueries, peaksPerQuery int, candidateFraction float64) rram.OpStats {
+	total := s.ProgramStats()
+	enc := s.EncodeStats(peaksPerQuery)
+	sea := s.SearchStats(candidateFraction)
+	for i := 0; i < numQueries; i++ {
+		total.Add(enc)
+		total.Add(sea)
+	}
+	return total
+}
+
+// String summarizes the plan.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("Schedule{%d refs, %d arrays, %d row groups, %d waves}",
+		s.NumRefs, s.ArraysForSearch, s.RowGroupsPerRef, s.Waves)
+}

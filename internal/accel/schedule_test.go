@@ -1,0 +1,127 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/rram"
+)
+
+func TestPlanSearchValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := PlanSearch(cfg, DefaultChipSpec(), 0); err == nil {
+		t.Error("zero refs accepted")
+	}
+	bad := cfg
+	bad.BitsPerCell = 9
+	if _, err := PlanSearch(bad, DefaultChipSpec(), 10); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestPlanSearchShape(t *testing.T) {
+	cfg := DefaultConfig() // D=8192, 64 active rows, 256 cols
+	s, err := PlanSearch(cfg, DefaultChipSpec(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RowGroupsPerRef != 128 {
+		t.Errorf("row groups = %d, want 8192/64", s.RowGroupsPerRef)
+	}
+	// 3M cells / (2*8192 cells per ref) = 183 refs on chip -> 6 waves.
+	if s.Waves != (1000+182)/183 {
+		t.Errorf("waves = %d", s.Waves)
+	}
+	if s.ArraysForSearch <= 0 {
+		t.Errorf("arrays = %d", s.ArraysForSearch)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestProgramStats(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := PlanSearch(cfg, DefaultChipSpec(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100 * 2 * 8192)
+	if got := s.ProgramStats().CellsProgrammed; got != want {
+		t.Errorf("cells programmed = %d, want %d", got, want)
+	}
+}
+
+func TestSearchStatsScalesWithCandidates(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := PlanSearch(cfg, DefaultChipSpec(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := s.SearchStats(1.0)
+	quarter := s.SearchStats(0.25)
+	if full.ADCConversions != 4*quarter.ADCConversions {
+		t.Errorf("ADC conversions: full %d, quarter %d", full.ADCConversions, quarter.ADCConversions)
+	}
+	if full.MVMCycles <= quarter.MVMCycles {
+		t.Error("sequential cycles did not grow with candidates")
+	}
+	// Degenerate fractions clamp.
+	if s.SearchStats(-1).ADCConversions != full.ADCConversions {
+		t.Error("negative fraction not clamped to full scan")
+	}
+	if s.SearchStats(5).ADCConversions != full.ADCConversions {
+		t.Error("fraction > 1 not clamped")
+	}
+}
+
+func TestEncodeStats(t *testing.T) {
+	cfg := DefaultConfig() // 64 rows, 256 chunks
+	s, err := PlanSearch(cfg, DefaultChipSpec(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.EncodeStats(100) // 2 batches
+	if st.MVMCycles != 2*256 {
+		t.Errorf("encode cycles = %d, want 512", st.MVMCycles)
+	}
+	if st.RowActivations != 100*256 {
+		t.Errorf("row activations = %d", st.RowActivations)
+	}
+	if got := s.EncodeStats(0); got != (rram.OpStats{}) {
+		t.Errorf("zero peaks stats: %+v", got)
+	}
+}
+
+func TestWorkloadStatsAggregation(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := PlanSearch(cfg, DefaultChipSpec(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := s.WorkloadStats(1, 100, 0.25)
+	ten := s.WorkloadStats(10, 100, 0.25)
+	prog := s.ProgramStats().CellsProgrammed
+	// Per-query work scales linearly after subtracting programming.
+	d1 := one.ADCConversions
+	d10 := ten.ADCConversions
+	if d10 != 10*d1 {
+		t.Errorf("ADC conversions not linear in queries: %d vs %d", d1, d10)
+	}
+	if one.CellsProgrammed <= prog {
+		t.Error("workload missing encode programming")
+	}
+}
+
+func TestScheduleFeedsPerfModel(t *testing.T) {
+	// The analytical schedule should produce a per-query cycle count
+	// in the same regime as perf's hand-derived Figure 12 numbers.
+	cfg := DefaultConfig()
+	s, err := PlanSearch(cfg, DefaultChipSpec(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.SearchStats(0.25)
+	if st.MVMCycles < 1000 || st.MVMCycles > 100_000_000 {
+		t.Errorf("paper-scale search cycles = %d, outside sanity band", st.MVMCycles)
+	}
+}

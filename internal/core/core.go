@@ -1,0 +1,341 @@
+// Package core is the end-to-end open modification search engine of
+// the paper (Fig. 2): preprocessing → ID-Level HD encoding →
+// precursor-window candidate selection → Hamming similarity search →
+// FDR filtering. Backends are pluggable: the exact software path
+// ("ideal"), the characterized-noise path replaying the simulated MLC
+// RRAM chip's error statistics, or explicit error injection for the
+// robustness study (Fig. 11).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/accel"
+	"repro/internal/fdr"
+	"repro/internal/hdc"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+// Encoder abstracts the query/reference hypervector encoder.
+type Encoder interface {
+	// EncodeVector encodes a binned spectrum vector.
+	EncodeVector(v spectrum.Vector) (hdc.BinaryHV, error)
+}
+
+// Searcher abstracts top-k Hamming similarity search over the encoded
+// library. Implementations: *hdc.Searcher (exact) and
+// *accel.NoisySearcher (characterized hardware noise).
+type Searcher interface {
+	// TopK returns the k best matches among candidates (nil = all).
+	TopK(q hdc.BinaryHV, candidates []int, k int) []hdc.Match
+}
+
+// Params configures an OMS engine.
+type Params struct {
+	// Accel is the HD/hardware operating point (dimension, precision,
+	// quantization levels, …).
+	Accel accel.Config
+	// Preprocess configures spectrum cleanup (§3.1).
+	Preprocess spectrum.PreprocessConfig
+	// Binner maps m/z to vector bins; its NumBins must equal
+	// Accel.NumBins.
+	Binner spectrum.Binner
+	// Window is the open-search precursor window: a candidate
+	// reference is eligible when queryMass − refMass lies inside it.
+	Window units.MassWindow
+	// Open selects open search; when false, the engine runs a
+	// standard search with the narrow StandardTol window.
+	Open bool
+	// StandardTol is the precursor tolerance for standard search.
+	StandardTol units.Tolerance
+	// TopK is how many matches to retrieve per query (PSM uses the
+	// best; the rest support rescoring studies).
+	TopK int
+	// FDRAlpha is the FDR acceptance level (paper: 0.01).
+	FDRAlpha float64
+}
+
+// DefaultParams returns the paper's evaluation configuration.
+func DefaultParams() Params {
+	binner := spectrum.DefaultBinner()
+	acfg := accel.DefaultConfig()
+	acfg.NumBins = binner.NumBins()
+	return Params{
+		Accel:       acfg,
+		Preprocess:  spectrum.DefaultPreprocess(),
+		Binner:      binner,
+		Window:      units.OpenWindow(-150, +500),
+		Open:        true,
+		StandardTol: units.Da(0.05),
+		TopK:        5,
+		FDRAlpha:    0.01,
+	}
+}
+
+// LibraryEntry is one encoded reference spectrum.
+type LibraryEntry struct {
+	// ID is the source spectrum ID.
+	ID string
+	// Peptide is the library peptide sequence.
+	Peptide string
+	// IsDecoy marks decoy entries.
+	IsDecoy bool
+	// Mass is the neutral precursor mass in Da.
+	Mass float64
+}
+
+// Library is an encoded, mass-indexed reference library.
+type Library struct {
+	// Entries holds metadata parallel to the encoded hypervectors.
+	Entries []LibraryEntry
+	// HVs are the encoded reference hypervectors.
+	HVs []hdc.BinaryHV
+	// byMass lists entry indices sorted by ascending mass.
+	byMass []int
+	// Skipped counts reference spectra rejected by preprocessing.
+	Skipped int
+}
+
+// BuildLibrary preprocesses, vectorizes and encodes the reference
+// spectra. Spectra failing preprocessing are skipped (counted in
+// Skipped), matching library-building practice.
+func BuildLibrary(spectra []*spectrum.Spectrum, p Params, enc Encoder) (*Library, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("core: nil encoder")
+	}
+	lib := &Library{}
+	for _, s := range spectra {
+		pre, err := p.Preprocess.Preprocess(s)
+		if err != nil {
+			lib.Skipped++
+			continue
+		}
+		hv, err := enc.EncodeVector(p.Binner.Vectorize(pre))
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding library spectrum %s: %w", s.ID, err)
+		}
+		lib.Entries = append(lib.Entries, LibraryEntry{
+			ID:      s.ID,
+			Peptide: s.Peptide,
+			IsDecoy: s.IsDecoy,
+			Mass:    s.PrecursorMass(),
+		})
+		lib.HVs = append(lib.HVs, hv)
+	}
+	if len(lib.Entries) == 0 {
+		return nil, fmt.Errorf("core: empty library after preprocessing")
+	}
+	lib.reindex()
+	return lib, nil
+}
+
+func (l *Library) reindex() {
+	l.byMass = make([]int, len(l.Entries))
+	for i := range l.byMass {
+		l.byMass[i] = i
+	}
+	sort.Slice(l.byMass, func(a, b int) bool {
+		return l.Entries[l.byMass[a]].Mass < l.Entries[l.byMass[b]].Mass
+	})
+}
+
+// Len returns the number of encoded references.
+func (l *Library) Len() int { return len(l.Entries) }
+
+// Candidates returns the indices of references whose mass difference
+// to the query (queryMass − refMass) lies within the window, i.e. the
+// open-search candidate set.
+func (l *Library) Candidates(queryMass float64, w units.MassWindow) []int {
+	// queryMass − refMass ∈ [w.Lower, w.Upper]
+	// ⇔ refMass ∈ [queryMass − w.Upper, queryMass − w.Lower].
+	lo := queryMass - w.Upper
+	hi := queryMass - w.Lower
+	first := sort.Search(len(l.byMass), func(i int) bool {
+		return l.Entries[l.byMass[i]].Mass >= lo
+	})
+	var out []int
+	for i := first; i < len(l.byMass); i++ {
+		e := l.byMass[i]
+		if l.Entries[e].Mass > hi {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// InjectStorageErrors flips every stored reference bit with the given
+// probability, modelling hypervector storage errors (Figs. 7/11). The
+// library is modified in place.
+func (l *Library) InjectStorageErrors(rate float64, rng *rand.Rand) {
+	if rate <= 0 {
+		return
+	}
+	for i := range l.HVs {
+		l.HVs[i].FlipBits(rate, rng)
+	}
+}
+
+// Engine runs OMS queries against an encoded library.
+type Engine struct {
+	params   Params
+	lib      *Library
+	enc      Encoder
+	searcher Searcher
+}
+
+// NewEngine wires a library, encoder and searcher together.
+func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error) {
+	if lib == nil || lib.Len() == 0 {
+		return nil, fmt.Errorf("core: empty library")
+	}
+	if enc == nil || s == nil {
+		return nil, fmt.Errorf("core: nil encoder or searcher")
+	}
+	if p.TopK < 1 {
+		p.TopK = 1
+	}
+	return &Engine{params: p, lib: lib, enc: enc, searcher: s}, nil
+}
+
+// Library returns the engine's library.
+func (e *Engine) Library() *Library { return e.lib }
+
+// SearchOne runs one query and returns its best-match PSM; ok is
+// false when the query is rejected by preprocessing or finds no
+// candidate in the precursor window.
+func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
+	pre, err := e.params.Preprocess.Preprocess(q)
+	if err != nil {
+		return fdr.PSM{}, false, nil // uninformative spectrum: skip
+	}
+	hv, err := e.enc.EncodeVector(e.params.Binner.Vectorize(pre))
+	if err != nil {
+		return fdr.PSM{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
+	}
+	mass := q.PrecursorMass()
+	var window units.MassWindow
+	if e.params.Open {
+		window = e.params.Window
+	} else {
+		window = units.StandardWindow(mass, e.params.StandardTol)
+	}
+	cand := e.lib.Candidates(mass, window)
+	if len(cand) == 0 {
+		return fdr.PSM{}, false, nil
+	}
+	top := e.searcher.TopK(hv, cand, e.params.TopK)
+	if len(top) == 0 {
+		return fdr.PSM{}, false, nil
+	}
+	best := top[0]
+	entry := e.lib.Entries[best.Index]
+	return fdr.PSM{
+		QueryID:   q.ID,
+		Peptide:   entry.Peptide,
+		Score:     float64(best.Similarity) / float64(e.params.Accel.D),
+		IsDecoy:   entry.IsDecoy,
+		MassShift: mass - entry.Mass,
+	}, true, nil
+}
+
+// SearchAll runs every query and returns the PSM list (one best match
+// per searchable query).
+func (e *Engine) SearchAll(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
+	psms := make([]fdr.PSM, 0, len(queries))
+	for _, q := range queries {
+		psm, ok, err := e.SearchOne(q)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			psms = append(psms, psm)
+		}
+	}
+	return psms, nil
+}
+
+// Run searches all queries and applies the FDR filter, returning the
+// accepted identifications.
+func (e *Engine) Run(queries []*spectrum.Spectrum) (fdr.Result, error) {
+	psms, err := e.SearchAll(queries)
+	if err != nil {
+		return fdr.Result{}, err
+	}
+	return fdr.Filter(psms, e.params.FDRAlpha)
+}
+
+// BuildExact constructs the ideal (software) engine: exact ID-Level
+// encoding with chunked levels and exact Hamming search. It returns
+// the engine and the encoder used for the library so callers can
+// reuse or wrap it.
+func BuildExact(p Params, library []*spectrum.Spectrum) (*Engine, *hdc.Encoder, error) {
+	ids, levels, err := accel.NewEncoderComponents(p.Accel)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := hdc.NewEncoder(ids, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib, err := BuildLibrary(library, p, enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	searcher, err := hdc.NewSearcher(lib.HVs)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := NewEngine(p, lib, enc, searcher)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, enc, nil
+}
+
+// NoiseSpec describes error injection for robustness studies: the
+// encoding bit-error rate applies to query and reference encodings,
+// RefStorageBER to stored references, and SearchSigma to similarity
+// scores.
+type NoiseSpec struct {
+	// EncodeBER flips each encoded bit with this probability.
+	EncodeBER float64
+	// RefStorageBER flips stored reference bits once at build time.
+	RefStorageBER float64
+	// SearchSigma perturbs each similarity score (in bits).
+	SearchSigma float64
+	// Seed drives the injection.
+	Seed int64
+}
+
+// BuildNoisy constructs an engine whose encoder and searcher replay
+// the given error statistics — either characterized from the chip
+// simulation (accel.Characterize) or swept explicitly (Fig. 11).
+func BuildNoisy(p Params, library []*spectrum.Spectrum, spec NoiseSpec) (*Engine, error) {
+	ids, levels, err := accel.NewEncoderComponents(p.Accel)
+	if err != nil {
+		return nil, err
+	}
+	ideal, err := hdc.NewEncoder(ids, levels)
+	if err != nil {
+		return nil, err
+	}
+	model := accel.NoisyModel{EncodeBER: spec.EncodeBER, SearchSigma: spec.SearchSigma}
+	noisyEnc := accel.NewNoisyEncoder(ideal, model, spec.Seed)
+	lib, err := BuildLibrary(library, p, noisyEnc)
+	if err != nil {
+		return nil, err
+	}
+	if spec.RefStorageBER > 0 {
+		lib.InjectStorageErrors(spec.RefStorageBER, rand.New(rand.NewSource(spec.Seed+1)))
+	}
+	exact, err := hdc.NewSearcher(lib.HVs)
+	if err != nil {
+		return nil, err
+	}
+	searcher := accel.NewNoisySearcher(exact, model, spec.Seed+2)
+	return NewEngine(p, lib, noisyEnc, searcher)
+}

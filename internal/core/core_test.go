@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fdr"
+	"repro/internal/hdc"
+	"repro/internal/msdata"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+// testParams returns a small, fast parameter set.
+func testParams() Params {
+	p := DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 128
+	p.Accel.Seed = 5
+	p.Preprocess.MinPeaks = 3
+	return p
+}
+
+func testDataset(t *testing.T) *msdata.Dataset {
+	t.Helper()
+	cfg := msdata.IPRG2012(0.001)
+	ds, err := msdata.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildExactEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) == 0 {
+		t.Fatal("no identifications at 1% FDR on an easy synthetic dataset")
+	}
+	// Check identification correctness against ground truth: the
+	// majority of accepted PSMs should name the true peptide.
+	correct, wrong := 0, 0
+	for _, psm := range res.Accepted {
+		gt := ds.Truth[psm.QueryID]
+		if gt.Peptide == "" {
+			wrong++ // foreign spectrum identified: an FDR-controlled FP
+			continue
+		}
+		if gt.Peptide == psm.Peptide {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	if correct < wrong*5 {
+		t.Errorf("identifications mostly wrong: %d correct vs %d wrong", correct, wrong)
+	}
+}
+
+func TestOpenSearchFindsModifiedPeptides(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modFound := 0
+	for _, psm := range res.Accepted {
+		gt := ds.Truth[psm.QueryID]
+		if gt.Modified && gt.Peptide == psm.Peptide {
+			modFound++
+			// The PSM's observed mass shift should approximate the
+			// true modification delta.
+			if d := psm.MassShift - gt.MassShift; d > 1.0 || d < -1.0 {
+				t.Errorf("query %s: PSM shift %v, true %v", psm.QueryID, psm.MassShift, gt.MassShift)
+			}
+		}
+	}
+	if modFound == 0 {
+		t.Error("open search identified no modified peptides")
+	}
+}
+
+func TestStandardSearchMissesModifiedPeptides(t *testing.T) {
+	// The paper's motivation: standard (narrow-window) search cannot
+	// match modified queries.
+	ds := testDataset(t)
+	p := testParams()
+	p.Open = false
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psms, err := engine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, psm := range psms {
+		gt := ds.Truth[psm.QueryID]
+		if gt.Modified && gt.Peptide == psm.Peptide {
+			t.Errorf("standard search matched modified query %s", psm.QueryID)
+		}
+	}
+	// And open search on the same data finds strictly more matches.
+	pOpen := testParams()
+	engOpen, _, err := BuildExact(pOpen, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openPSMs, err := engOpen.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(openPSMs) <= len(psms) {
+		t.Errorf("open search PSMs (%d) not more than standard (%d)", len(openPSMs), len(psms))
+	}
+}
+
+func TestCandidatesWindowSemantics(t *testing.T) {
+	lib := &Library{
+		Entries: []LibraryEntry{
+			{ID: "a", Mass: 1000},
+			{ID: "b", Mass: 1100},
+			{ID: "c", Mass: 1500},
+			{ID: "d", Mass: 2000},
+		},
+		HVs: make([]hdc.BinaryHV, 4),
+	}
+	lib.reindex()
+	// Query mass 1510, window [-150, +500]: accept refs with
+	// queryMass - refMass in window => refMass in [1010, 1660].
+	got := lib.Candidates(1510, units.OpenWindow(-150, 500))
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v", got)
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		seen[i] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("candidates = %v, want entries b and c", got)
+	}
+	// Empty result outside mass range.
+	if got := lib.Candidates(50, units.OpenWindow(-1, 1)); len(got) != 0 {
+		t.Errorf("far-off query found candidates: %v", got)
+	}
+}
+
+func TestBuildLibrarySkipsBadSpectra(t *testing.T) {
+	p := testParams()
+	ids := []*spectrum.Spectrum{
+		{ID: "good", PrecursorMZ: 600, Charge: 2, Peptide: "PEPK",
+			Peaks: []spectrum.Peak{
+				{MZ: 200, Intensity: 10}, {MZ: 300, Intensity: 20},
+				{MZ: 400, Intensity: 30}, {MZ: 500, Intensity: 5},
+			}},
+		{ID: "sparse", PrecursorMZ: 600, Charge: 2,
+			Peaks: []spectrum.Peak{{MZ: 200, Intensity: 10}}},
+	}
+	enc := exactEncoder(t, p)
+	lib, err := BuildLibrary(ids, p, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 1 || lib.Skipped != 1 {
+		t.Errorf("len=%d skipped=%d", lib.Len(), lib.Skipped)
+	}
+}
+
+func exactEncoder(t *testing.T, p Params) Encoder {
+	t.Helper()
+	engine, enc, err := BuildExact(p, []*spectrum.Spectrum{{
+		ID: "seed", PrecursorMZ: 600, Charge: 2, Peptide: "SEEDK",
+		Peaks: []spectrum.Peak{
+			{MZ: 200, Intensity: 10}, {MZ: 300, Intensity: 20},
+			{MZ: 400, Intensity: 30}, {MZ: 500, Intensity: 5},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = engine
+	return enc
+}
+
+func TestBuildLibraryEmptyFails(t *testing.T) {
+	p := testParams()
+	if _, _, err := BuildExact(p, nil); err == nil {
+		t.Error("empty library accepted")
+	}
+	enc := exactEncoder(t, p)
+	if _, err := BuildLibrary(nil, p, enc); err == nil {
+		t.Error("BuildLibrary with no spectra accepted")
+	}
+	if _, err := BuildLibrary(nil, p, nil); err == nil {
+		t.Error("nil encoder accepted")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	p := testParams()
+	if _, err := NewEngine(p, nil, nil, nil); err == nil {
+		t.Error("nil library accepted")
+	}
+}
+
+func TestSearchOneSkipsUnsearchableQueries(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse query: preprocessing rejects.
+	_, ok, err := engine.SearchOne(&spectrum.Spectrum{
+		ID: "sparse", PrecursorMZ: 600, Charge: 2,
+		Peaks: []spectrum.Peak{{MZ: 200, Intensity: 1}},
+	})
+	if err != nil || ok {
+		t.Errorf("sparse query: ok=%v err=%v", ok, err)
+	}
+	// Query far outside any precursor window.
+	_, ok, err = engine.SearchOne(&spectrum.Spectrum{
+		ID: "heavy", PrecursorMZ: 1e5, Charge: 2,
+		Peaks: []spectrum.Peak{
+			{MZ: 200, Intensity: 10}, {MZ: 300, Intensity: 20},
+			{MZ: 400, Intensity: 30}, {MZ: 500, Intensity: 5},
+		},
+	})
+	if err != nil || ok {
+		t.Errorf("out-of-window query: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBuildNoisyDegradesGracefully(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	clean, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mild noise (1% BER): identifications should be close to clean.
+	mild, err := BuildNoisy(p, ds.Library, NoiseSpec{
+		EncodeBER: 0.01, RefStorageBER: 0.01, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mildRes, err := mild.Run(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mildRes.Accepted) < len(cleanRes.Accepted)/2 {
+		t.Errorf("1%% BER dropped identifications %d -> %d",
+			len(cleanRes.Accepted), len(mildRes.Accepted))
+	}
+	// Catastrophic noise (45% BER): search must collapse.
+	harsh, err := BuildNoisy(p, ds.Library, NoiseSpec{
+		EncodeBER: 0.45, RefStorageBER: 0.45, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harshRes, err := harsh.Run(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(harshRes.Accepted) >= len(cleanRes.Accepted) {
+		t.Errorf("45%% BER did not degrade: %d vs %d",
+			len(harshRes.Accepted), len(cleanRes.Accepted))
+	}
+}
+
+func TestInjectStorageErrorsRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lib := &Library{
+		Entries: make([]LibraryEntry, 10),
+		HVs:     make([]hdc.BinaryHV, 10),
+	}
+	orig := make([]hdc.BinaryHV, 10)
+	for i := range lib.HVs {
+		lib.HVs[i] = hdc.RandomBinaryHV(2000, rng)
+		orig[i] = lib.HVs[i].Clone()
+	}
+	lib.reindex()
+	lib.InjectStorageErrors(0.1, rng)
+	var flipped int
+	for i := range lib.HVs {
+		flipped += hdc.HammingDistance(lib.HVs[i], orig[i])
+	}
+	rate := float64(flipped) / 20000
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("storage error rate = %v, want ~0.1", rate)
+	}
+	lib.InjectStorageErrors(0, rng) // no-op must not panic
+}
+
+func TestRunProducesValidFDR(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psms, err := engine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fdr.Filter(psms, p.FDRAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetCount > 0 && res.DecoyCount > 0 {
+		observed := float64(res.DecoyCount) / float64(res.TargetCount)
+		if observed > p.FDRAlpha+1e-9 {
+			t.Errorf("FDR bound violated: %v > %v", observed, p.FDRAlpha)
+		}
+	}
+}

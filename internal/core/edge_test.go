@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hdc"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+func TestDefaultParamsConsistency(t *testing.T) {
+	p := DefaultParams()
+	if p.Accel.NumBins != p.Binner.NumBins() {
+		t.Errorf("accel bins %d != binner bins %d", p.Accel.NumBins, p.Binner.NumBins())
+	}
+	if !p.Open {
+		t.Error("default should be open search")
+	}
+	if p.FDRAlpha != 0.01 {
+		t.Errorf("default FDR = %v", p.FDRAlpha)
+	}
+	if p.Window.Lower != -150 || p.Window.Upper != 500 {
+		t.Errorf("default window: %+v", p.Window)
+	}
+}
+
+func TestEngineTopKClamp(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	p.TopK = 0 // must clamp to 1
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psm, ok, err := engine.SearchOne(ds.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok && psm.Peptide == "" {
+		t.Error("empty PSM returned")
+	}
+}
+
+func TestCandidatesEmptyWindow(t *testing.T) {
+	lib := &Library{
+		Entries: []LibraryEntry{{Mass: 1000}},
+		HVs:     make([]hdc.BinaryHV, 1),
+	}
+	lib.reindex()
+	// Inverted/degenerate window around a far-off mass.
+	if got := lib.Candidates(5000, units.OpenWindow(-1, 1)); got != nil {
+		t.Errorf("expected no candidates, got %v", got)
+	}
+}
+
+func TestCandidatesBoundaryInclusive(t *testing.T) {
+	lib := &Library{
+		Entries: []LibraryEntry{{Mass: 1000}, {Mass: 1150}, {Mass: 1500}},
+		HVs:     make([]hdc.BinaryHV, 3),
+	}
+	lib.reindex()
+	// Window [-150, +500]: query 1000 accepts refs in [500, 1150].
+	got := lib.Candidates(1000, units.OpenWindow(-150, 500))
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	if !found[0] || !found[1] || found[2] {
+		t.Errorf("boundary candidates = %v", got)
+	}
+}
+
+func TestStandardWindowNarrow(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	p.Open = false
+	p.StandardTol = units.Da(0.0001) // impossibly narrow
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The noisy queries should mostly miss at 0.1 mDa tolerance.
+	psms, err := engine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psms) > len(ds.Queries)/2 {
+		t.Errorf("%d/%d queries matched at 0.1 mDa tolerance", len(psms), len(ds.Queries))
+	}
+}
+
+func TestBuildNoisyZeroSpecEqualsExactAssignments(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	exact, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := BuildNoisy(p, ds.Library, NoiseSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := exact.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := noisy.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Peptide != b[i].Peptide {
+			t.Errorf("query %s: zero-noise backend diverged", a[i].QueryID)
+		}
+	}
+}
+
+func TestLibrarySkippedAccounting(t *testing.T) {
+	p := testParams()
+	spectra := []*spectrum.Spectrum{
+		{ID: "ok", PrecursorMZ: 600, Charge: 2, Peptide: "OKPEPK",
+			Peaks: []spectrum.Peak{
+				{MZ: 200, Intensity: 10}, {MZ: 300, Intensity: 20},
+				{MZ: 400, Intensity: 30}, {MZ: 500, Intensity: 40},
+			}},
+		{ID: "empty", PrecursorMZ: 600, Charge: 2},
+		{ID: "sparse", PrecursorMZ: 600, Charge: 2,
+			Peaks: []spectrum.Peak{{MZ: 200, Intensity: 1}}},
+	}
+	enc := exactEncoder(t, p)
+	lib, err := BuildLibrary(spectra, p, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 1 || lib.Skipped != 2 {
+		t.Errorf("len=%d skipped=%d", lib.Len(), lib.Skipped)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fdr"
+	"repro/internal/spectrum"
+)
+
+// TestMGFPipelineEndToEnd drives the full user workflow: generate a
+// dataset, serialize library and queries through MGF, read them back,
+// search, and verify identifications against ground truth — the
+// omsgen | omsearch path exercised in-process.
+func TestMGFPipelineEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+
+	var libBuf, qBuf bytes.Buffer
+	if err := spectrum.WriteMGF(&libBuf, ds.Library); err != nil {
+		t.Fatal(err)
+	}
+	if err := spectrum.WriteMGF(&qBuf, ds.Queries); err != nil {
+		t.Fatal(err)
+	}
+	library, err := spectrum.ReadMGF(&libBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := spectrum.ReadMGF(&qBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(library) != len(ds.Library) || len(queries) != len(ds.Queries) {
+		t.Fatalf("MGF round trip lost spectra: %d/%d lib, %d/%d queries",
+			len(library), len(ds.Library), len(queries), len(ds.Queries))
+	}
+
+	p := testParams()
+	engine, _, err := BuildExact(p, library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) == 0 {
+		t.Fatal("no identifications through the MGF pipeline")
+	}
+	correct := 0
+	for _, psm := range res.Accepted {
+		if ds.Truth[psm.QueryID].Peptide == psm.Peptide {
+			correct++
+		}
+	}
+	if correct*2 < len(res.Accepted) {
+		t.Errorf("only %d/%d identifications correct after MGF round trip",
+			correct, len(res.Accepted))
+	}
+}
+
+// TestMGFPipelineMatchesInMemory verifies that serializing through MGF
+// does not change search results versus the in-memory path.
+func TestMGFPipelineMatchesInMemory(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+
+	direct, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directPSMs, err := direct.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var libBuf, qBuf bytes.Buffer
+	if err := spectrum.WriteMGF(&libBuf, ds.Library); err != nil {
+		t.Fatal(err)
+	}
+	if err := spectrum.WriteMGF(&qBuf, ds.Queries); err != nil {
+		t.Fatal(err)
+	}
+	library, _ := spectrum.ReadMGF(&libBuf)
+	queries, _ := spectrum.ReadMGF(&qBuf)
+	viaMGF, _, err := BuildExact(p, library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgfPSMs, err := viaMGF.SearchAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(directPSMs) != len(mgfPSMs) {
+		t.Fatalf("PSM count differs: %d direct vs %d via MGF", len(directPSMs), len(mgfPSMs))
+	}
+	// MGF stores m/z at 5 decimals, which can move a borderline peak
+	// across a bin edge; identical peptide assignments are required
+	// for the overwhelming majority.
+	same := 0
+	for i := range directPSMs {
+		if directPSMs[i].Peptide == mgfPSMs[i].Peptide {
+			same++
+		}
+	}
+	if same < len(directPSMs)*9/10 {
+		t.Errorf("only %d/%d assignments match across serialization", same, len(directPSMs))
+	}
+}
+
+// TestParallelMatchesSerial checks SearchAllParallel returns exactly
+// the serial results on the deterministic exact backend.
+func TestParallelMatchesSerial(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := engine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := engine.SearchAllParallel(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("counts: %d serial vs %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("PSM %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestParallelNoisyBackendSafe runs the noisy backend concurrently;
+// results differ from serial (noise draws interleave) but must remain
+// race-free and structurally sound. Run under -race in CI.
+func TestParallelNoisyBackendSafe(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, err := BuildNoisy(p, ds.Library, NoiseSpec{
+		EncodeBER: 0.02, SearchSigma: 10, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.RunParallel(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, psm := range res.Accepted {
+		if psm.QueryID == "" || psm.Peptide == "" {
+			t.Fatalf("malformed PSM: %+v", psm)
+		}
+	}
+}
+
+// TestFDRMonotoneInAlpha: looser FDR levels accept supersets.
+func TestFDRMonotoneInAlpha(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psms, err := engine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, alpha := range []float64{0.001, 0.01, 0.05, 0.2} {
+		res, err := fdr.Filter(psms, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Accepted) < prev {
+			t.Fatalf("acceptances shrank as alpha loosened: %d -> %d",
+				prev, len(res.Accepted))
+		}
+		prev = len(res.Accepted)
+	}
+}

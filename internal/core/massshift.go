@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/fdr"
+	"repro/internal/peptide"
+)
+
+// Mass-shift analysis: the scientific payoff of open modification
+// search is the histogram of precursor mass differences between
+// queries and their matched library peptides — peaks in that histogram
+// reveal which modifications are present in the sample (the analysis
+// popularized by the open-search paper behind the HEK293 dataset).
+
+// ShiftBin is one bin of the mass-shift histogram.
+type ShiftBin struct {
+	// CenterDa is the bin's central mass shift.
+	CenterDa float64
+	// Count is the number of PSMs in the bin.
+	Count int
+	// Annotation names the catalogue modification matching the bin
+	// center within the annotation tolerance, or "".
+	Annotation string
+}
+
+// ShiftHistogramConfig controls binning and annotation.
+type ShiftHistogramConfig struct {
+	// BinWidthDa is the histogram resolution (e.g. 0.01 Da for
+	// high-accuracy data; 0.5 Da groups nominal-mass shifts).
+	BinWidthDa float64
+	// MinAbsShift excludes the unmodified peak at zero.
+	MinAbsShift float64
+	// AnnotateTol matches bins to catalogue modifications.
+	AnnotateTol float64
+}
+
+// DefaultShiftHistogram returns a nominal-resolution configuration.
+func DefaultShiftHistogram() ShiftHistogramConfig {
+	return ShiftHistogramConfig{BinWidthDa: 0.5, MinAbsShift: 0.5, AnnotateTol: 0.3}
+}
+
+// ShiftHistogram bins the accepted PSMs' mass shifts and annotates
+// peaks with catalogue PTMs. Bins are returned sorted by descending
+// count, ties by ascending |shift|.
+func ShiftHistogram(psms []fdr.PSM, cfg ShiftHistogramConfig) []ShiftBin {
+	if cfg.BinWidthDa <= 0 {
+		cfg.BinWidthDa = 0.5
+	}
+	counts := map[int]int{}
+	for _, p := range psms {
+		if math.Abs(p.MassShift) < cfg.MinAbsShift {
+			continue
+		}
+		bin := int(math.Round(p.MassShift / cfg.BinWidthDa))
+		counts[bin]++
+	}
+	bins := make([]ShiftBin, 0, len(counts))
+	for b, c := range counts {
+		center := float64(b) * cfg.BinWidthDa
+		bins = append(bins, ShiftBin{
+			CenterDa:   center,
+			Count:      c,
+			Annotation: annotateShift(center, cfg.AnnotateTol),
+		})
+	}
+	sort.Slice(bins, func(i, j int) bool {
+		if bins[i].Count != bins[j].Count {
+			return bins[i].Count > bins[j].Count
+		}
+		return math.Abs(bins[i].CenterDa) < math.Abs(bins[j].CenterDa)
+	})
+	return bins
+}
+
+// annotateShift names the catalogue modification nearest to the shift
+// within tol, or "".
+func annotateShift(shift, tol float64) string {
+	best, bestDist := "", tol
+	for _, m := range peptide.CommonModifications {
+		for _, sign := range []float64{1, -1} {
+			d := math.Abs(shift - sign*m.DeltaMass)
+			if d < bestDist {
+				bestDist = d
+				if sign > 0 {
+					best = m.Name
+				} else {
+					best = "-" + m.Name
+				}
+			}
+		}
+	}
+	return best
+}
+
+// RenderShiftHistogram formats the top bins as a text table.
+func RenderShiftHistogram(bins []ShiftBin, top int) string {
+	if top <= 0 || top > len(bins) {
+		top = len(bins)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s  %s\n", "shift (Da)", "PSMs", "annotation")
+	for _, bin := range bins[:top] {
+		fmt.Fprintf(&b, "%+-12.3f %8d  %s\n", bin.CenterDa, bin.Count, bin.Annotation)
+	}
+	return b.String()
+}
+
+// ModificationSummary aggregates accepted PSMs per annotated PTM.
+type ModificationSummary struct {
+	// Name is the catalogue modification ("" groups unannotated).
+	Name string
+	// PSMs is the match count.
+	PSMs int
+	// Peptides is the distinct peptide count.
+	Peptides int
+}
+
+// SummarizeModifications groups accepted PSMs by annotated mass shift.
+func SummarizeModifications(psms []fdr.PSM, tol float64) []ModificationSummary {
+	type key struct{ name string }
+	psmCounts := map[string]int{}
+	pepSets := map[string]map[string]bool{}
+	for _, p := range psms {
+		if math.Abs(p.MassShift) < 0.5 {
+			continue
+		}
+		name := annotateShift(p.MassShift, tol)
+		psmCounts[name]++
+		if pepSets[name] == nil {
+			pepSets[name] = map[string]bool{}
+		}
+		pepSets[name][p.Peptide] = true
+	}
+	out := make([]ModificationSummary, 0, len(psmCounts))
+	for name, c := range psmCounts {
+		out = append(out, ModificationSummary{
+			Name: name, PSMs: c, Peptides: len(pepSets[name]),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PSMs != out[j].PSMs {
+			return out[i].PSMs > out[j].PSMs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fdr"
+)
+
+func TestShiftHistogramBinsAndAnnotates(t *testing.T) {
+	psms := []fdr.PSM{
+		{MassShift: 79.97}, {MassShift: 79.96}, {MassShift: 79.95}, // Phospho
+		{MassShift: 15.99}, {MassShift: 16.01}, // Oxidation
+		{MassShift: 0.001},  // unmodified: excluded
+		{MassShift: -17.03}, // -Ammonia-ish, unannotated at 0.3 tol? Methyl=-... use as negative shift
+	}
+	bins := ShiftHistogram(psms, DefaultShiftHistogram())
+	if len(bins) == 0 {
+		t.Fatal("no bins")
+	}
+	if bins[0].Count != 3 {
+		t.Errorf("top bin count = %d, want 3", bins[0].Count)
+	}
+	if bins[0].Annotation != "Phospho" {
+		t.Errorf("top bin annotation = %q", bins[0].Annotation)
+	}
+	foundOx := false
+	for _, b := range bins {
+		if b.Annotation == "Oxidation" && b.Count == 2 {
+			foundOx = true
+		}
+		if b.CenterDa == 0 {
+			t.Error("zero-shift PSM not excluded")
+		}
+	}
+	if !foundOx {
+		t.Errorf("oxidation bin missing: %+v", bins)
+	}
+}
+
+func TestShiftHistogramNegativeAnnotation(t *testing.T) {
+	psms := []fdr.PSM{{MassShift: -15.99}, {MassShift: -16.0}}
+	bins := ShiftHistogram(psms, DefaultShiftHistogram())
+	if len(bins) == 0 || bins[0].Annotation != "-Oxidation" {
+		t.Errorf("negative shift annotation: %+v", bins)
+	}
+}
+
+func TestShiftHistogramDegenerateConfig(t *testing.T) {
+	psms := []fdr.PSM{{MassShift: 42.01}}
+	bins := ShiftHistogram(psms, ShiftHistogramConfig{BinWidthDa: -1, MinAbsShift: 0.5, AnnotateTol: 0.3})
+	if len(bins) != 1 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+}
+
+func TestRenderShiftHistogram(t *testing.T) {
+	psms := []fdr.PSM{{MassShift: 79.97}, {MassShift: 57.02}}
+	bins := ShiftHistogram(psms, DefaultShiftHistogram())
+	out := RenderShiftHistogram(bins, 10)
+	if !strings.Contains(out, "Phospho") || !strings.Contains(out, "Carbamidomethyl") {
+		t.Errorf("render:\n%s", out)
+	}
+	if RenderShiftHistogram(bins, 0) == "" {
+		t.Error("top=0 should render all")
+	}
+}
+
+func TestSummarizeModifications(t *testing.T) {
+	psms := []fdr.PSM{
+		{Peptide: "AAA", MassShift: 79.97},
+		{Peptide: "BBB", MassShift: 79.96},
+		{Peptide: "AAA", MassShift: 79.96},
+		{Peptide: "CCC", MassShift: 0.0},
+		{Peptide: "DDD", MassShift: 3.33}, // unannotated
+	}
+	sums := SummarizeModifications(psms, 0.3)
+	if len(sums) < 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Name != "Phospho" || sums[0].PSMs != 3 || sums[0].Peptides != 2 {
+		t.Errorf("phospho summary: %+v", sums[0])
+	}
+	foundBlank := false
+	for _, s := range sums {
+		if s.Name == "" && s.PSMs == 1 {
+			foundBlank = true
+		}
+	}
+	if !foundBlank {
+		t.Error("unannotated group missing")
+	}
+}
+
+func TestShiftHistogramEndToEnd(t *testing.T) {
+	// Run the real pipeline and confirm the histogram's annotated mass
+	// shifts correspond to the PTMs actually injected.
+	ds := testDataset(t)
+	p := testParams()
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psms, err := engine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := ShiftHistogram(psms, DefaultShiftHistogram())
+	annotated := 0
+	for _, b := range bins {
+		if b.Annotation != "" {
+			annotated += b.Count
+		}
+	}
+	if annotated == 0 {
+		t.Error("no annotated mass shifts recovered from the pipeline")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/fdr"
+	"repro/internal/spectrum"
+)
+
+// SearchAllParallel is SearchAll fanned out across CPU cores — the
+// software analogue of the massive query-level parallelism HyperOMS
+// exploits on GPUs and this work exploits across crossbar arrays.
+// Results are returned in query order; queries rejected by
+// preprocessing or with empty candidate sets are omitted, exactly as
+// in SearchAll.
+func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
+	type slot struct {
+		psm fdr.PSM
+		ok  bool
+		err error
+	}
+	slots := make([]slot, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				psm, ok, err := e.SearchOne(queries[i])
+				slots[i] = slot{psm: psm, ok: ok, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	psms := make([]fdr.PSM, 0, len(queries))
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.ok {
+			psms = append(psms, s.psm)
+		}
+	}
+	return psms, nil
+}
+
+// RunParallel is Run using the parallel search path.
+func (e *Engine) RunParallel(queries []*spectrum.Spectrum) (fdr.Result, error) {
+	psms, err := e.SearchAllParallel(queries)
+	if err != nil {
+		return fdr.Result{}, err
+	}
+	return fdr.Filter(psms, e.params.FDRAlpha)
+}

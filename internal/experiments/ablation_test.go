@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spectrum"
+)
+
+func TestAblationLevelSetsMinimalImpact(t *testing.T) {
+	// §4.2.1: the chunked construction should identify within 20% of
+	// the classic random construction.
+	a, err := AblationLevelSets(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlipIDs == 0 || a.ChunkedIDs == 0 {
+		t.Fatalf("a construction found nothing: %+v", a)
+	}
+	lo, hi := a.FlipIDs, a.ChunkedIDs
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(lo) < 0.8*float64(hi) {
+		t.Errorf("level-set choice changed results too much: %+v", a)
+	}
+	if out := RenderLevelSetAblation(a); !strings.Contains(out, "chunked") {
+		t.Error("render missing row")
+	}
+}
+
+func TestAblationGrayCoding(t *testing.T) {
+	rows, err := AblationGrayCoding(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At 3 bits/cell Gray coding must help; at 1 bit/cell the
+	// mappings are identical.
+	if rows[2].GrayBER >= rows[2].PlainBER {
+		t.Errorf("gray did not reduce 3b BER: %+v", rows[2])
+	}
+	if rows[0].PlainBER > 0.01 || rows[0].GrayBER > 0.01 {
+		t.Errorf("1b BER should be ~0: %+v", rows[0])
+	}
+	if out := RenderGrayAblation(rows); !strings.Contains(out, "Gray") {
+		t.Error("render missing column")
+	}
+}
+
+func TestAblationOpenVsStandard(t *testing.T) {
+	o, err := AblationOpenVsStandard(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ModifiedQueries == 0 {
+		t.Fatal("no modified queries in workload")
+	}
+	if o.StandardCorrect != 0 {
+		t.Errorf("standard search matched %d modified queries; narrow window should exclude them",
+			o.StandardCorrect)
+	}
+	if o.OpenCorrect == 0 {
+		t.Error("open search matched no modified queries")
+	}
+	if o.OpenIDs <= o.StandardIDs {
+		t.Errorf("open search should identify more overall: %d vs %d", o.OpenIDs, o.StandardIDs)
+	}
+	if out := RenderOpenVsStandard(o); !strings.Contains(out, "open") {
+		t.Error("render missing mode")
+	}
+}
+
+func TestQuantizedFromSpectrumHelper(t *testing.T) {
+	b := spectrum.DefaultBinner()
+	s := &spectrum.Spectrum{
+		ID: "h", PrecursorMZ: 500, Charge: 2,
+		Peaks: []spectrum.Peak{{MZ: 200, Intensity: 5}, {MZ: 300, Intensity: 10}},
+	}
+	qp := quantizedFromSpectrum(b, s, 16)
+	if len(qp) != 2 {
+		t.Fatalf("peaks = %d", len(qp))
+	}
+	if qp[1].Level != 15 {
+		t.Errorf("max peak level = %d", qp[1].Level)
+	}
+}
+
+func TestAblationChimericGracefulDegradation(t *testing.T) {
+	c, err := AblationChimeric(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CleanIDs == 0 {
+		t.Fatal("clean workload found nothing")
+	}
+	// HD should keep at least half its identifications under 30%
+	// chimeric contamination at 50% relative intensity.
+	if c.ChimericIDs*2 < c.CleanIDs {
+		t.Errorf("chimeric contamination devastated search: %d -> %d",
+			c.CleanIDs, c.ChimericIDs)
+	}
+	if out := RenderChimeric(c); !strings.Contains(out, "chimeric") {
+		t.Error("render missing row")
+	}
+}

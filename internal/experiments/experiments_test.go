@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Dataset != "iPRG2012" || rows[0].Queries != 16000 || rows[0].References != 1000000 {
+		t.Errorf("iPRG2012 row: %+v", rows[0])
+	}
+	if rows[1].Dataset != "HEK293" || rows[1].Queries != 47000 || rows[1].References != 3000000 {
+		t.Errorf("HEK293 row: %+v", rows[1])
+	}
+	if rows[0].ScaledQueries <= 0 || rows[0].ScaledReferences <= 0 {
+		t.Errorf("scaled sizes: %+v", rows[0])
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "iPRG2012") || !strings.Contains(out, "HEK293") {
+		t.Errorf("render missing datasets:\n%s", out)
+	}
+}
+
+func TestFigure7ShapeMatchesPaper(t *testing.T) {
+	rows, err := Figure7(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("time points = %d", len(rows))
+	}
+	final := rows[len(rows)-1]
+	// Ordering: 3b > 2b > 1b at one day.
+	if !(final.BER[2] > final.BER[1] && final.BER[1] >= final.BER[0]) {
+		t.Errorf("BER ordering at 1day: %+v", final.BER)
+	}
+	// Growth over time for 3 bits/cell.
+	if rows[0].BER[2] >= final.BER[2] {
+		t.Errorf("3b BER did not grow: %v -> %v", rows[0].BER[2], final.BER[2])
+	}
+	// 1 bit/cell stays near zero throughout.
+	for _, r := range rows {
+		if r.BER[0] > 0.01 {
+			t.Errorf("1b BER = %v at %s", r.BER[0], r.Label)
+		}
+	}
+	if out := RenderFigure7(rows); !strings.Contains(out, "1day") {
+		t.Error("render missing time label")
+	}
+}
+
+func TestFigure8HistogramsSpread(t *testing.T) {
+	data, err := Figure8(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 {
+		t.Fatalf("configurations = %d", len(data))
+	}
+	for _, d := range data {
+		if len(d.Histograms) != 4 {
+			t.Fatalf("levels=%d time points = %d", d.Levels, len(d.Histograms))
+		}
+		// Occupied-bin count should not shrink over time (relaxation
+		// spreads the distribution).
+		occ := func(h []int) int {
+			n := 0
+			for _, c := range h {
+				if c > 0 {
+					n++
+				}
+			}
+			return n
+		}
+		first, last := occ(d.Histograms[0]), occ(d.Histograms[3])
+		if last < first {
+			t.Errorf("levels=%d: occupied bins shrank %d -> %d", d.Levels, first, last)
+		}
+	}
+	if out := RenderFigure8(data); !strings.Contains(out, "8-level") {
+		t.Error("render missing 8-level block")
+	}
+}
+
+func TestFigure9EncodingShape(t *testing.T) {
+	rows, err := Figure9Encoding(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("row counts = %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Error grows with activated rows for 3 bits/cell.
+	if last.Err[2] <= first.Err[2] {
+		t.Errorf("encoding error did not grow with rows: %v -> %v", first.Err[2], last.Err[2])
+	}
+	// More bits per cell, more error (at the largest row count).
+	if !(last.Err[2] > last.Err[0]) {
+		t.Errorf("bits ordering at %d rows: %+v", last.Rows, last.Err)
+	}
+	_ = RenderFigure9(rows, "a: Errors from Encoding", true)
+}
+
+func TestFigure9SearchShape(t *testing.T) {
+	rows, err := Figure9Search(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Err[2] <= first.Err[2] {
+		t.Errorf("search RMSE did not grow with rows: %v -> %v", first.Err[2], last.Err[2])
+	}
+	if !(last.Err[2] > last.Err[0]) {
+		t.Errorf("bits ordering: %+v", last.Err)
+	}
+	_ = RenderFigure9(rows, "b: Errors from Search", false)
+}
+
+func TestFigure10VennOverlap(t *testing.T) {
+	results, err := Figure10(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("datasets = %d", len(results))
+	}
+	for _, v := range results {
+		if v.ThisWork == 0 || v.ANNSoLo == 0 || v.HyperOMS == 0 {
+			t.Errorf("%s: a tool found nothing: %+v", v.Dataset, v)
+		}
+		// The paper's claim: the majority of this work's peptides are
+		// shared with at least one other tool.
+		shared := v.Regions["TAH"] + v.Regions["TA"] + v.Regions["TH"]
+		if shared <= v.Regions["T"] {
+			t.Errorf("%s: this work mostly disjoint: shared=%d unique=%d",
+				v.Dataset, shared, v.Regions["T"])
+		}
+		// Region counts must sum per tool.
+		if got := v.Regions["TAH"] + v.Regions["TA"] + v.Regions["TH"] + v.Regions["T"]; got != v.ThisWork {
+			t.Errorf("%s: T regions sum %d != %d", v.Dataset, got, v.ThisWork)
+		}
+		if got := v.Regions["TAH"] + v.Regions["TA"] + v.Regions["AH"] + v.Regions["A"]; got != v.ANNSoLo {
+			t.Errorf("%s: A regions sum %d != %d", v.Dataset, got, v.ANNSoLo)
+		}
+		if got := v.Regions["TAH"] + v.Regions["TH"] + v.Regions["AH"] + v.Regions["H"]; got != v.HyperOMS {
+			t.Errorf("%s: H regions sum %d != %d", v.Dataset, got, v.HyperOMS)
+		}
+	}
+	if out := RenderFigure10(results); !strings.Contains(out, "TAH") {
+		t.Error("render missing regions")
+	}
+}
+
+func TestFigure11RobustnessShape(t *testing.T) {
+	rows, err := Figure11(TestOptions(), "iPRG2012")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(fig11BERs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tolerance claim: identifications at 10% BER stay within 25% of
+	// the 0.15% BER level (3-bit precision).
+	base := rows[0].IDs[2]
+	at10 := rows[3].IDs[2]
+	if base == 0 {
+		t.Fatal("no identifications at lowest BER")
+	}
+	if float64(at10) < 0.75*float64(base) {
+		t.Errorf("10%% BER devastated search: %d -> %d", base, at10)
+	}
+	// 20% BER hurts more than 10%.
+	if rows[4].IDs[2] > at10 {
+		t.Errorf("20%% BER better than 10%%: %d vs %d", rows[4].IDs[2], at10)
+	}
+	if out := RenderFigure11(rows, "iPRG2012"); !strings.Contains(out, "ID_precision_3b") {
+		t.Error("render missing precision columns")
+	}
+	if _, err := Figure11(TestOptions(), "nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestFigure12Rows(t *testing.T) {
+	rows := Figure12()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if out := RenderFigure12(rows); !strings.Contains(out, "This Work") {
+		t.Error("render missing This Work")
+	}
+}
+
+func TestFigure13DimensionShape(t *testing.T) {
+	rows, err := Figure13(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Higher dimension identifies at least as much (rows are sorted
+	// descending by D).
+	hi, lo := rows[0], rows[1]
+	if hi.D < lo.D {
+		t.Fatalf("dimension order: %+v", rows)
+	}
+	if hi.Ideal < lo.Ideal {
+		t.Errorf("ideal identifications dropped with dimension: %+v", rows)
+	}
+	// RRAM path should not beat ideal by a margin (noise costs
+	// something; small fluctuation allowed).
+	for _, r := range rows {
+		if float64(r.InRRAM) > float64(r.Ideal)*1.1 {
+			t.Errorf("D=%d: InRRAM %d > ideal %d", r.D, r.InRRAM, r.Ideal)
+		}
+	}
+	if out := RenderFigure13(rows); !strings.Contains(out, "InRRAM") {
+		t.Error("render missing column")
+	}
+}
+
+func TestThroughputAndStorage(t *testing.T) {
+	tr := Throughput()
+	if len(tr) != 2 || tr[1].RowSpeedup != 16 {
+		t.Errorf("throughput rows: %+v", tr)
+	}
+	if out := RenderThroughput(tr); !strings.Contains(out, "16x") {
+		t.Errorf("render: %s", out)
+	}
+	st := Storage()
+	if len(st) != 3 {
+		t.Fatalf("storage rows: %d", len(st))
+	}
+	if st[2].HVs8k != 3*st[0].HVs8k && st[2].HVs8k < 3*st[0].HVs8k-3 {
+		t.Errorf("3 bits/cell not ~3x capacity: %+v", st)
+	}
+	if out := RenderStorage(st); !strings.Contains(out, "bits/cell") {
+		t.Error("render missing header")
+	}
+}
+
+func TestCharacterizedModel(t *testing.T) {
+	m, err := Characterized(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EncodeBER <= 0 || m.EncodeBER > 0.3 {
+		t.Errorf("characterized encode BER = %v", m.EncodeBER)
+	}
+	if m.SearchSigma <= 0 {
+		t.Errorf("characterized search sigma = %v", m.SearchSigma)
+	}
+}

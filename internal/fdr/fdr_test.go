@@ -1,0 +1,192 @@
+package fdr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 2} {
+		if _, err := Filter(nil, a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+}
+
+func TestFilterBasicThreshold(t *testing.T) {
+	psms := []PSM{
+		{QueryID: "q1", Peptide: "A", Score: 100},
+		{QueryID: "q2", Peptide: "B", Score: 90},
+		{QueryID: "q3", Peptide: "C", Score: 80},
+		{QueryID: "q4", Peptide: "D", Score: 70, IsDecoy: true},
+		{QueryID: "q5", Peptide: "E", Score: 60},
+		{QueryID: "q6", Peptide: "F", Score: 50, IsDecoy: true},
+	}
+	res, err := Filter(psms, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix FDRs: 0/1, 0/2, 0/3, 1/3=0.33, 1/4=0.25, 2/4=0.5.
+	// Deepest prefix with FDR <= 0.25 ends at q5.
+	if len(res.Accepted) != 4 {
+		t.Fatalf("accepted = %d, want 4 targets", len(res.Accepted))
+	}
+	if res.Threshold != 60 {
+		t.Errorf("threshold = %v, want 60", res.Threshold)
+	}
+	if res.TargetCount != 4 || res.DecoyCount != 1 {
+		t.Errorf("counts: %d targets, %d decoys", res.TargetCount, res.DecoyCount)
+	}
+	for _, p := range res.Accepted {
+		if p.IsDecoy {
+			t.Error("decoy in accepted list")
+		}
+	}
+}
+
+func TestFilterNothingPasses(t *testing.T) {
+	psms := []PSM{
+		{QueryID: "q1", Score: 100, IsDecoy: true},
+		{QueryID: "q2", Score: 90},
+	}
+	res, err := Filter(psms, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 0 {
+		t.Errorf("accepted = %d, want 0", len(res.Accepted))
+	}
+}
+
+func TestFilterEmptyInput(t *testing.T) {
+	res, err := Filter(nil, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 0 || res.TargetCount != 0 {
+		t.Errorf("empty input result: %+v", res)
+	}
+}
+
+func TestFilterDoesNotMutateInput(t *testing.T) {
+	psms := []PSM{{Score: 1}, {Score: 3}, {Score: 2}}
+	if _, err := Filter(psms, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if psms[0].Score != 1 || psms[1].Score != 3 || psms[2].Score != 2 {
+		t.Error("Filter reordered caller slice")
+	}
+}
+
+func TestFilterAllTargets(t *testing.T) {
+	psms := make([]PSM, 50)
+	for i := range psms {
+		psms[i] = PSM{QueryID: "q", Peptide: "P", Score: float64(i)}
+	}
+	res, err := Filter(psms, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 50 {
+		t.Errorf("all-target acceptance = %d", len(res.Accepted))
+	}
+}
+
+func TestQValuesMonotoneInRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	psms := make([]PSM, 200)
+	for i := range psms {
+		psms[i] = PSM{Score: rng.Float64() * 100, IsDecoy: rng.Float64() < 0.3}
+	}
+	qs := QValues(psms)
+	type pair struct {
+		score float64
+		q     float64
+	}
+	pairs := make([]pair, len(psms))
+	for i := range psms {
+		pairs[i] = pair{psms[i].Score, qs[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].score > pairs[b].score })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].q < pairs[i-1].q-1e-12 {
+			t.Fatalf("q-values not monotone at rank %d: %v then %v", i, pairs[i-1].q, pairs[i].q)
+		}
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			t.Fatalf("q-value out of [0,1]: %v", q)
+		}
+	}
+}
+
+func TestQValuesPerfectSeparation(t *testing.T) {
+	// All targets above all decoys: top q-values should be small.
+	var psms []PSM
+	for i := 0; i < 50; i++ {
+		psms = append(psms, PSM{Score: 100 + float64(i)})
+	}
+	for i := 0; i < 50; i++ {
+		psms = append(psms, PSM{Score: float64(i), IsDecoy: true})
+	}
+	qs := QValues(psms)
+	for i := 0; i < 50; i++ {
+		if qs[i] > 0.05 {
+			t.Errorf("well-separated target %d has q=%v", i, qs[i])
+		}
+	}
+}
+
+func TestQValuesEmpty(t *testing.T) {
+	if qs := QValues(nil); len(qs) != 0 {
+		t.Error("empty input should give empty q-values")
+	}
+}
+
+func TestFilterConsistentWithQValues(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		psms := make([]PSM, n)
+		for i := range psms {
+			psms[i] = PSM{Score: rng.NormFloat64()*10 + float64(i%7), IsDecoy: rng.Float64() < 0.4}
+		}
+		alpha := 0.05 + rng.Float64()*0.3
+		res, err := Filter(psms, alpha)
+		if err != nil {
+			return false
+		}
+		qs := QValues(psms)
+		// Filter accepts the deepest prefix with running FDR <= alpha;
+		// a target PSM has q <= alpha exactly when it lies in that
+		// prefix, so the counts must agree.
+		want := 0
+		for i, p := range psms {
+			if !p.IsDecoy && qs[i] <= alpha+1e-12 {
+				want++
+			}
+		}
+		return len(res.Accepted) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniquePeptides(t *testing.T) {
+	set := UniquePeptides([]PSM{
+		{Peptide: "A"}, {Peptide: "B"}, {Peptide: "A"},
+	})
+	if len(set) != 2 || !set["A"] || !set["B"] {
+		t.Errorf("unique peptides: %v", set)
+	}
+}
+
+func TestCountIdentifications(t *testing.T) {
+	res := Result{Accepted: make([]PSM, 7)}
+	if CountIdentifications(res) != 7 {
+		t.Error("count wrong")
+	}
+}

@@ -1,0 +1,132 @@
+package hdc
+
+import (
+	"fmt"
+
+	"repro/internal/spectrum"
+)
+
+// Encoder implements the ID-Level encoding of Eq. 1:
+//
+//	h = Sign( Σ_{i∈S} ID_i ⊗ LV_i )
+//
+// where ID_i is the (possibly multi-bit) position hypervector of peak
+// i's m/z bin and LV_i the bipolar level hypervector of its quantized
+// intensity. The output is a packed binary hypervector.
+type Encoder struct {
+	// IDs is the position item memory.
+	IDs *ItemMemory
+	// Levels is the level hypervector set.
+	Levels LevelSet
+}
+
+// NewEncoder wires an item memory and a level set into an encoder.
+// The two must agree on dimensionality.
+func NewEncoder(ids *ItemMemory, levels LevelSet) (*Encoder, error) {
+	if ids.D != levels.D() {
+		return nil, fmt.Errorf("hdc: ID dimension %d != level dimension %d",
+			ids.D, levels.D())
+	}
+	return &Encoder{IDs: ids, Levels: levels}, nil
+}
+
+// D returns the hypervector dimension.
+func (e *Encoder) D() int { return e.IDs.D }
+
+// Accumulate computes the pre-quantization accumulator
+// Σ ID_i ⊗ LV_i for a quantized peak list into acc, which must have
+// length D. It is exposed separately so the RRAM-simulated encoder can
+// be validated against it bit by bit.
+func (e *Encoder) Accumulate(peaks []spectrum.QuantizedPeak, acc []int32) error {
+	if len(acc) != e.D() {
+		return fmt.Errorf("hdc: accumulator length %d != D %d", len(acc), e.D())
+	}
+	for i := range acc {
+		acc[i] = 0
+	}
+	q := e.Levels.Q()
+	d := e.D()
+	for _, p := range peaks {
+		if p.Bin < 0 || p.Bin >= e.IDs.NumBins() {
+			return fmt.Errorf("hdc: peak bin %d out of range [0,%d)", p.Bin, e.IDs.NumBins())
+		}
+		lvl := p.Level
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= q {
+			lvl = q - 1
+		}
+		id := e.IDs.ID(p.Bin)
+		lv := e.Levels.Level(lvl)
+		accumulateWord(acc, id.Vals, lv.Words, d)
+	}
+	return nil
+}
+
+// accumulateWord adds id[i]*lv[i] into acc for one peak, walking the
+// level hypervector a word at a time and branching per sign bit. The
+// word walk keeps the level bits in a register; with chunked level
+// sets the branch predictor sees long constant runs, making this the
+// throughput path for library encoding.
+func accumulateWord(acc []int32, vals []int8, words []uint64, d int) {
+	for w, word := range words {
+		base := w * 64
+		end := base + 64
+		if end > d {
+			end = d
+		}
+		switch word {
+		case 0:
+			// All -1: subtract the whole word's span.
+			for i := base; i < end; i++ {
+				acc[i] -= int32(vals[i])
+			}
+		case ^uint64(0):
+			// All +1 (only exact for full words; the tail word of a
+			// non-multiple-of-64 dimension never matches this pattern
+			// because maskTail keeps its high bits zero).
+			for i := base; i < end; i++ {
+				acc[i] += int32(vals[i])
+			}
+		default:
+			bits := word
+			for i := base; i < end; i++ {
+				if bits&1 != 0 {
+					acc[i] += int32(vals[i])
+				} else {
+					acc[i] -= int32(vals[i])
+				}
+				bits >>= 1
+			}
+		}
+	}
+}
+
+// Encode encodes a quantized peak list into a binary hypervector.
+func (e *Encoder) Encode(peaks []spectrum.QuantizedPeak) (BinaryHV, error) {
+	acc := make([]int32, e.D())
+	if err := e.Accumulate(peaks, acc); err != nil {
+		return BinaryHV{}, err
+	}
+	return Sign(acc), nil
+}
+
+// EncodeVector quantizes a binned spectrum vector to Q intensity
+// levels and encodes it.
+func (e *Encoder) EncodeVector(v spectrum.Vector) (BinaryHV, error) {
+	return e.Encode(v.Quantize(e.Levels.Q()))
+}
+
+// EncodeBatch encodes many vectors, reusing one accumulator.
+func (e *Encoder) EncodeBatch(vs []spectrum.Vector) ([]BinaryHV, error) {
+	out := make([]BinaryHV, len(vs))
+	acc := make([]int32, e.D())
+	for i, v := range vs {
+		if err := e.Accumulate(v.Quantize(e.Levels.Q()), acc); err != nil {
+			return nil, err
+		}
+		out[i] = Sign(acc)
+	}
+	return out, nil
+}

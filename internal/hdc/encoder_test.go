@@ -1,0 +1,278 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spectrum"
+)
+
+func testEncoder(t *testing.T, d, bins, precision int) *Encoder {
+	t.Helper()
+	ids := NewItemMemory(d, bins, precision, 100)
+	ls := NewFlipLevelSet(d, 16, 200)
+	e, err := NewEncoder(ids, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEncoderDimensionMismatch(t *testing.T) {
+	ids := NewItemMemory(128, 10, 1, 1)
+	ls := NewFlipLevelSet(256, 16, 2)
+	if _, err := NewEncoder(ids, ls); err == nil {
+		t.Error("dimension mismatch not rejected")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	e := testEncoder(t, 1024, 100, 3)
+	peaks := []spectrum.QuantizedPeak{{Bin: 3, Level: 5}, {Bin: 50, Level: 15}, {Bin: 99, Level: 0}}
+	a, err := e.Encode(peaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Encode(peaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestEncodeRejectsBadBin(t *testing.T) {
+	e := testEncoder(t, 256, 10, 1)
+	if _, err := e.Encode([]spectrum.QuantizedPeak{{Bin: 10, Level: 0}}); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	if _, err := e.Encode([]spectrum.QuantizedPeak{{Bin: -1, Level: 0}}); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestEncodeClampsLevels(t *testing.T) {
+	e := testEncoder(t, 256, 10, 1)
+	a, err := e.Encode([]spectrum.QuantizedPeak{{Bin: 2, Level: 999}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Encode([]spectrum.QuantizedPeak{{Bin: 2, Level: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("overflow level not clamped to Q-1")
+	}
+}
+
+func TestAccumulateMatchesNaive(t *testing.T) {
+	d := 512
+	e := testEncoder(t, d, 40, 3)
+	rng := rand.New(rand.NewSource(3))
+	peaks := make([]spectrum.QuantizedPeak, 30)
+	for i := range peaks {
+		peaks[i] = spectrum.QuantizedPeak{Bin: rng.Intn(40), Level: rng.Intn(16)}
+	}
+	acc := make([]int32, d)
+	if err := e.Accumulate(peaks, acc); err != nil {
+		t.Fatal(err)
+	}
+	// Naive recomputation using Bit()/Vals directly.
+	want := make([]int32, d)
+	for _, p := range peaks {
+		id := e.IDs.ID(p.Bin)
+		lv := e.Levels.Level(p.Level)
+		for i := 0; i < d; i++ {
+			want[i] += int32(id.Vals[i]) * int32(lv.Bit(i))
+		}
+	}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("accumulator mismatch at dim %d: %d vs %d", i, acc[i], want[i])
+		}
+	}
+}
+
+func TestAccumulateBadLength(t *testing.T) {
+	e := testEncoder(t, 256, 10, 1)
+	if err := e.Accumulate(nil, make([]int32, 10)); err == nil {
+		t.Error("wrong accumulator length accepted")
+	}
+}
+
+func TestSimilarSpectraEncodeSimilarly(t *testing.T) {
+	// The whole point of ID-Level encoding: spectra sharing peaks have
+	// much higher similarity than unrelated spectra.
+	d := 4096
+	e := testEncoder(t, d, 1000, 3)
+	rng := rand.New(rand.NewSource(4))
+	base := make([]spectrum.QuantizedPeak, 60)
+	for i := range base {
+		base[i] = spectrum.QuantizedPeak{Bin: rng.Intn(1000), Level: rng.Intn(16)}
+	}
+	// Near-duplicate: perturb 10% of peaks.
+	near := make([]spectrum.QuantizedPeak, len(base))
+	copy(near, base)
+	for i := 0; i < 6; i++ {
+		near[rng.Intn(len(near))] = spectrum.QuantizedPeak{Bin: rng.Intn(1000), Level: rng.Intn(16)}
+	}
+	// Unrelated.
+	far := make([]spectrum.QuantizedPeak, len(base))
+	for i := range far {
+		far[i] = spectrum.QuantizedPeak{Bin: rng.Intn(1000), Level: rng.Intn(16)}
+	}
+	hb, _ := e.Encode(base)
+	hn, _ := e.Encode(near)
+	hf, _ := e.Encode(far)
+	simNear := HammingSimilarity(hb, hn)
+	simFar := HammingSimilarity(hb, hf)
+	if simNear <= simFar+d/20 {
+		t.Errorf("near sim %d not clearly above far sim %d (D=%d)", simNear, simFar, d)
+	}
+}
+
+func TestLevelProximityPreserved(t *testing.T) {
+	// Same peaks at adjacent levels must encode more similarly than
+	// the same peaks at distant levels.
+	d := 4096
+	e := testEncoder(t, d, 500, 1)
+	rng := rand.New(rand.NewSource(5))
+	bins := make([]int, 40)
+	for i := range bins {
+		bins[i] = rng.Intn(500)
+	}
+	at := func(lvl int) BinaryHV {
+		peaks := make([]spectrum.QuantizedPeak, len(bins))
+		for i, b := range bins {
+			peaks[i] = spectrum.QuantizedPeak{Bin: b, Level: lvl}
+		}
+		h, err := e.Encode(peaks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h7, h8, h15 := at(7), at(8), at(15)
+	simAdj := HammingSimilarity(h7, h8)
+	simFar := HammingSimilarity(h7, h15)
+	if simAdj <= simFar {
+		t.Errorf("adjacent-level sim %d <= distant-level sim %d", simAdj, simFar)
+	}
+}
+
+func TestEncodeVectorAndBatch(t *testing.T) {
+	e := testEncoder(t, 512, 1399, 2)
+	b := spectrum.DefaultBinner()
+	s := &spectrum.Spectrum{
+		ID: "q", PrecursorMZ: 600, Charge: 2,
+		Peaks: []spectrum.Peak{
+			{MZ: 200.2, Intensity: 10}, {MZ: 400.8, Intensity: 55}, {MZ: 900.1, Intensity: 3},
+		},
+	}
+	v := b.Vectorize(s)
+	h1, err := e.EncodeVector(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := e.EncodeBatch([]spectrum.Vector{v, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hs[0].Equal(h1) || !hs[1].Equal(h1) {
+		t.Error("batch encoding differs from single encoding")
+	}
+}
+
+func TestChunkedEncoderEquivalentQuality(t *testing.T) {
+	// §4.2.1: chunked level hypervectors should barely change encoding
+	// behaviour. Check that a near-duplicate still beats an unrelated
+	// spectrum with chunked levels.
+	d := 4096
+	ids := NewItemMemory(d, 500, 3, 7)
+	ls := NewChunkedLevelSet(d, 16, 256, 8)
+	e, err := NewEncoder(ids, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	base := make([]spectrum.QuantizedPeak, 50)
+	for i := range base {
+		base[i] = spectrum.QuantizedPeak{Bin: rng.Intn(500), Level: rng.Intn(16)}
+	}
+	near := make([]spectrum.QuantizedPeak, len(base))
+	copy(near, base)
+	for i := 0; i < 5; i++ {
+		near[rng.Intn(len(near))] = spectrum.QuantizedPeak{Bin: rng.Intn(500), Level: rng.Intn(16)}
+	}
+	far := make([]spectrum.QuantizedPeak, len(base))
+	for i := range far {
+		far[i] = spectrum.QuantizedPeak{Bin: rng.Intn(500), Level: rng.Intn(16)}
+	}
+	hb, _ := e.Encode(base)
+	hn, _ := e.Encode(near)
+	hf, _ := e.Encode(far)
+	if HammingSimilarity(hb, hn) <= HammingSimilarity(hb, hf) {
+		t.Error("chunked levels destroyed locality")
+	}
+}
+
+func TestAccumulateWordMatchesReference(t *testing.T) {
+	// The word-walking fast path must agree with a per-bit reference
+	// on every word pattern, including the all-zero / all-one special
+	// cases and tail words.
+	rng := rand.New(rand.NewSource(99))
+	for _, d := range []int{64, 100, 128, 513} {
+		vals := make([]int8, d)
+		for i := range vals {
+			vals[i] = int8(rng.Intn(9) - 4)
+			if vals[i] == 0 {
+				vals[i] = 1
+			}
+		}
+		patterns := []BinaryHV{
+			NewBinaryHV(d),         // all -1
+			RandomBinaryHV(d, rng), // mixed
+		}
+		allOne := NewBinaryHV(d)
+		for i := 0; i < d; i++ {
+			allOne.SetBit(i, true)
+		}
+		patterns = append(patterns, allOne)
+		for pi, lv := range patterns {
+			got := make([]int32, d)
+			accumulateWord(got, vals, lv.Words, d)
+			want := make([]int32, d)
+			for i := 0; i < d; i++ {
+				want[i] += int32(vals[i]) * int32(lv.Bit(i))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d pattern=%d dim=%d: %d vs %d", d, pi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAccumulate(b *testing.B) {
+	ids := NewItemMemory(8192, 1399, 3, 1)
+	ls := NewChunkedLevelSet(8192, 16, 256, 2)
+	e, err := NewEncoder(ids, ls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	peaks := make([]spectrum.QuantizedPeak, 100)
+	for i := range peaks {
+		peaks[i] = spectrum.QuantizedPeak{Bin: rng.Intn(1399), Level: rng.Intn(16)}
+	}
+	acc := make([]int32, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Accumulate(peaks, acc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

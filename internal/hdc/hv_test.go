@@ -1,0 +1,227 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBinaryHVAllMinusOne(t *testing.T) {
+	h := NewBinaryHV(100)
+	if h.PopCount() != 0 {
+		t.Errorf("fresh HV popcount = %d", h.PopCount())
+	}
+	for i := 0; i < 100; i++ {
+		if h.Bit(i) != -1 {
+			t.Fatalf("bit %d = %d, want -1", i, h.Bit(i))
+		}
+	}
+}
+
+func TestNewBinaryHVPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for D=0")
+		}
+	}()
+	NewBinaryHV(0)
+}
+
+func TestSetBitGetBit(t *testing.T) {
+	h := NewBinaryHV(130)
+	h.SetBit(0, true)
+	h.SetBit(64, true)
+	h.SetBit(129, true)
+	if h.Bit(0) != 1 || h.Bit(64) != 1 || h.Bit(129) != 1 {
+		t.Error("set bits not readable")
+	}
+	if h.Bit(1) != -1 || h.Bit(65) != -1 {
+		t.Error("unset bits wrong")
+	}
+	h.SetBit(64, false)
+	if h.Bit(64) != -1 {
+		t.Error("clear failed")
+	}
+	if h.PopCount() != 2 {
+		t.Errorf("popcount = %d", h.PopCount())
+	}
+}
+
+func TestRandomBinaryHVTailMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := RandomBinaryHV(70, rng) // 6 bits used in word 1
+	if h.Words[1]>>6 != 0 {
+		t.Error("tail bits not masked")
+	}
+	// PopCount near D/2.
+	sum := 0
+	for i := 0; i < 200; i++ {
+		sum += RandomBinaryHV(1000, rng).PopCount()
+	}
+	mean := float64(sum) / 200
+	if mean < 470 || mean > 530 {
+		t.Errorf("mean popcount = %v, want ~500", mean)
+	}
+}
+
+func TestHammingDistanceAndSimilarity(t *testing.T) {
+	a := NewBinaryHV(128)
+	b := NewBinaryHV(128)
+	if HammingDistance(a, b) != 0 || HammingSimilarity(a, b) != 128 {
+		t.Error("identical HVs")
+	}
+	b.SetBit(3, true)
+	b.SetBit(100, true)
+	if HammingDistance(a, b) != 2 {
+		t.Errorf("distance = %d", HammingDistance(a, b))
+	}
+	if HammingSimilarity(a, b) != 126 {
+		t.Errorf("similarity = %d", HammingSimilarity(a, b))
+	}
+	if Dot(a, b) != 128-4 {
+		t.Errorf("dot = %d", Dot(a, b))
+	}
+}
+
+func TestHammingDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	HammingDistance(NewBinaryHV(64), NewBinaryHV(65))
+}
+
+func TestDotMatchesUnpackedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 65 + rng.Intn(400)
+		a := RandomBinaryHV(d, rng)
+		b := RandomBinaryHV(d, rng)
+		want := 0
+		for i := 0; i < d; i++ {
+			want += a.Bit(i) * b.Bit(i)
+		}
+		return Dot(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomBinaryHV(128, rng)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.SetBit(0, b.Bit(0) < 0)
+	if a.Equal(b) {
+		t.Error("clone shares storage")
+	}
+	if a.Equal(NewBinaryHV(64)) {
+		t.Error("different dims must not be equal")
+	}
+}
+
+func TestFlipBitsRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewBinaryHV(10000)
+	orig := h.Clone()
+	n := h.FlipBits(0.1, rng)
+	if d := HammingDistance(h, orig); d != n {
+		t.Errorf("reported %d flips, actual distance %d", n, d)
+	}
+	if n < 800 || n > 1200 {
+		t.Errorf("flips = %d, want ~1000", n)
+	}
+	if h.FlipBits(0, rng) != 0 {
+		t.Error("rate 0 flipped bits")
+	}
+}
+
+func TestFlipExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := RandomBinaryHV(500, rng)
+	orig := h.Clone()
+	h.FlipExact(37, rng)
+	if d := HammingDistance(h, orig); d != 37 {
+		t.Errorf("distance = %d, want 37", d)
+	}
+	h2 := RandomBinaryHV(100, rng)
+	o2 := h2.Clone()
+	h2.FlipExact(1000, rng) // >= D: full complement
+	if HammingDistance(h2, o2) != 100 {
+		t.Error("full flip failed")
+	}
+	h2.FlipExact(0, rng)
+	h2.FlipExact(-5, rng) // no-ops
+}
+
+func TestIntsFromIntsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := RandomBinaryHV(333, rng)
+	back := FromInts(h.Ints())
+	if !h.Equal(back) {
+		t.Error("Ints/FromInts round trip failed")
+	}
+}
+
+func TestRandomIntHVPrecisionRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for p := 1; p <= 3; p++ {
+		maxMag := MaxMagnitude(p)
+		h := RandomIntHV(2000, p, rng)
+		sawMax := false
+		for _, v := range h.Vals {
+			if v == 0 {
+				t.Fatalf("precision %d produced zero component", p)
+			}
+			if int(v) > maxMag || int(v) < -maxMag {
+				t.Fatalf("precision %d component %d out of range", p, v)
+			}
+			if int(v) == maxMag || int(v) == -maxMag {
+				sawMax = true
+			}
+		}
+		if !sawMax {
+			t.Errorf("precision %d never used max magnitude", p)
+		}
+	}
+}
+
+func TestMaxMagnitudeClamps(t *testing.T) {
+	if MaxMagnitude(0) != 1 || MaxMagnitude(5) != 4 {
+		t.Error("precision clamping wrong")
+	}
+	if MaxMagnitude(1) != 1 || MaxMagnitude(2) != 2 || MaxMagnitude(3) != 4 {
+		t.Error("magnitudes wrong")
+	}
+}
+
+func TestSignQuantization(t *testing.T) {
+	acc := []int32{5, -3, 0, 0, 7, -1}
+	h := Sign(acc)
+	if h.Bit(0) != 1 || h.Bit(1) != -1 || h.Bit(4) != 1 || h.Bit(5) != -1 {
+		t.Error("sign of nonzero entries wrong")
+	}
+	// Ties: deterministic by index parity.
+	if h.Bit(2) != 1 || h.Bit(3) != -1 {
+		t.Error("tie-break not deterministic")
+	}
+}
+
+func TestOrthogonalityOfRandomHVs(t *testing.T) {
+	// Random hypervectors must be near-orthogonal: |dot| << D.
+	rng := rand.New(rand.NewSource(7))
+	d := 8192
+	a := RandomBinaryHV(d, rng)
+	b := RandomBinaryHV(d, rng)
+	dot := math.Abs(float64(Dot(a, b)))
+	// 6 sigma of binomial: 6*sqrt(D) ≈ 543.
+	if dot > 6*math.Sqrt(float64(d)) {
+		t.Errorf("random HVs not orthogonal: |dot| = %v", dot)
+	}
+}

@@ -1,0 +1,219 @@
+package hdc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ItemMemory holds the position (ID) hypervectors of the ID-Level
+// encoder: one multi-bit hypervector per m/z bin (§3.2, §4.2.2).
+// Generation is deterministic in (D, bins, precision, seed).
+type ItemMemory struct {
+	// D is the hypervector dimension.
+	D int
+	// Precision is the ID component precision in bits (1–3).
+	Precision int
+	ids       []IntHV
+}
+
+// NewItemMemory builds an item memory with numBins ID hypervectors.
+func NewItemMemory(d, numBins, precision int, seed int64) *ItemMemory {
+	if d <= 0 || numBins <= 0 {
+		panic(fmt.Sprintf("hdc: bad item memory shape D=%d bins=%d", d, numBins))
+	}
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 3 {
+		precision = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	im := &ItemMemory{D: d, Precision: precision, ids: make([]IntHV, numBins)}
+	for i := range im.ids {
+		im.ids[i] = RandomIntHV(d, precision, rng)
+	}
+	return im
+}
+
+// NumBins returns the number of ID hypervectors.
+func (im *ItemMemory) NumBins() int { return len(im.ids) }
+
+// ID returns the position hypervector for bin i.
+func (im *ItemMemory) ID(i int) IntHV {
+	return im.ids[i]
+}
+
+// LevelSet is the interface shared by the two level-hypervector
+// constructions: the classic flip-based set and the hardware-friendly
+// chunked set (§4.2.1). Level returns the bipolar level hypervector
+// for quantized intensity level j in [0, Q).
+type LevelSet interface {
+	// Q returns the number of levels.
+	Q() int
+	// D returns the dimensionality.
+	D() int
+	// Level returns the level hypervector for level j.
+	Level(j int) BinaryHV
+}
+
+// FlipLevelSet is the classic construction: l0 is random and l_j is
+// obtained from l_{j-1} by flipping D/(2Q) fresh bits, so similarity
+// decays monotonically with level distance and l0 vs l_{Q-1} differ in
+// about half their components.
+type FlipLevelSet struct {
+	levels []BinaryHV
+}
+
+// NewFlipLevelSet builds a flip-based level set with Q levels.
+func NewFlipLevelSet(d, q int, seed int64) *FlipLevelSet {
+	if q < 2 {
+		q = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ls := &FlipLevelSet{levels: make([]BinaryHV, q)}
+	ls.levels[0] = RandomBinaryHV(d, rng)
+	perm := rng.Perm(d)
+	step := d / (2 * q)
+	if step < 1 {
+		step = 1
+	}
+	next := 0
+	for j := 1; j < q; j++ {
+		ls.levels[j] = ls.levels[j-1].Clone()
+		for k := 0; k < step && next < d; k++ {
+			i := perm[next]
+			next++
+			ls.levels[j].Words[i/64] ^= 1 << (uint(i) % 64)
+		}
+	}
+	return ls
+}
+
+// Q implements LevelSet.
+func (ls *FlipLevelSet) Q() int { return len(ls.levels) }
+
+// D implements LevelSet.
+func (ls *FlipLevelSet) D() int { return ls.levels[0].D }
+
+// Level implements LevelSet.
+func (ls *FlipLevelSet) Level(j int) BinaryHV {
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(ls.levels) {
+		j = len(ls.levels) - 1
+	}
+	return ls.levels[j]
+}
+
+// ChunkedLevelSet is the paper's hardware/software co-designed level
+// construction (§4.2.1): the D dimensions are divided into C chunks
+// and every dimension within a chunk holds the same value, so the
+// in-memory encoder can feed level inputs chunk-by-chunk and obtain
+// all element-wise MAC outputs of a chunk in one cycle, MVM-style.
+// Levels are derived by flipping whole chunks along a random
+// permutation, preserving the monotone similarity profile.
+type ChunkedLevelSet struct {
+	d, q, chunks int
+	// chunkVals[j][c] is the bipolar value of chunk c at level j.
+	chunkVals [][]int8
+	cache     []BinaryHV
+}
+
+// NewChunkedLevelSet builds a chunked level set with C chunks. C is
+// clamped to [2Q, D] so each level step flips at least one chunk and
+// chunks are at least one dimension wide.
+func NewChunkedLevelSet(d, q, chunks int, seed int64) *ChunkedLevelSet {
+	if q < 2 {
+		q = 2
+	}
+	if chunks < 2*q {
+		chunks = 2 * q
+	}
+	if chunks > d {
+		chunks = d
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ls := &ChunkedLevelSet{d: d, q: q, chunks: chunks}
+	ls.chunkVals = make([][]int8, q)
+	base := make([]int8, chunks)
+	for c := range base {
+		if rng.Intn(2) == 0 {
+			base[c] = -1
+		} else {
+			base[c] = 1
+		}
+	}
+	ls.chunkVals[0] = base
+	perm := rng.Perm(chunks)
+	step := chunks / (2 * q)
+	if step < 1 {
+		step = 1
+	}
+	next := 0
+	for j := 1; j < q; j++ {
+		cur := make([]int8, chunks)
+		copy(cur, ls.chunkVals[j-1])
+		for k := 0; k < step && next < chunks; k++ {
+			cur[perm[next]] = -cur[perm[next]]
+			next++
+		}
+		ls.chunkVals[j] = cur
+	}
+	// Populate the level cache eagerly so Level is a pure read and the
+	// set is safe for concurrent use by parallel searchers.
+	ls.cache = make([]BinaryHV, q)
+	for j := 0; j < q; j++ {
+		h := NewBinaryHV(d)
+		for c := 0; c < chunks; c++ {
+			if ls.chunkVals[j][c] > 0 {
+				lo, hi := ls.ChunkBounds(c)
+				for i := lo; i < hi; i++ {
+					h.SetBit(i, true)
+				}
+			}
+		}
+		ls.cache[j] = h
+	}
+	return ls
+}
+
+// Q implements LevelSet.
+func (ls *ChunkedLevelSet) Q() int { return ls.q }
+
+// D implements LevelSet.
+func (ls *ChunkedLevelSet) D() int { return ls.d }
+
+// NumChunks returns the chunk count C.
+func (ls *ChunkedLevelSet) NumChunks() int { return ls.chunks }
+
+// ChunkBounds returns the dimension range [lo, hi) of chunk c; chunk
+// widths differ by at most one when D is not divisible by C.
+func (ls *ChunkedLevelSet) ChunkBounds(c int) (lo, hi int) {
+	lo = c * ls.d / ls.chunks
+	hi = (c + 1) * ls.d / ls.chunks
+	return lo, hi
+}
+
+// ChunkValue returns the bipolar value of chunk c at level j.
+func (ls *ChunkedLevelSet) ChunkValue(j, c int) int8 {
+	if j < 0 {
+		j = 0
+	}
+	if j >= ls.q {
+		j = ls.q - 1
+	}
+	return ls.chunkVals[j][c]
+}
+
+// Level implements LevelSet, returning the precomputed packed
+// hypervector for the level. Safe for concurrent use.
+func (ls *ChunkedLevelSet) Level(j int) BinaryHV {
+	if j < 0 {
+		j = 0
+	}
+	if j >= ls.q {
+		j = ls.q - 1
+	}
+	return ls.cache[j]
+}

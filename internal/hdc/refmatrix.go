@@ -1,0 +1,166 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// RefMatrix is a cache-friendly packed layout of a reference
+// hypervector set for high-throughput similarity search: all
+// references' words are stored in one contiguous slice, reference-
+// major, so a full scan streams memory linearly instead of chasing
+// per-hypervector slices. It mirrors how the accelerator lays
+// references out column-contiguous in crossbar tiles.
+type RefMatrix struct {
+	d        int
+	wordsPer int
+	numRefs  int
+	storage  []uint64
+}
+
+// NewRefMatrix packs the references into a matrix. All references
+// must share one dimension.
+func NewRefMatrix(refs []BinaryHV) (*RefMatrix, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("hdc: empty reference set")
+	}
+	d := refs[0].D
+	wordsPer := (d + 63) / 64
+	m := &RefMatrix{
+		d:        d,
+		wordsPer: wordsPer,
+		numRefs:  len(refs),
+		storage:  make([]uint64, wordsPer*len(refs)),
+	}
+	for i, r := range refs {
+		if r.D != d {
+			return nil, fmt.Errorf("hdc: reference %d has D=%d, want %d", i, r.D, d)
+		}
+		copy(m.storage[i*wordsPer:(i+1)*wordsPer], r.Words)
+	}
+	return m, nil
+}
+
+// D returns the hypervector dimension.
+func (m *RefMatrix) D() int { return m.d }
+
+// Len returns the number of references.
+func (m *RefMatrix) Len() int { return m.numRefs }
+
+// Ref reconstructs reference i as a BinaryHV (copying).
+func (m *RefMatrix) Ref(i int) BinaryHV {
+	h := NewBinaryHV(m.d)
+	copy(h.Words, m.storage[i*m.wordsPer:(i+1)*m.wordsPer])
+	return h
+}
+
+// Similarities writes the Hamming similarity of q to every reference
+// into out (length Len) and returns it; out may be nil.
+func (m *RefMatrix) Similarities(q BinaryHV, out []int32) []int32 {
+	if q.D != m.d {
+		panic(fmt.Sprintf("hdc: query D=%d, matrix D=%d", q.D, m.d))
+	}
+	if len(out) != m.numRefs {
+		out = make([]int32, m.numRefs)
+	}
+	qw := q.Words
+	wp := m.wordsPer
+	for i := 0; i < m.numRefs; i++ {
+		row := m.storage[i*wp : (i+1)*wp]
+		dist := 0
+		for w := range row {
+			dist += bits.OnesCount64(row[w] ^ qw[w])
+		}
+		out[i] = int32(m.d - dist)
+	}
+	return out
+}
+
+// TopK returns the k best matches over the candidate set (nil = all),
+// ranked like Searcher.TopK.
+func (m *RefMatrix) TopK(q BinaryHV, candidates []int, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	qw := q.Words
+	wp := m.wordsPer
+	best := make([]Match, 0, k)
+	consider := func(i int) {
+		row := m.storage[i*wp : (i+1)*wp]
+		dist := 0
+		for w := range row {
+			dist += bits.OnesCount64(row[w] ^ qw[w])
+		}
+		best = insertMatch(best, Match{Index: i, Similarity: m.d - dist}, k)
+	}
+	if candidates == nil {
+		for i := 0; i < m.numRefs; i++ {
+			consider(i)
+		}
+	} else {
+		for _, i := range candidates {
+			if i >= 0 && i < m.numRefs {
+				consider(i)
+			}
+		}
+	}
+	return best
+}
+
+// insertMatch inserts m into the descending-sorted top-k slice.
+func insertMatch(best []Match, m Match, k int) []Match {
+	pos := len(best)
+	for pos > 0 {
+		b := best[pos-1]
+		if b.Similarity > m.Similarity ||
+			(b.Similarity == m.Similarity && b.Index < m.Index) {
+			break
+		}
+		pos--
+	}
+	if pos >= k {
+		return best
+	}
+	best = append(best, Match{})
+	copy(best[pos+1:], best[pos:])
+	best[pos] = m
+	if len(best) > k {
+		best = best[:k]
+	}
+	return best
+}
+
+// BatchTopK runs TopK for every query across CPU cores.
+func (m *RefMatrix) BatchTopK(queries []BinaryHV, candidates [][]int, k int) [][]Match {
+	out := make([][]Match, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var cand []int
+				if candidates != nil {
+					cand = candidates[i]
+				}
+				out[i] = m.TopK(queries[i], cand, k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,144 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefMatrixValidation(t *testing.T) {
+	if _, err := NewRefMatrix(nil); err == nil {
+		t.Error("empty refs accepted")
+	}
+	if _, err := NewRefMatrix([]BinaryHV{NewBinaryHV(64), NewBinaryHV(128)}); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+}
+
+func TestRefMatrixRoundTrip(t *testing.T) {
+	refs := randomRefs(257, 20, 1) // odd dimension exercises tail word
+	m, err := NewRefMatrix(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 20 || m.D() != 257 {
+		t.Fatalf("shape: %d x %d", m.Len(), m.D())
+	}
+	for i := range refs {
+		if !m.Ref(i).Equal(refs[i]) {
+			t.Fatalf("ref %d corrupted by packing", i)
+		}
+	}
+}
+
+func TestRefMatrixSimilaritiesMatchSearcher(t *testing.T) {
+	refs := randomRefs(512, 64, 2)
+	m, _ := NewRefMatrix(refs)
+	s, _ := NewSearcher(refs)
+	rng := rand.New(rand.NewSource(3))
+	q := RandomBinaryHV(512, rng)
+	sims := m.Similarities(q, nil)
+	for i := range refs {
+		if int(sims[i]) != s.Similarity(q, i) {
+			t.Fatalf("similarity %d: matrix %d vs searcher %d",
+				i, sims[i], s.Similarity(q, i))
+		}
+	}
+	// Reusing the out slice must work.
+	sims2 := m.Similarities(q, sims)
+	if &sims2[0] != &sims[0] {
+		t.Error("out slice not reused")
+	}
+}
+
+func TestRefMatrixSimilaritiesPanicsOnBadDim(t *testing.T) {
+	refs := randomRefs(128, 4, 4)
+	m, _ := NewRefMatrix(refs)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Similarities(NewBinaryHV(64), nil)
+}
+
+func TestRefMatrixTopKMatchesSearcherProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 64 + rng.Intn(256)
+		n := 5 + rng.Intn(50)
+		k := 1 + rng.Intn(8)
+		refs := randomRefs(d, n, seed+9)
+		m, _ := NewRefMatrix(refs)
+		s, _ := NewSearcher(refs)
+		q := RandomBinaryHV(d, rng)
+		a := m.TopK(q, nil, k)
+		b := s.TopK(q, nil, k)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefMatrixTopKCandidates(t *testing.T) {
+	refs := randomRefs(256, 30, 5)
+	m, _ := NewRefMatrix(refs)
+	top := m.TopK(refs[7], []int{7, 8, -1, 99}, 2)
+	if len(top) != 2 || top[0].Index != 7 || top[0].Similarity != 256 {
+		t.Errorf("top = %+v", top)
+	}
+	if m.TopK(refs[0], nil, 0) != nil {
+		t.Error("k=0 returned matches")
+	}
+}
+
+func TestRefMatrixBatchTopK(t *testing.T) {
+	refs := randomRefs(512, 40, 6)
+	m, _ := NewRefMatrix(refs)
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]BinaryHV, 17)
+	for i := range queries {
+		queries[i] = RandomBinaryHV(512, rng)
+	}
+	batch := m.BatchTopK(queries, nil, 3)
+	for i, q := range queries {
+		seq := m.TopK(q, nil, 3)
+		for j := range seq {
+			if batch[i][j] != seq[j] {
+				t.Fatalf("query %d result %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkRefMatrixScan(b *testing.B) {
+	refs := randomRefs(8192, 2000, 8)
+	m, _ := NewRefMatrix(refs)
+	rng := rand.New(rand.NewSource(9))
+	q := RandomBinaryHV(8192, rng)
+	out := make([]int32, m.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarities(q, out)
+	}
+}
+
+func BenchmarkSearcherScan(b *testing.B) {
+	refs := randomRefs(8192, 2000, 8)
+	s, _ := NewSearcher(refs)
+	rng := rand.New(rand.NewSource(9))
+	q := RandomBinaryHV(8192, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TopK(q, nil, 1)
+	}
+}

@@ -1,0 +1,154 @@
+package hdc
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Match is one similarity-search result.
+type Match struct {
+	// Index is the reference hypervector index.
+	Index int
+	// Similarity is the Hamming similarity (number of matching
+	// components, in [0, D]).
+	Similarity int
+}
+
+// Searcher performs exact Hamming similarity search over a set of
+// reference hypervectors. It is the software ("ideal") counterpart of
+// the in-memory search the accelerator performs; the RRAM-backed
+// implementation lives in internal/accel.
+type Searcher struct {
+	d    int
+	refs []BinaryHV
+}
+
+// NewSearcher builds a searcher over the reference hypervectors, which
+// must share one dimensionality.
+func NewSearcher(refs []BinaryHV) (*Searcher, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("hdc: empty reference set")
+	}
+	d := refs[0].D
+	for i, r := range refs {
+		if r.D != d {
+			return nil, fmt.Errorf("hdc: reference %d has D=%d, want %d", i, r.D, d)
+		}
+	}
+	return &Searcher{d: d, refs: refs}, nil
+}
+
+// D returns the hypervector dimension.
+func (s *Searcher) D() int { return s.d }
+
+// Len returns the number of references.
+func (s *Searcher) Len() int { return len(s.refs) }
+
+// Ref returns reference i.
+func (s *Searcher) Ref(i int) BinaryHV { return s.refs[i] }
+
+// Similarity returns the Hamming similarity between the query and
+// reference i.
+func (s *Searcher) Similarity(q BinaryHV, i int) int {
+	return HammingSimilarity(q, s.refs[i])
+}
+
+// TopK returns the k most similar references among the candidate
+// index set (nil = all references), ordered by descending similarity
+// with ties broken by ascending index.
+func (s *Searcher) TopK(q BinaryHV, candidates []int, k int) []Match {
+	if q.D != s.d {
+		panic(fmt.Sprintf("hdc: query D=%d, searcher D=%d", q.D, s.d))
+	}
+	if k <= 0 {
+		return nil
+	}
+	h := &matchHeap{}
+	heap.Init(h)
+	consider := func(i int) {
+		sim := HammingSimilarity(q, s.refs[i])
+		if h.Len() < k {
+			heap.Push(h, Match{Index: i, Similarity: sim})
+		} else if worse((*h)[0], Match{Index: i, Similarity: sim}) {
+			(*h)[0] = Match{Index: i, Similarity: sim}
+			heap.Fix(h, 0)
+		}
+	}
+	if candidates == nil {
+		for i := range s.refs {
+			consider(i)
+		}
+	} else {
+		for _, i := range candidates {
+			if i >= 0 && i < len(s.refs) {
+				consider(i)
+			}
+		}
+	}
+	out := make([]Match, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out
+}
+
+// worse reports whether a ranks strictly below b (lower similarity, or
+// equal similarity with a larger index).
+func worse(a, b Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity < b.Similarity
+	}
+	return a.Index > b.Index
+}
+
+// matchHeap is a min-heap on match rank, keeping the current worst of
+// the top-k at the root.
+type matchHeap []Match
+
+func (h matchHeap) Len() int            { return len(h) }
+func (h matchHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
+func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BatchTopK runs TopK for many queries in parallel across CPU cores.
+// candidates[i] restricts query i's search space (nil = all).
+func (s *Searcher) BatchTopK(queries []BinaryHV, candidates [][]int, k int) [][]Match {
+	out := make([][]Match, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var cand []int
+				if candidates != nil {
+					cand = candidates[i]
+				}
+				out[i] = s.TopK(queries[i], cand, k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

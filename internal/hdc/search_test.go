@@ -1,0 +1,182 @@
+package hdc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomRefs(d, n int, seed int64) []BinaryHV {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]BinaryHV, n)
+	for i := range refs {
+		refs[i] = RandomBinaryHV(d, rng)
+	}
+	return refs
+}
+
+func TestNewSearcherValidation(t *testing.T) {
+	if _, err := NewSearcher(nil); err == nil {
+		t.Error("empty reference set accepted")
+	}
+	refs := []BinaryHV{NewBinaryHV(64), NewBinaryHV(65)}
+	if _, err := NewSearcher(refs); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+}
+
+func TestTopKFindsPlantedMatch(t *testing.T) {
+	refs := randomRefs(2048, 200, 1)
+	s, err := NewSearcher(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Query = noisy copy of reference 123.
+	q := refs[123].Clone()
+	q.FlipExact(100, rng)
+	top := s.TopK(q, nil, 5)
+	if len(top) != 5 {
+		t.Fatalf("topk len = %d", len(top))
+	}
+	if top[0].Index != 123 {
+		t.Errorf("best match = %d, want 123", top[0].Index)
+	}
+	if top[0].Similarity != 2048-100 {
+		t.Errorf("best similarity = %d, want %d", top[0].Similarity, 1948)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Similarity < top[i].Similarity {
+			t.Error("results not sorted by similarity")
+		}
+	}
+}
+
+func TestTopKCandidateRestriction(t *testing.T) {
+	refs := randomRefs(1024, 50, 3)
+	s, _ := NewSearcher(refs)
+	q := refs[10].Clone()
+	// Candidates exclude 10; it must not appear.
+	cand := []int{0, 1, 2, 3, 4, 20, 30, 49}
+	top := s.TopK(q, cand, 3)
+	for _, m := range top {
+		if m.Index == 10 {
+			t.Fatal("excluded candidate returned")
+		}
+	}
+	// With 10 included, it must rank first with full similarity.
+	top = s.TopK(q, append(cand, 10), 3)
+	if top[0].Index != 10 || top[0].Similarity != 1024 {
+		t.Errorf("self match = %+v", top[0])
+	}
+}
+
+func TestTopKCandidateOutOfRangeIgnored(t *testing.T) {
+	refs := randomRefs(256, 10, 4)
+	s, _ := NewSearcher(refs)
+	top := s.TopK(refs[0], []int{-3, 2, 99}, 5)
+	if len(top) != 1 || top[0].Index != 2 {
+		t.Errorf("out-of-range candidates mishandled: %+v", top)
+	}
+}
+
+func TestTopKZeroK(t *testing.T) {
+	refs := randomRefs(128, 5, 5)
+	s, _ := NewSearcher(refs)
+	if got := s.TopK(refs[0], nil, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+}
+
+func TestTopKTieBreaksByIndex(t *testing.T) {
+	// Three identical references: ties resolve to ascending index.
+	base := NewBinaryHV(64)
+	refs := []BinaryHV{base.Clone(), base.Clone(), base.Clone()}
+	s, _ := NewSearcher(refs)
+	top := s.TopK(base, nil, 2)
+	if top[0].Index != 0 || top[1].Index != 1 {
+		t.Errorf("tie break wrong: %+v", top)
+	}
+}
+
+func TestTopKMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 64 + rng.Intn(256)
+		n := 5 + rng.Intn(60)
+		k := 1 + rng.Intn(10)
+		refs := randomRefs(d, n, seed+1)
+		s, _ := NewSearcher(refs)
+		q := RandomBinaryHV(d, rng)
+		got := s.TopK(q, nil, k)
+		// Brute force.
+		all := make([]Match, n)
+		for i := range refs {
+			all[i] = Match{Index: i, Similarity: HammingSimilarity(q, refs[i])}
+		}
+		sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+		if k > n {
+			k = n
+		}
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchTopKMatchesSequential(t *testing.T) {
+	refs := randomRefs(512, 100, 6)
+	s, _ := NewSearcher(refs)
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]BinaryHV, 23)
+	for i := range queries {
+		queries[i] = RandomBinaryHV(512, rng)
+	}
+	batch := s.BatchTopK(queries, nil, 4)
+	for i, q := range queries {
+		seq := s.TopK(q, nil, 4)
+		if len(batch[i]) != len(seq) {
+			t.Fatalf("query %d: batch len %d vs %d", i, len(batch[i]), len(seq))
+		}
+		for j := range seq {
+			if batch[i][j] != seq[j] {
+				t.Fatalf("query %d result %d: %+v vs %+v", i, j, batch[i][j], seq[j])
+			}
+		}
+	}
+}
+
+func TestBatchTopKWithCandidates(t *testing.T) {
+	refs := randomRefs(256, 30, 8)
+	s, _ := NewSearcher(refs)
+	queries := []BinaryHV{refs[3].Clone(), refs[7].Clone()}
+	cands := [][]int{{3, 4}, {6, 7, 8}}
+	out := s.BatchTopK(queries, cands, 1)
+	if out[0][0].Index != 3 || out[1][0].Index != 7 {
+		t.Errorf("candidate-restricted batch: %+v", out)
+	}
+}
+
+func TestSearcherAccessors(t *testing.T) {
+	refs := randomRefs(128, 9, 9)
+	s, _ := NewSearcher(refs)
+	if s.Len() != 9 || s.D() != 128 {
+		t.Errorf("accessors: len=%d d=%d", s.Len(), s.D())
+	}
+	if !s.Ref(4).Equal(refs[4]) {
+		t.Error("Ref returned wrong hypervector")
+	}
+	if s.Similarity(refs[4], 4) != 128 {
+		t.Error("self similarity wrong")
+	}
+}

@@ -1,0 +1,194 @@
+package msdata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/peptide"
+	"repro/internal/spectrum"
+)
+
+// Proteome-based generation: instead of sampling peptides directly,
+// synthesize protein sequences, digest them tryptically and build the
+// reference library from the resulting peptides — the workflow real
+// spectral libraries come from. Peptides from the same protein share
+// no sequence but cluster in the run, and the peptide length and mass
+// distributions follow the digestion statistics instead of a uniform
+// draw.
+
+// ProteomeConfig controls synthetic proteome construction.
+type ProteomeConfig struct {
+	// NumProteins is the number of synthetic protein sequences.
+	NumProteins int
+	// MeanLength is the average protein length in residues.
+	MeanLength int
+	// PeptideLenMin/Max filter the digestion products.
+	PeptideLenMin, PeptideLenMax int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultProteomeConfig returns a small-proteome preset.
+func DefaultProteomeConfig() ProteomeConfig {
+	return ProteomeConfig{
+		NumProteins:   200,
+		MeanLength:    450,
+		PeptideLenMin: 7,
+		PeptideLenMax: 25,
+		Seed:          42,
+	}
+}
+
+// Protein is one synthetic protein with its digestion products.
+type Protein struct {
+	// ID names the protein ("PROT0001").
+	ID string
+	// Sequence is the residue string.
+	Sequence string
+	// Peptides are the retained tryptic peptides.
+	Peptides []peptide.Peptide
+}
+
+// GenerateProteome synthesizes proteins with realistic residue
+// frequencies (K/R enriched to yield tryptic sites every ~10 residues)
+// and digests them.
+func GenerateProteome(cfg ProteomeConfig) ([]Protein, error) {
+	if cfg.NumProteins <= 0 || cfg.MeanLength < 20 {
+		return nil, fmt.Errorf("msdata: bad proteome config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alphabet := peptide.Alphabet()
+	proteins := make([]Protein, 0, cfg.NumProteins)
+	for i := 0; i < cfg.NumProteins; i++ {
+		length := cfg.MeanLength/2 + rng.Intn(cfg.MeanLength)
+		var sb strings.Builder
+		sb.Grow(length)
+		for j := 0; j < length; j++ {
+			// ~10% cleavage residues so tryptic peptides average
+			// ~10 residues, as in real proteomes.
+			switch {
+			case rng.Float64() < 0.055:
+				sb.WriteByte('K')
+			case rng.Float64() < 0.055:
+				sb.WriteByte('R')
+			default:
+				sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+		}
+		seq := sb.String()
+		p := Protein{
+			ID:       fmt.Sprintf("PROT%04d", i),
+			Sequence: seq,
+			Peptides: peptide.Digest(seq, cfg.PeptideLenMin, cfg.PeptideLenMax),
+		}
+		proteins = append(proteins, p)
+	}
+	return proteins, nil
+}
+
+// GenerateFromProteome builds a Dataset whose reference library comes
+// from the digestion products of a synthetic proteome. The workload
+// shape parameters (modification/foreign fractions, noise) come from
+// cfg; cfg.NumReferences caps the library size (0 = use every unique
+// digested peptide).
+func GenerateFromProteome(cfg Config, pcfg ProteomeConfig) (*Dataset, error) {
+	if cfg.NumQueries <= 0 {
+		return nil, fmt.Errorf("msdata: non-positive query count %d", cfg.NumQueries)
+	}
+	proteins, err := GenerateProteome(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var peps []peptide.Peptide
+	for _, prot := range proteins {
+		for _, p := range prot.Peptides {
+			if !seen[p.Sequence] {
+				seen[p.Sequence] = true
+				peps = append(peps, p)
+			}
+		}
+	}
+	if cfg.NumReferences > 0 && len(peps) > cfg.NumReferences {
+		peps = peps[:cfg.NumReferences]
+	}
+	if len(peps) == 0 {
+		return nil, fmt.Errorf("msdata: proteome digestion yielded no peptides")
+	}
+	if cfg.MaxFragmentCharge < 1 {
+		cfg.MaxFragmentCharge = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + pcfg.Seed))
+	ds := &Dataset{
+		Name:       cfg.Name,
+		Truth:      make(map[string]GroundTruth, cfg.NumQueries),
+		NumTargets: len(peps),
+	}
+	for i, p := range peps {
+		s := TheoreticalSpectrum(p, chargeFor(rng, p), cfg.MaxFragmentCharge)
+		s.ID = fmt.Sprintf("%s:ref:%d", cfg.Name, i)
+		ds.Library = append(ds.Library, s)
+	}
+	numDecoys := int(cfg.DecoyFraction * float64(len(peps)))
+	for i := 0; i < numDecoys; i++ {
+		d := peptide.Decoy(peps[i%len(peps)], rng)
+		s := TheoreticalSpectrum(d, chargeFor(rng, d), cfg.MaxFragmentCharge)
+		s.ID = fmt.Sprintf("%s:decoy:%d", cfg.Name, i)
+		s.IsDecoy = true
+		ds.Library = append(ds.Library, s)
+	}
+	numForeign := int(cfg.ForeignFraction * float64(cfg.NumQueries))
+	numModified := int(cfg.ModifiedFraction * float64(cfg.NumQueries))
+	if numForeign+numModified > cfg.NumQueries {
+		numModified = cfg.NumQueries - numForeign
+	}
+	for i := 0; i < cfg.NumQueries; i++ {
+		id := fmt.Sprintf("%s:query:%d", cfg.Name, i)
+		var (
+			q     *spectrum.Spectrum
+			truth GroundTruth
+		)
+		switch {
+		case i < numForeign:
+			p := foreignPeptide(rng, cfg, seen)
+			q = noisyQuery(rng, cfg, p)
+			truth = GroundTruth{QueryID: id}
+		case i < numForeign+numModified:
+			base := peps[rng.Intn(len(peps))]
+			mod := cfg.randomMod(rng, base)
+			q = noisyQuery(rng, cfg, base.WithMod(mod))
+			truth = GroundTruth{
+				QueryID: id, Peptide: base.Sequence,
+				Modified: true, ModName: mod.Name, MassShift: mod.DeltaMass,
+			}
+		default:
+			base := peps[rng.Intn(len(peps))]
+			q = noisyQuery(rng, cfg, base)
+			truth = GroundTruth{QueryID: id, Peptide: base.Sequence}
+		}
+		q.ID = id
+		q.Peptide = ""
+		ds.Queries = append(ds.Queries, q)
+		ds.Truth[id] = truth
+	}
+	return ds, nil
+}
+
+// foreignPeptide draws a random peptide not present in the library.
+func foreignPeptide(rng *rand.Rand, cfg Config, seen map[string]bool) peptide.Peptide {
+	minLen := cfg.PeptideLenMin
+	if minLen < 5 {
+		minLen = 7
+	}
+	maxLen := cfg.PeptideLenMax
+	if maxLen < minLen {
+		maxLen = minLen + 10
+	}
+	for {
+		p := peptide.Random(rng, minLen+rng.Intn(maxLen-minLen+1))
+		if !seen[p.Sequence] {
+			return p
+		}
+	}
+}

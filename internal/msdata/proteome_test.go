@@ -1,0 +1,129 @@
+package msdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateProteomeShape(t *testing.T) {
+	cfg := DefaultProteomeConfig()
+	cfg.NumProteins = 50
+	proteins, err := GenerateProteome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proteins) != 50 {
+		t.Fatalf("proteins = %d", len(proteins))
+	}
+	totalPeps := 0
+	for _, p := range proteins {
+		if p.ID == "" || len(p.Sequence) < cfg.MeanLength/2 {
+			t.Fatalf("degenerate protein: %+v", p.ID)
+		}
+		for _, pep := range p.Peptides {
+			if pep.Len() < cfg.PeptideLenMin || pep.Len() > cfg.PeptideLenMax {
+				t.Fatalf("peptide length %d outside [%d,%d]",
+					pep.Len(), cfg.PeptideLenMin, cfg.PeptideLenMax)
+			}
+			if !strings.ContainsAny(pep.Sequence[pep.Len()-1:], "KR") &&
+				!strings.HasSuffix(p.Sequence, pep.Sequence) {
+				t.Fatalf("non-tryptic internal peptide %q", pep.Sequence)
+			}
+		}
+		totalPeps += len(p.Peptides)
+	}
+	if totalPeps < 200 {
+		t.Errorf("digestion yielded only %d peptides", totalPeps)
+	}
+}
+
+func TestGenerateProteomeDeterministic(t *testing.T) {
+	cfg := DefaultProteomeConfig()
+	cfg.NumProteins = 10
+	a, err := GenerateProteome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateProteome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Sequence != b[i].Sequence {
+			t.Fatalf("proteome not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateProteomeValidation(t *testing.T) {
+	if _, err := GenerateProteome(ProteomeConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := GenerateProteome(ProteomeConfig{NumProteins: 5, MeanLength: 5}); err == nil {
+		t.Error("tiny proteins accepted")
+	}
+}
+
+func TestGenerateFromProteomeEndToEnd(t *testing.T) {
+	cfg := IPRG2012(0.001)
+	cfg.NumReferences = 0 // use the whole digest
+	pcfg := DefaultProteomeConfig()
+	pcfg.NumProteins = 60
+	ds, err := GenerateFromProteome(cfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTargets == 0 || len(ds.Queries) != cfg.NumQueries {
+		t.Fatalf("sizes: %d targets, %d queries", ds.NumTargets, len(ds.Queries))
+	}
+	if len(ds.Library) <= ds.NumTargets {
+		t.Error("no decoys generated")
+	}
+	// Truth must reference library peptides.
+	targets := map[string]bool{}
+	for _, s := range ds.Library[:ds.NumTargets] {
+		targets[s.Peptide] = true
+	}
+	var modified int
+	for _, q := range ds.Queries {
+		gt := ds.Truth[q.ID]
+		if gt.Peptide != "" && !targets[gt.Peptide] {
+			t.Fatalf("truth peptide %q not in library", gt.Peptide)
+		}
+		if gt.Modified {
+			modified++
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if modified == 0 {
+		t.Error("no modified queries")
+	}
+}
+
+func TestGenerateFromProteomeReferenceCap(t *testing.T) {
+	cfg := IPRG2012(0.001)
+	cfg.NumReferences = 100
+	pcfg := DefaultProteomeConfig()
+	pcfg.NumProteins = 100
+	ds, err := GenerateFromProteome(cfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTargets != 100 {
+		t.Errorf("cap not applied: %d targets", ds.NumTargets)
+	}
+}
+
+func TestGenerateFromProteomeValidation(t *testing.T) {
+	if _, err := GenerateFromProteome(Config{}, DefaultProteomeConfig()); err == nil {
+		t.Error("zero queries accepted")
+	}
+	bad := DefaultProteomeConfig()
+	bad.NumProteins = 0
+	cfg := IPRG2012(0.001)
+	if _, err := GenerateFromProteome(cfg, bad); err == nil {
+		t.Error("bad proteome config accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"time"
+
+	"repro/internal/rram"
+)
+
+// FromStats converts measured crossbar operation counts (from the
+// cell-accurate simulation in internal/accel) into a Cost, linking the
+// simulator to the analytical model: MVM cycles at CycleTime each,
+// dynamic energy split between row drives and ADC conversions, plus
+// one-time programming energy and static power over the active time.
+//
+// Energy constants: a single differential row drive costs ~2 pJ
+// (two bit lines at sub-volt pulses into ~uS cells for ~100 ns) and a
+// medium-resolution SAR ADC conversion ~1 pJ; programming a cell with
+// write-verify costs ~1 nJ. These sit inside the ranges published for
+// RRAM CIM macros and are shared with DefaultAccelModel's aggregate
+// per-cycle figure.
+type StatsModel struct {
+	// CycleTime is the MVM sense cycle duration.
+	CycleTime time.Duration
+	// RowDriveEnergy is per differential-pair drive per cycle (J).
+	RowDriveEnergy float64
+	// ADCEnergy is per conversion (J).
+	ADCEnergy float64
+	// ProgramEnergy is per cell write (J).
+	ProgramEnergy float64
+	// SystemPower is static power during compute (W).
+	SystemPower float64
+}
+
+// DefaultStatsModel returns the documented constants.
+func DefaultStatsModel() StatsModel {
+	return StatsModel{
+		CycleTime:      100 * time.Nanosecond,
+		RowDriveEnergy: 2e-12,
+		ADCEnergy:      1e-12,
+		ProgramEnergy:  1e-9,
+		SystemPower:    3.2,
+	}
+}
+
+// CostBreakdown itemizes where time and energy went.
+type CostBreakdown struct {
+	// Compute is the MVM time.
+	Compute time.Duration
+	// RowEnergy, ADCEnergy and ProgramEnergy are the dynamic parts (J).
+	RowEnergy, ADCEnergy, ProgramEnergy float64
+	// StaticEnergy is SystemPower over the compute time (J).
+	StaticEnergy float64
+}
+
+// Total returns the summed energy in joules.
+func (c CostBreakdown) Total() float64 {
+	return c.RowEnergy + c.ADCEnergy + c.ProgramEnergy + c.StaticEnergy
+}
+
+// FromStats costs a measured operation trace.
+func (m StatsModel) FromStats(s rram.OpStats) CostBreakdown {
+	compute := time.Duration(s.MVMCycles) * m.CycleTime
+	return CostBreakdown{
+		Compute:       compute,
+		RowEnergy:     float64(s.RowActivations) * m.RowDriveEnergy,
+		ADCEnergy:     float64(s.ADCConversions) * m.ADCEnergy,
+		ProgramEnergy: float64(s.CellsProgrammed) * m.ProgramEnergy,
+		StaticEnergy:  m.SystemPower * compute.Seconds(),
+	}
+}

@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rram"
+)
+
+func TestFromStatsArithmetic(t *testing.T) {
+	m := DefaultStatsModel()
+	s := rram.OpStats{
+		MVMCycles:       1000,
+		RowActivations:  64000,
+		ADCConversions:  256000,
+		CellsProgrammed: 512,
+	}
+	c := m.FromStats(s)
+	if c.Compute != 1000*100*time.Nanosecond {
+		t.Errorf("compute time = %v", c.Compute)
+	}
+	if math.Abs(c.RowEnergy-64000*2e-12) > 1e-18 {
+		t.Errorf("row energy = %v", c.RowEnergy)
+	}
+	if math.Abs(c.ADCEnergy-256000*1e-12) > 1e-18 {
+		t.Errorf("adc energy = %v", c.ADCEnergy)
+	}
+	if math.Abs(c.ProgramEnergy-512e-9) > 1e-15 {
+		t.Errorf("program energy = %v", c.ProgramEnergy)
+	}
+	wantStatic := 3.2 * c.Compute.Seconds()
+	if math.Abs(c.StaticEnergy-wantStatic) > 1e-12 {
+		t.Errorf("static energy = %v, want %v", c.StaticEnergy, wantStatic)
+	}
+	sum := c.RowEnergy + c.ADCEnergy + c.ProgramEnergy + c.StaticEnergy
+	if math.Abs(c.Total()-sum) > 1e-18 {
+		t.Errorf("total = %v, want %v", c.Total(), sum)
+	}
+}
+
+func TestFromStatsZero(t *testing.T) {
+	c := DefaultStatsModel().FromStats(rram.OpStats{})
+	if c.Total() != 0 || c.Compute != 0 {
+		t.Errorf("zero stats cost: %+v", c)
+	}
+}
+
+func TestFromStatsScalesLinearly(t *testing.T) {
+	m := DefaultStatsModel()
+	s := rram.OpStats{MVMCycles: 10, RowActivations: 100, ADCConversions: 50}
+	var double rram.OpStats
+	double.Add(s)
+	double.Add(s)
+	c1, c2 := m.FromStats(s), m.FromStats(double)
+	if math.Abs(c2.Total()-2*c1.Total()) > 1e-15 {
+		t.Errorf("cost not linear: %v vs %v", c1.Total(), c2.Total())
+	}
+}

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/perf"
+)
+
+func parseCSV(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTable1CSV(t *testing.T) {
+	var b bytes.Buffer
+	rows := []experiments.Table1Row{
+		{Dataset: "iPRG2012", Queries: 16000, References: 1000000, ScaledQueries: 20, ScaledReferences: 200},
+	}
+	if err := Table1CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &b)
+	if len(got) != 2 || got[1][0] != "iPRG2012" || got[1][1] != "16000" {
+		t.Errorf("csv: %v", got)
+	}
+}
+
+func TestFigure7CSV(t *testing.T) {
+	var b bytes.Buffer
+	rows := []experiments.Fig7Row{
+		{Label: "1day", Elapsed: 24 * time.Hour, BER: [3]float64{0, 0.01, 0.12}},
+	}
+	if err := Figure7CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &b)
+	if got[1][0] != "1day" {
+		t.Errorf("csv: %v", got)
+	}
+	if v, _ := strconv.ParseFloat(got[1][4], 64); v != 0.12 {
+		t.Errorf("ber_3b = %v", got[1][4])
+	}
+	if v, _ := strconv.ParseFloat(got[1][1], 64); v != 86400 {
+		t.Errorf("elapsed = %v", got[1][1])
+	}
+}
+
+func TestFigure8CSVLongForm(t *testing.T) {
+	var b bytes.Buffer
+	data := []experiments.Fig8Data{
+		{Levels: 2, NumBins: 2, Histograms: [][]int{{5, 7}, {6, 6}}},
+	}
+	if err := Figure8CSV(&b, data); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &b)
+	// header + 2 timepoints x 2 bins.
+	if len(got) != 5 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[1][0] != "2" || got[2][3] != "7" {
+		t.Errorf("csv: %v", got)
+	}
+}
+
+func TestFigure9And13CSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := Figure9CSV(&b, []experiments.Fig9Row{{Rows: 64, Err: [3]float64{0.1, 0.2, 0.3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &b); got[1][3] != "0.3" {
+		t.Errorf("fig9 csv: %v", got)
+	}
+	b.Reset()
+	if err := Figure13CSV(&b, []experiments.Fig13Row{{D: 8192, Ideal: 55, InRRAM: 52}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &b); got[1][0] != "8192" || got[1][2] != "52" {
+		t.Errorf("fig13 csv: %v", got)
+	}
+}
+
+func TestFigure10And11And12CSV(t *testing.T) {
+	var b bytes.Buffer
+	venn := []experiments.VennResult{{
+		Dataset: "iPRG2012", ThisWork: 5,
+		Regions: map[string]int{"TAH": 4, "T": 1},
+	}}
+	if err := Figure10CSV(&b, venn); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &b)
+	if len(got) != 8 { // header + 7 regions
+		t.Fatalf("fig10 rows = %d", len(got))
+	}
+	b.Reset()
+	if err := Figure11CSV(&b, "HEK293", []experiments.Fig11Row{{BER: 0.1, IDs: [3]int{9, 8, 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &b); got[1][0] != "HEK293" || got[1][4] != "7" {
+		t.Errorf("fig11 csv: %v", got)
+	}
+	b.Reset()
+	if err := Figure12CSV(&b, []perf.Fig12Row{{Name: "This Work", Speedup: 76.7, EnergyImprovement: 2993}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &b); got[1][0] != "This Work" {
+		t.Errorf("fig12 csv: %v", got)
+	}
+}
+
+func TestCollectAndWriteDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	rr, err := Collect(experiments.TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Finished.Before(rr.Started) {
+		t.Error("timestamps inverted")
+	}
+	dir := t.TempDir()
+	written, err := rr.WriteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table1.csv", "fig7_storage_ber.csv", "fig8_histograms.csv",
+		"fig9a_encoding.csv", "fig9b_search.csv", "fig10_venn.csv",
+		"fig12_cost.csv", "fig13_dimension.csv",
+		"fig11_iPRG2012.csv", "fig11_HEK293.csv",
+	}
+	have := map[string]bool{}
+	for _, w := range written {
+		have[w] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("missing output %s", w)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, w))
+		if err != nil {
+			t.Errorf("reading %s: %v", w, err)
+			continue
+		}
+		if !strings.Contains(string(raw), "\n") {
+			t.Errorf("%s looks empty", w)
+		}
+	}
+}

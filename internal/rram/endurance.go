@@ -1,0 +1,164 @@
+package rram
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/hdc"
+)
+
+// randomHV draws a random hypervector using the device's rng so aged
+// measurements stay deterministic per device seed.
+func randomHV(dev *Device, d int) hdc.BinaryHV {
+	return hdc.RandomBinaryHV(d, dev.rng)
+}
+
+// Endurance modelling: RRAM cells degrade with program/erase cycling —
+// after ~1e6-1e9 cycles the switching window collapses and write noise
+// grows. The paper programs its reference library once (spectral
+// libraries are read-mostly), but a production deployment re-programs
+// arrays as libraries grow, and the in-memory encoder re-programs ID
+// weights per batch, so cycling budgets matter for system lifetime
+// analysis. The model follows the standard empirical form: the usable
+// conductance window shrinks and write noise grows as a power law of
+// the cycle count beyond a knee.
+
+// EnduranceConfig calibrates the cycling degradation model.
+type EnduranceConfig struct {
+	// KneeCycles is where degradation becomes noticeable (typical
+	// HfO2 RRAM: ~1e6).
+	KneeCycles float64
+	// FailCycles is where the window has fully collapsed (~1e9).
+	FailCycles float64
+	// WindowExponent shapes the window collapse between knee and fail.
+	WindowExponent float64
+	// NoiseGrowth multiplies ProgramSigma at FailCycles.
+	NoiseGrowth float64
+}
+
+// DefaultEnduranceConfig returns typical HfO2 filamentary RRAM values.
+func DefaultEnduranceConfig() EnduranceConfig {
+	return EnduranceConfig{
+		KneeCycles:     1e6,
+		FailCycles:     1e9,
+		WindowExponent: 1.0,
+		NoiseGrowth:    4.0,
+	}
+}
+
+// WindowFraction returns the fraction of the fresh conductance window
+// still available after the given number of program cycles: 1 below
+// the knee, decaying to 0 at FailCycles.
+func (c EnduranceConfig) WindowFraction(cycles float64) float64 {
+	if cycles <= c.KneeCycles {
+		return 1
+	}
+	if cycles >= c.FailCycles {
+		return 0
+	}
+	// Log-domain power-law decay from knee to fail.
+	span := math.Log10(c.FailCycles) - math.Log10(c.KneeCycles)
+	x := (math.Log10(cycles) - math.Log10(c.KneeCycles)) / span
+	f := 1 - math.Pow(x, c.WindowExponent)
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// NoiseFactor returns the multiplier on programming noise after the
+// given cycle count: 1 below the knee, rising to NoiseGrowth at fail.
+func (c EnduranceConfig) NoiseFactor(cycles float64) float64 {
+	w := c.WindowFraction(cycles)
+	return 1 + (c.NoiseGrowth-1)*(1-w)
+}
+
+// AgedDevice wraps a Device with a cycling age, scaling conductance
+// targets into the shrunken window and inflating write noise.
+type AgedDevice struct {
+	dev    *Device
+	end    EnduranceConfig
+	cycles float64
+}
+
+// NewAgedDevice wraps dev at the given cycling age.
+func NewAgedDevice(dev *Device, end EnduranceConfig, cycles float64) *AgedDevice {
+	if cycles < 0 {
+		cycles = 0
+	}
+	return &AgedDevice{dev: dev, end: end, cycles: cycles}
+}
+
+// Cycles returns the modelled age.
+func (a *AgedDevice) Cycles() float64 { return a.cycles }
+
+// Program writes a target conductance, compressed into the remaining
+// window around its midpoint and with aged write noise.
+func (a *AgedDevice) Program(c *Cell, target float64) {
+	gmax := a.dev.cfg.GMax
+	w := a.end.WindowFraction(a.cycles)
+	mid := gmax / 2
+	aged := mid + (target-mid)*w
+	// Temporarily widen the device's noise for this write.
+	saved := a.dev.cfg.ProgramSigma
+	a.dev.cfg.ProgramSigma = saved * a.end.NoiseFactor(a.cycles)
+	a.dev.Program(c, aged)
+	a.dev.cfg.ProgramSigma = saved
+}
+
+// Conductance reads the cell through the underlying device.
+func (a *AgedDevice) Conductance(c *Cell, elapsed time.Duration) float64 {
+	return a.dev.Conductance(c, elapsed)
+}
+
+// AgedBitErrorRate measures storage BER at a cycling age: like
+// BitErrorRate but programming through the aged device. The decision
+// grid still assumes the fresh window (as a deployed controller
+// would), so window collapse directly becomes bit errors.
+func AgedBitErrorRate(dev *Device, end EnduranceConfig, cycles float64, d, bitsPerCell, count int, elapsed time.Duration) (float64, error) {
+	store, err := NewHVStore(dev, d, bitsPerCell)
+	if err != nil {
+		return 0, err
+	}
+	aged := NewAgedDevice(dev, end, cycles)
+	// Re-implement the store/load loop with aged programming.
+	grid := store.grid
+	var flipped, total int
+	for v := 0; v < count; v++ {
+		h := randomHV(dev, d)
+		cells := make([]Cell, store.CellsPerHV())
+		for ci := range cells {
+			val := 0
+			for b := 0; b < bitsPerCell; b++ {
+				i := ci*bitsPerCell + b
+				if i >= d {
+					break
+				}
+				if h.Bit(i) > 0 {
+					val |= 1 << uint(b)
+				}
+			}
+			aged.Program(&cells[ci], grid.Target(val))
+		}
+		for ci := range cells {
+			g := aged.Conductance(&cells[ci], elapsed)
+			val := grid.Decide(g)
+			for b := 0; b < bitsPerCell; b++ {
+				i := ci*bitsPerCell + b
+				if i >= d {
+					break
+				}
+				want := h.Bit(i) > 0
+				got := val&(1<<uint(b)) != 0
+				if want != got {
+					flipped++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(flipped) / float64(total), nil
+}

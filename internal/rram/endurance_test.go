@@ -1,0 +1,99 @@
+package rram
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowFractionShape(t *testing.T) {
+	c := DefaultEnduranceConfig()
+	if c.WindowFraction(1) != 1 || c.WindowFraction(1e6) != 1 {
+		t.Error("fresh device window should be full")
+	}
+	if c.WindowFraction(1e9) != 0 || c.WindowFraction(1e12) != 0 {
+		t.Error("failed device window should be zero")
+	}
+	mid := c.WindowFraction(3e7)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("mid-life window = %v", mid)
+	}
+	// Monotone decay.
+	prev := 1.0
+	for _, cyc := range []float64{1e6, 1e7, 1e8, 5e8, 1e9} {
+		w := c.WindowFraction(cyc)
+		if w > prev {
+			t.Fatalf("window grew at %v cycles", cyc)
+		}
+		prev = w
+	}
+}
+
+func TestNoiseFactorShape(t *testing.T) {
+	c := DefaultEnduranceConfig()
+	if c.NoiseFactor(100) != 1 {
+		t.Error("fresh noise factor should be 1")
+	}
+	if got := c.NoiseFactor(1e9); got != c.NoiseGrowth {
+		t.Errorf("end-of-life noise factor = %v, want %v", got, c.NoiseGrowth)
+	}
+	if c.NoiseFactor(1e8) <= 1 {
+		t.Error("aged noise factor should exceed 1")
+	}
+}
+
+func TestAgedDeviceCompressesWindow(t *testing.T) {
+	dev := quietDevice(50)
+	end := DefaultEnduranceConfig()
+	aged := NewAgedDevice(dev, end, 5e8) // late life
+	if aged.Cycles() != 5e8 {
+		t.Error("cycles accessor")
+	}
+	var lo, hi Cell
+	aged.Program(&lo, 0)
+	aged.Program(&hi, 50)
+	gLo := aged.Conductance(&lo, 0)
+	gHi := aged.Conductance(&hi, 0)
+	// Window compressed toward the midpoint (25 uS).
+	if gLo < 5 || gHi > 45 {
+		t.Errorf("window not compressed: %v .. %v", gLo, gHi)
+	}
+	if gHi <= gLo {
+		t.Error("window fully collapsed too early")
+	}
+}
+
+func TestAgedDeviceNegativeCyclesClamped(t *testing.T) {
+	dev := quietDevice(51)
+	aged := NewAgedDevice(dev, DefaultEnduranceConfig(), -5)
+	if aged.Cycles() != 0 {
+		t.Error("negative cycles not clamped")
+	}
+}
+
+func TestAgedBitErrorRateGrowsWithCycling(t *testing.T) {
+	end := DefaultEnduranceConfig()
+	at := func(cycles float64) float64 {
+		dev := NewDevice(DefaultDeviceConfig(), 52)
+		ber, err := AgedBitErrorRate(dev, end, cycles, 2048, 3, 8, 2*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ber
+	}
+	fresh := at(1000)
+	worn := at(3e8)
+	dead := at(1e9)
+	if !(fresh < worn && worn < dead) {
+		t.Errorf("BER not growing with cycling: fresh=%v worn=%v dead=%v", fresh, worn, dead)
+	}
+	if dead < 0.3 {
+		t.Errorf("end-of-life BER = %v, want catastrophic", dead)
+	}
+}
+
+func TestAgedBitErrorRateValidation(t *testing.T) {
+	dev := NewDevice(DefaultDeviceConfig(), 53)
+	if _, err := AgedBitErrorRate(dev, DefaultEnduranceConfig(), 0, 0, 3, 1, 0); err == nil {
+		t.Error("bad dimension accepted")
+	}
+}

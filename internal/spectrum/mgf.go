@@ -1,0 +1,150 @@
+package spectrum
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a reader and writer for the Mascot Generic
+// Format (MGF), the de-facto text interchange format for MS/MS peak
+// lists. The subset supported covers BEGIN/END IONS blocks with TITLE,
+// PEPMASS, CHARGE, SEQ (peptide annotation) and DECOY headers plus
+// "m/z intensity" peak lines — enough to round-trip every dataset this
+// repository generates.
+
+// WriteMGF writes the spectra to w in MGF format.
+func WriteMGF(w io.Writer, spectra []*Spectrum) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range spectra {
+		if _, err := fmt.Fprintf(bw, "BEGIN IONS\nTITLE=%s\nPEPMASS=%.6f\nCHARGE=%d+\n",
+			s.ID, s.PrecursorMZ, s.Charge); err != nil {
+			return err
+		}
+		if s.Peptide != "" {
+			if _, err := fmt.Fprintf(bw, "SEQ=%s\n", s.Peptide); err != nil {
+				return err
+			}
+		}
+		if s.IsDecoy {
+			if _, err := fmt.Fprintln(bw, "DECOY=1"); err != nil {
+				return err
+			}
+		}
+		for _, p := range s.Peaks {
+			if _, err := fmt.Fprintf(bw, "%.5f %.4f\n", p.MZ, p.Intensity); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "END IONS"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMGF parses all spectra from an MGF stream. Unknown header lines
+// are ignored; malformed peak lines or structure produce an error with
+// the offending line number.
+func ReadMGF(r io.Reader) ([]*Spectrum, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		spectra []*Spectrum
+		cur     *Spectrum
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case line == "BEGIN IONS":
+			if cur != nil {
+				return nil, fmt.Errorf("mgf line %d: nested BEGIN IONS", lineNo)
+			}
+			cur = &Spectrum{Charge: 1}
+		case line == "END IONS":
+			if cur == nil {
+				return nil, fmt.Errorf("mgf line %d: END IONS without BEGIN", lineNo)
+			}
+			cur.SortPeaks()
+			spectra = append(spectra, cur)
+			cur = nil
+		case cur == nil:
+			// Global headers outside blocks are permitted and ignored.
+		case strings.Contains(line, "="):
+			key, val, _ := strings.Cut(line, "=")
+			if err := applyHeader(cur, strings.ToUpper(key), val); err != nil {
+				return nil, fmt.Errorf("mgf line %d: %v", lineNo, err)
+			}
+		default:
+			p, err := parsePeakLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("mgf line %d: %v", lineNo, err)
+			}
+			cur.Peaks = append(cur.Peaks, p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("mgf: unterminated IONS block at EOF")
+	}
+	return spectra, nil
+}
+
+func applyHeader(s *Spectrum, key, val string) error {
+	switch key {
+	case "TITLE":
+		s.ID = val
+	case "PEPMASS":
+		// PEPMASS may carry "mz [intensity]".
+		fields := strings.Fields(val)
+		if len(fields) == 0 {
+			return fmt.Errorf("empty PEPMASS")
+		}
+		mz, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return fmt.Errorf("bad PEPMASS %q: %v", val, err)
+		}
+		s.PrecursorMZ = mz
+	case "CHARGE":
+		v := strings.TrimSuffix(strings.TrimSpace(val), "+")
+		v = strings.TrimSuffix(v, "-")
+		z, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad CHARGE %q: %v", val, err)
+		}
+		if z < 1 {
+			z = 1
+		}
+		s.Charge = z
+	case "SEQ":
+		s.Peptide = val
+	case "DECOY":
+		s.IsDecoy = val == "1" || strings.EqualFold(val, "true")
+	}
+	return nil
+}
+
+func parsePeakLine(line string) (Peak, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Peak{}, fmt.Errorf("bad peak line %q", line)
+	}
+	mz, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Peak{}, fmt.Errorf("bad m/z %q: %v", fields[0], err)
+	}
+	in, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return Peak{}, fmt.Errorf("bad intensity %q: %v", fields[1], err)
+	}
+	return Peak{MZ: mz, Intensity: in}, nil
+}

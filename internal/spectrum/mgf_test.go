@@ -1,0 +1,123 @@
+package spectrum
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMGFRoundTrip(t *testing.T) {
+	in := []*Spectrum{
+		{
+			ID: "scan=1", PrecursorMZ: 523.7744, Charge: 2,
+			Peptide: "PEPTIDEK",
+			Peaks: []Peak{
+				{MZ: 147.11, Intensity: 100.5},
+				{MZ: 263.09, Intensity: 42},
+			},
+		},
+		{
+			ID: "scan=2", PrecursorMZ: 801.4, Charge: 3, IsDecoy: true,
+			Peaks: []Peak{{MZ: 301.2, Intensity: 7}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMGF(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMGF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d spectra", len(out))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.ID != b.ID || a.Charge != b.Charge || a.Peptide != b.Peptide || a.IsDecoy != b.IsDecoy {
+			t.Errorf("spectrum %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.PrecursorMZ-b.PrecursorMZ) > 1e-5 {
+			t.Errorf("spectrum %d precursor %v vs %v", i, a.PrecursorMZ, b.PrecursorMZ)
+		}
+		if len(a.Peaks) != len(b.Peaks) {
+			t.Fatalf("spectrum %d peaks %d vs %d", i, len(a.Peaks), len(b.Peaks))
+		}
+		for j := range a.Peaks {
+			if math.Abs(a.Peaks[j].MZ-b.Peaks[j].MZ) > 1e-4 ||
+				math.Abs(a.Peaks[j].Intensity-b.Peaks[j].Intensity) > 1e-3 {
+				t.Errorf("spectrum %d peak %d: %+v vs %+v", i, j, a.Peaks[j], b.Peaks[j])
+			}
+		}
+	}
+}
+
+func TestReadMGFTolerantHeaders(t *testing.T) {
+	src := `
+# comment
+GLOBAL=ignored
+BEGIN IONS
+TITLE=q1
+PEPMASS=612.33 12345.6
+CHARGE=2+
+RTINSECONDS=88.2
+100.5 10
+200.25 20
+END IONS
+`
+	out, err := ReadMGF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("spectra = %d", len(out))
+	}
+	s := out[0]
+	if s.ID != "q1" || s.Charge != 2 || math.Abs(s.PrecursorMZ-612.33) > 1e-9 {
+		t.Errorf("parsed header: %+v", s)
+	}
+	if len(s.Peaks) != 2 {
+		t.Errorf("peaks = %d", len(s.Peaks))
+	}
+}
+
+func TestReadMGFErrors(t *testing.T) {
+	cases := map[string]string{
+		"nested begin":   "BEGIN IONS\nBEGIN IONS\n",
+		"end without":    "END IONS\n",
+		"unterminated":   "BEGIN IONS\nTITLE=x\n",
+		"bad peak":       "BEGIN IONS\nfoo bar\nEND IONS\n",
+		"bad pepmass":    "BEGIN IONS\nPEPMASS=abc\nEND IONS\n",
+		"bad charge":     "BEGIN IONS\nCHARGE=zz+\nEND IONS\n",
+		"one field peak": "BEGIN IONS\n123.4\nEND IONS\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMGF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadMGFSortsPeaks(t *testing.T) {
+	src := "BEGIN IONS\nTITLE=t\nPEPMASS=500\nCHARGE=2+\n300 1\n100 2\n200 3\nEND IONS\n"
+	out, err := ReadMGF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out[0].Peaks
+	if p[0].MZ != 100 || p[1].MZ != 200 || p[2].MZ != 300 {
+		t.Errorf("peaks not sorted: %+v", p)
+	}
+}
+
+func TestReadMGFNegativeChargeClamped(t *testing.T) {
+	src := "BEGIN IONS\nTITLE=t\nPEPMASS=500\nCHARGE=0+\n100 1\nEND IONS\n"
+	out, err := ReadMGF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Charge != 1 {
+		t.Errorf("charge = %d, want clamp to 1", out[0].Charge)
+	}
+}

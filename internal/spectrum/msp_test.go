@@ -1,0 +1,147 @@
+package spectrum
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMSPRoundTrip(t *testing.T) {
+	in := []*Spectrum{
+		{
+			ID: "ref:0", PrecursorMZ: 523.77, Charge: 2, Peptide: "PEPTIDEK",
+			Peaks: []Peak{{MZ: 147.11, Intensity: 100.5}, {MZ: 263.09, Intensity: 42}},
+		},
+		{
+			ID: "decoy:0", PrecursorMZ: 801.4, Charge: 3, Peptide: "KEDITPEP", IsDecoy: true,
+			Peaks: []Peak{{MZ: 301.2, Intensity: 7}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMSP(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMSP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("spectra = %d", len(out))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.ID != b.ID || a.Charge != b.Charge || a.Peptide != b.Peptide || a.IsDecoy != b.IsDecoy {
+			t.Errorf("spectrum %d: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.PrecursorMZ-b.PrecursorMZ) > 1e-5 {
+			t.Errorf("spectrum %d precursor", i)
+		}
+		if len(a.Peaks) != len(b.Peaks) {
+			t.Errorf("spectrum %d peaks", i)
+		}
+	}
+}
+
+func TestReadMSPRealWorldish(t *testing.T) {
+	src := `
+Name: AAAAK/2
+MW: 430.25
+Charge: 2
+Comment: ID=lib1 Parent=216.13 Decoy=0
+Num peaks: 3
+101.07	1500.0
+172.11	8000.2
+243.14	950.7
+
+Name: NOSLASH
+PrecursorMZ: 500.5
+Comment: ID=lib2
+Num peaks: 1
+200.1	5.0
+`
+	out, err := ReadMSP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("spectra = %d", len(out))
+	}
+	a := out[0]
+	if a.Peptide != "AAAAK" || a.Charge != 2 || a.ID != "lib1" {
+		t.Errorf("first: %+v", a)
+	}
+	// MW converted to m/z: 430.25/2 + proton.
+	if math.Abs(a.PrecursorMZ-(430.25/2+protonMass)) > 1e-6 {
+		t.Errorf("precursor from MW = %v", a.PrecursorMZ)
+	}
+	if len(a.Peaks) != 3 {
+		t.Errorf("peaks = %d", len(a.Peaks))
+	}
+	b := out[1]
+	if b.Peptide != "NOSLASH" || b.Charge != 1 || b.PrecursorMZ != 500.5 || b.ID != "lib2" {
+		t.Errorf("second: %+v", b)
+	}
+}
+
+func TestReadMSPErrors(t *testing.T) {
+	cases := map[string]string{
+		"content before name": "PrecursorMZ: 100\n",
+		"bad precursor":       "Name: A/2\nPrecursorMZ: abc\n",
+		"bad charge":          "Name: A/2\nCharge: xx\n",
+		"bad num peaks":       "Name: A/2\nNum peaks: -3\n",
+		"peak count mismatch": "Name: A/2\nNum peaks: 2\n100 1\n",
+		"bad peak":            "Name: A/2\nNum peaks: 1\nfoo bar\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMSP(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadMSPUnknownHeadersIgnored(t *testing.T) {
+	src := "Name: A/2\nPrecursorMZ: 300\nRetentionTime: 12.5\nInstrument: QExactive\nNum peaks: 1\n100 1\n"
+	out, err := ReadMSP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Peaks) != 1 {
+		t.Errorf("parsed: %+v", out)
+	}
+}
+
+func TestMSPAndMGFAgree(t *testing.T) {
+	// The same spectra serialized through both formats must decode to
+	// the same search-relevant content.
+	in := []*Spectrum{{
+		ID: "x:1", PrecursorMZ: 612.345678, Charge: 2, Peptide: "SAMPLER",
+		Peaks: []Peak{{MZ: 120.5, Intensity: 33.3}, {MZ: 450.25, Intensity: 99.9}},
+	}}
+	var mgf, msp bytes.Buffer
+	if err := WriteMGF(&mgf, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMSP(&msp, in); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadMGF(&mgf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMSP(&msp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Peptide != b[0].Peptide || a[0].Charge != b[0].Charge {
+		t.Error("headers disagree across formats")
+	}
+	if math.Abs(a[0].PrecursorMZ-b[0].PrecursorMZ) > 1e-5 {
+		t.Error("precursors disagree across formats")
+	}
+	for i := range a[0].Peaks {
+		if math.Abs(a[0].Peaks[i].MZ-b[0].Peaks[i].MZ) > 1e-4 {
+			t.Error("peaks disagree across formats")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binner converts preprocessed spectra into sparse binned vectors:
+// the m/z axis [MinMZ, MaxMZ) is divided into fixed-width bins and the
+// intensities of peaks falling into the same bin are summed (§3.1).
+// The resulting bin indices feed both the HD encoder (as ID indices)
+// and the ANN-SoLo baseline (as sparse vector coordinates).
+type Binner struct {
+	// MinMZ is the lower edge of the first bin.
+	MinMZ float64
+	// MaxMZ is the exclusive upper edge of the last bin.
+	MaxMZ float64
+	// BinWidth is the width of each bin in Th (Da/charge).
+	BinWidth float64
+}
+
+// DefaultBinner returns the binning used throughout the evaluation:
+// 1.0 Th bins over [101, 1500), close to HyperOMS' configuration and
+// sized so bin count ≈ 1400, comfortably below HD dimensions of 1k–8k.
+func DefaultBinner() Binner {
+	return Binner{MinMZ: 101.0, MaxMZ: 1500.0, BinWidth: 1.0}
+}
+
+// NumBins returns the number of bins on the m/z axis.
+func (b Binner) NumBins() int {
+	n := int(math.Ceil((b.MaxMZ - b.MinMZ) / b.BinWidth))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Bin returns the bin index for an m/z value and whether it is in range.
+func (b Binner) Bin(mz float64) (int, bool) {
+	if mz < b.MinMZ || mz >= b.MaxMZ {
+		return 0, false
+	}
+	i := int((mz - b.MinMZ) / b.BinWidth)
+	if i >= b.NumBins() {
+		i = b.NumBins() - 1
+	}
+	return i, true
+}
+
+// BinCenter returns the m/z at the center of bin i.
+func (b Binner) BinCenter(i int) float64 {
+	return b.MinMZ + (float64(i)+0.5)*b.BinWidth
+}
+
+// Entry is one non-zero coordinate of a binned spectrum vector.
+type Entry struct {
+	// Bin is the m/z bin index.
+	Bin int
+	// Intensity is the summed intensity of all peaks in the bin.
+	Intensity float64
+}
+
+// Vector is a sparse binned spectrum vector with entries sorted by
+// ascending bin index.
+type Vector struct {
+	// Entries are the non-zero coordinates sorted by Bin.
+	Entries []Entry
+	// NumBins is the dense dimensionality of the vector.
+	NumBins int
+}
+
+// Vectorize bins the spectrum's peaks, summing intensities of peaks
+// that share a bin.
+func (b Binner) Vectorize(s *Spectrum) Vector {
+	acc := make(map[int]float64, len(s.Peaks))
+	for _, p := range s.Peaks {
+		if i, ok := b.Bin(p.MZ); ok {
+			acc[i] += p.Intensity
+		}
+	}
+	entries := make([]Entry, 0, len(acc))
+	for i, v := range acc {
+		entries = append(entries, Entry{Bin: i, Intensity: v})
+	}
+	sort.Slice(entries, func(a, c int) bool { return entries[a].Bin < entries[c].Bin })
+	return Vector{Entries: entries, NumBins: b.NumBins()}
+}
+
+// Norm returns the Euclidean norm of the vector.
+func (v Vector) Norm() float64 {
+	var ss float64
+	for _, e := range v.Entries {
+		ss += e.Intensity * e.Intensity
+	}
+	return math.Sqrt(ss)
+}
+
+// Scale returns a copy of the vector with every entry multiplied by k.
+func (v Vector) Scale(k float64) Vector {
+	out := Vector{Entries: make([]Entry, len(v.Entries)), NumBins: v.NumBins}
+	for i, e := range v.Entries {
+		out.Entries[i] = Entry{Bin: e.Bin, Intensity: e.Intensity * k}
+	}
+	return out
+}
+
+// Normalized returns the unit-norm version of the vector (or the
+// vector itself if it has zero norm).
+func (v Vector) Normalized() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Dot returns the sparse dot product of two vectors.
+func Dot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Entries) && j < len(b.Entries) {
+		switch {
+		case a.Entries[i].Bin == b.Entries[j].Bin:
+			s += a.Entries[i].Intensity * b.Entries[j].Intensity
+			i++
+			j++
+		case a.Entries[i].Bin < b.Entries[j].Bin:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// ShiftedDot returns the open-modification "shifted dot product"
+// (ANN-SoLo's scoring function): each query entry may match a library
+// entry either at the same bin or at the bin shifted by the precursor
+// mass difference (in bins), and each side of a match is consumed at
+// most once. shiftBins may be negative.
+func ShiftedDot(query, library Vector, shiftBins int) float64 {
+	usedLib := make(map[int]bool, len(library.Entries))
+	libByBin := make(map[int]int, len(library.Entries))
+	for i, e := range library.Entries {
+		libByBin[e.Bin] = i
+	}
+	var s float64
+	for _, q := range query.Entries {
+		// Unshifted match first (unmodified fragments), then shifted.
+		if i, ok := libByBin[q.Bin]; ok && !usedLib[i] {
+			s += q.Intensity * library.Entries[i].Intensity
+			usedLib[i] = true
+			continue
+		}
+		if shiftBins != 0 {
+			if i, ok := libByBin[q.Bin-shiftBins]; ok && !usedLib[i] {
+				s += q.Intensity * library.Entries[i].Intensity
+				usedLib[i] = true
+			}
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity between two vectors, in [ -1, 1 ].
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Quantize maps the vector's intensities to integer levels 0..levels-1
+// relative to the vector's maximum intensity. It is the front half of
+// the HD ID-Level encoder: each (bin, level) pair selects an ID and a
+// level hypervector. A zero-intensity or empty vector yields level 0
+// entries.
+func (v Vector) Quantize(levels int) []QuantizedPeak {
+	if levels < 2 {
+		levels = 2
+	}
+	var maxI float64
+	for _, e := range v.Entries {
+		if e.Intensity > maxI {
+			maxI = e.Intensity
+		}
+	}
+	out := make([]QuantizedPeak, len(v.Entries))
+	for i, e := range v.Entries {
+		lvl := 0
+		if maxI > 0 {
+			lvl = int(e.Intensity / maxI * float64(levels-1))
+			if lvl >= levels {
+				lvl = levels - 1
+			}
+		}
+		out[i] = QuantizedPeak{Bin: e.Bin, Level: lvl}
+	}
+	return out
+}
+
+// QuantizedPeak is a binned peak with its intensity quantized to a
+// discrete level, the unit of information consumed by the HD encoder.
+type QuantizedPeak struct {
+	// Bin is the m/z bin index (selects the ID hypervector).
+	Bin int
+	// Level is the quantized intensity level (selects the level
+	// hypervector), in [0, Q).
+	Level int
+}
+
+// String renders a short summary of the vector.
+func (v Vector) String() string {
+	return fmt.Sprintf("Vector{%d/%d non-zero}", len(v.Entries), v.NumBins)
+}

@@ -1,0 +1,135 @@
+// Package units provides mass-spectrometry mass arithmetic: Dalton and
+// ppm quantities, proton/water constants, m/z conversions and tolerance
+// windows used for precursor matching in standard and open searches.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants in Dalton (unified atomic mass units).
+const (
+	// ProtonMass is the mass of a proton in Da.
+	ProtonMass = 1.007276466622
+	// WaterMass is the monoisotopic mass of H2O in Da.
+	WaterMass = 18.010564684
+	// HydrogenMass is the monoisotopic mass of a hydrogen atom in Da.
+	HydrogenMass = 1.00782503207
+	// AmmoniaMass is the monoisotopic mass of NH3 in Da.
+	AmmoniaMass = 17.026549101
+	// IsotopeSpacing is the average spacing between isotope peaks in Da.
+	IsotopeSpacing = 1.0033548378
+)
+
+// Tolerance expresses a symmetric mass tolerance either in absolute
+// Dalton or in parts-per-million relative to the reference mass.
+type Tolerance struct {
+	// Value is the magnitude of the tolerance.
+	Value float64
+	// PPM reports whether Value is in parts-per-million (true) or
+	// Dalton (false).
+	PPM bool
+}
+
+// Da returns an absolute tolerance of v Dalton.
+func Da(v float64) Tolerance { return Tolerance{Value: v} }
+
+// PPM returns a relative tolerance of v parts-per-million.
+func PPM(v float64) Tolerance { return Tolerance{Value: v, PPM: true} }
+
+// Delta returns the absolute half-width of the tolerance window around
+// the reference mass ref (in Da).
+func (t Tolerance) Delta(ref float64) float64 {
+	if t.PPM {
+		return math.Abs(ref) * t.Value * 1e-6
+	}
+	return t.Value
+}
+
+// Contains reports whether observed lies within the tolerance window
+// centred on expected.
+func (t Tolerance) Contains(expected, observed float64) bool {
+	return math.Abs(observed-expected) <= t.Delta(expected)
+}
+
+// Window returns the closed interval [lo, hi] of masses accepted around
+// the reference mass ref.
+func (t Tolerance) Window(ref float64) (lo, hi float64) {
+	d := t.Delta(ref)
+	return ref - d, ref + d
+}
+
+// String formats the tolerance with its unit.
+func (t Tolerance) String() string {
+	if t.PPM {
+		return fmt.Sprintf("%g ppm", t.Value)
+	}
+	return fmt.Sprintf("%g Da", t.Value)
+}
+
+// MassWindow is an asymmetric precursor-mass acceptance interval, used
+// to express open-search windows such as [-150, +500] Da.
+type MassWindow struct {
+	// Lower is the (usually negative) lower offset in Da.
+	Lower float64
+	// Upper is the upper offset in Da.
+	Upper float64
+}
+
+// OpenWindow returns the wide precursor window used by open modification
+// searches: lower and upper offsets in Da around the reference mass.
+func OpenWindow(lower, upper float64) MassWindow {
+	if lower > upper {
+		lower, upper = upper, lower
+	}
+	return MassWindow{Lower: lower, Upper: upper}
+}
+
+// StandardWindow returns a narrow symmetric window of +/- tol around the
+// reference, expressed as a MassWindow.
+func StandardWindow(ref float64, tol Tolerance) MassWindow {
+	d := tol.Delta(ref)
+	return MassWindow{Lower: -d, Upper: +d}
+}
+
+// Contains reports whether candidate mass m is accepted for reference
+// mass ref under the window.
+func (w MassWindow) Contains(ref, m float64) bool {
+	d := m - ref
+	return d >= w.Lower && d <= w.Upper
+}
+
+// Width returns the total width of the window in Da.
+func (w MassWindow) Width() float64 { return w.Upper - w.Lower }
+
+// String formats the window as "[lo, hi] Da".
+func (w MassWindow) String() string {
+	return fmt.Sprintf("[%+g, %+g] Da", w.Lower, w.Upper)
+}
+
+// MZToNeutralMass converts an m/z value at the given charge to the
+// neutral (uncharged) monoisotopic mass.
+func MZToNeutralMass(mz float64, charge int) float64 {
+	if charge <= 0 {
+		charge = 1
+	}
+	return (mz - ProtonMass) * float64(charge)
+}
+
+// NeutralMassToMZ converts a neutral mass to the m/z observed at the
+// given charge state.
+func NeutralMassToMZ(mass float64, charge int) float64 {
+	if charge <= 0 {
+		charge = 1
+	}
+	return mass/float64(charge) + ProtonMass
+}
+
+// PPMError returns the relative error of observed vs expected in ppm.
+func PPMError(expected, observed float64) float64 {
+	if expected == 0 {
+		return 0
+	}
+	return (observed - expected) / expected * 1e6
+}
