@@ -10,8 +10,11 @@
 package repro
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -203,6 +206,131 @@ func BenchmarkHammingSearch1k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.TopK(q, nil, 5)
+	}
+}
+
+// --- Sharded batch search benchmarks -----------------------------------
+
+// seedBatchTopK replicates the seed Searcher.BatchTopK: a parallel
+// fan-out of per-query flat scans over the reference slice, one
+// container/heap allocation per query. It is the baseline the sharded
+// engine's speedup is measured against.
+func seedBatchTopK(refs []hdc.BinaryHV, queries []hdc.BinaryHV, k int) [][]hdc.Match {
+	out := make([][]hdc.Match, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				h := &seedMatchHeap{}
+				heap.Init(h)
+				for r := range refs {
+					m := hdc.Match{Index: r, Similarity: hdc.HammingSimilarity(queries[i], refs[r])}
+					if h.Len() < k {
+						heap.Push(h, m)
+					} else if seedWorse((*h)[0], m) {
+						(*h)[0] = m
+						heap.Fix(h, 0)
+					}
+				}
+				res := make([]hdc.Match, h.Len())
+				for j := len(res) - 1; j >= 0; j-- {
+					res[j] = heap.Pop(h).(hdc.Match)
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func seedWorse(a, b hdc.Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity < b.Similarity
+	}
+	return a.Index > b.Index
+}
+
+type seedMatchHeap []hdc.Match
+
+func (h seedMatchHeap) Len() int            { return len(h) }
+func (h seedMatchHeap) Less(i, j int) bool  { return seedWorse(h[i], h[j]) }
+func (h seedMatchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seedMatchHeap) Push(x interface{}) { *h = append(*h, x.(hdc.Match)) }
+func (h *seedMatchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// batchBenchInputs builds a random reference set and query batch.
+func batchBenchInputs(b *testing.B, d, nRefs, nQueries int) ([]hdc.BinaryHV, []hdc.BinaryHV) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	refs := make([]hdc.BinaryHV, nRefs)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(d, rng)
+	}
+	queries := make([]hdc.BinaryHV, nQueries)
+	for i := range queries {
+		queries[i] = hdc.RandomBinaryHV(d, rng)
+	}
+	return refs, queries
+}
+
+const batchBenchQueries = 64
+
+// BenchmarkShardedBatchTopK measures the sharded batch engine across
+// the paper's dimensions and reference-set scales, reporting per-op
+// query throughput. The matching Seed variants run the original
+// flat-scan batch path on identical inputs, so the ratio of the two
+// is the engine speedup (acceptance: >= 1.5x at 100k refs).
+func BenchmarkShardedBatchTopK(b *testing.B) {
+	for _, d := range []int{2048, 8192} {
+		for _, nRefs := range []int{10_000, 100_000} {
+			b.Run(fmt.Sprintf("D%d/refs%d", d, nRefs), func(b *testing.B) {
+				refs, queries := batchBenchInputs(b, d, nRefs, batchBenchQueries)
+				s, err := hdc.NewSearcher(refs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.BatchTopK(queries, nil, 5)
+				}
+				b.ReportMetric(float64(batchBenchQueries), "queries/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSeedBatchTopK is the seed flat-scan baseline for
+// BenchmarkShardedBatchTopK.
+func BenchmarkSeedBatchTopK(b *testing.B) {
+	for _, d := range []int{2048, 8192} {
+		for _, nRefs := range []int{10_000, 100_000} {
+			b.Run(fmt.Sprintf("D%d/refs%d", d, nRefs), func(b *testing.B) {
+				refs, queries := batchBenchInputs(b, d, nRefs, batchBenchQueries)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					seedBatchTopK(refs, queries, 5)
+				}
+				b.ReportMetric(float64(batchBenchQueries), "queries/op")
+			})
+		}
 	}
 }
 

@@ -2,7 +2,8 @@
 // file against an MGF spectral library using the HD engine:
 //
 //	omsearch -library lib.mgf -queries q.mgf [-backend ideal|rram] \
-//	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard]
+//	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard] \
+//	         [-parallel] [-shardsize 2048]
 //
 // Results are written to stdout as a TSV of accepted PSMs.
 package main
@@ -27,6 +28,7 @@ func main() {
 	alpha := flag.Float64("fdr", 0.01, "FDR acceptance level")
 	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
 	parallel := flag.Bool("parallel", false, "search queries across CPU cores")
+	shardSize := flag.Int("shardsize", 0, "reference rows per search shard (0 = default)")
 	rescore := flag.Float64("rescore", 0, "blend factor for shifted-dot rescoring of the HD shortlist (0 = off, 1 = pure shifted-dot)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -47,6 +49,7 @@ func main() {
 	p.Accel.Seed = *seed
 	p.FDRAlpha = *alpha
 	p.Open = !*standard
+	p.ShardSize = *shardSize
 
 	var engine *core.Engine
 	switch *backend {

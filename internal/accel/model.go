@@ -152,41 +152,55 @@ func NewNoisySearcher(exact *hdc.Searcher, model NoisyModel, seed int64) *NoisyS
 	return &NoisySearcher{Exact: exact, Model: model, rng: rand.New(rand.NewSource(seed))}
 }
 
+// simsPool recycles full-scan similarity buffers across queries.
+var simsPool = sync.Pool{New: func() any { return new([]int) }}
+
 // TopK returns the k best matches under noisy similarity scores,
-// restricted to candidates (nil = all).
+// restricted to candidates (nil = all). Full scans bulk-score the
+// references through the sharded exact engine's blocked XOR+popcount
+// kernel before perturbing.
 func (s *NoisySearcher) TopK(q hdc.BinaryHV, candidates []int, k int) []hdc.Match {
 	if k <= 0 {
 		return nil
 	}
-	idx := candidates
-	if idx == nil {
-		idx = make([]int, s.Exact.Len())
-		for i := range idx {
-			idx[i] = i
-		}
+	n := len(candidates)
+	if candidates == nil {
+		n = s.Exact.Len()
 	}
 	// Draw all noise under one lock so concurrent queries stay safe
 	// and deterministic per-searcher.
 	var noise []float64
 	if s.Model.SearchSigma > 0 {
-		noise = make([]float64, len(idx))
+		noise = make([]float64, n)
 		s.mu.Lock()
 		for i := range noise {
 			noise[i] = s.rng.NormFloat64() * s.Model.SearchSigma
 		}
 		s.mu.Unlock()
 	}
+	perturb := func(sim float64, pos int) int {
+		if noise != nil {
+			sim += noise[pos]
+		}
+		return int(math.Round(sim))
+	}
 	best := make([]hdc.Match, 0, k)
-	for n, i := range idx {
+	if candidates == nil {
+		bufp := simsPool.Get().(*[]int)
+		sims := s.Exact.Engine().SimilaritiesInto(q, *bufp)
+		for i, sim := range sims {
+			best = insertTopK(best, hdc.Match{Index: i, Similarity: perturb(float64(sim), i)}, k)
+		}
+		*bufp = sims
+		simsPool.Put(bufp)
+		return best
+	}
+	for pos, i := range candidates {
 		if i < 0 || i >= s.Exact.Len() {
 			continue
 		}
 		sim := float64(s.Exact.Similarity(q, i))
-		if noise != nil {
-			sim += noise[n]
-		}
-		m := hdc.Match{Index: i, Similarity: int(math.Round(sim))}
-		best = insertTopK(best, m, k)
+		best = insertTopK(best, hdc.Match{Index: i, Similarity: perturb(sim, pos)}, k)
 	}
 	return best
 }

@@ -33,6 +33,17 @@ type Searcher interface {
 	TopK(q hdc.BinaryHV, candidates []int, k int) []hdc.Match
 }
 
+// BatchSearcher is the optional batch extension of Searcher.
+// SearchAllParallel routes encoded queries through BatchTopK when the
+// engine's searcher provides it, letting the sharded exact engine
+// amortize its per-worker scratch across the whole query set.
+type BatchSearcher interface {
+	Searcher
+	// BatchTopK runs TopK for every query; candidates[i] restricts
+	// query i (nil = all references).
+	BatchTopK(queries []hdc.BinaryHV, candidates [][]int, k int) [][]hdc.Match
+}
+
 // Params configures an OMS engine.
 type Params struct {
 	// Accel is the HD/hardware operating point (dimension, precision,
@@ -54,6 +65,9 @@ type Params struct {
 	// TopK is how many matches to retrieve per query (PSM uses the
 	// best; the rest support rescoring studies).
 	TopK int
+	// ShardSize is the rows-per-shard of the exact sharded search
+	// engine (0 = hdc.DefaultShardSize).
+	ShardSize int
 	// FDRAlpha is the FDR acceptance level (paper: 0.01).
 	FDRAlpha float64
 }
@@ -285,7 +299,7 @@ func BuildExact(p Params, library []*spectrum.Spectrum) (*Engine, *hdc.Encoder, 
 	if err != nil {
 		return nil, nil, err
 	}
-	searcher, err := hdc.NewSearcher(lib.HVs)
+	searcher, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -332,7 +346,7 @@ func BuildNoisy(p Params, library []*spectrum.Spectrum, spec NoiseSpec) (*Engine
 	if spec.RefStorageBER > 0 {
 		lib.InjectStorageErrors(spec.RefStorageBER, rand.New(rand.NewSource(spec.Seed+1)))
 	}
-	exact, err := hdc.NewSearcher(lib.HVs)
+	exact, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
 	if err != nil {
 		return nil, err
 	}

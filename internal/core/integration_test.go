@@ -136,6 +136,44 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestBatchPathShardSizes checks the exact searcher takes the batch
+// route and that engine results are invariant to the shard size.
+func TestBatchPathShardSizes(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	base, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := base.searcher.(BatchSearcher); !ok {
+		t.Fatal("exact searcher does not implement BatchSearcher")
+	}
+	want, err := base.SearchAllParallel(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shardSize := range []int{1, 7, 64} {
+		ps := p
+		ps.ShardSize = shardSize
+		engine, _, err := BuildExact(ps, ds.Library)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := engine.SearchAllParallel(ds.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: %d PSMs vs %d", shardSize, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d PSM %d differs: %+v vs %+v", shardSize, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestParallelNoisyBackendSafe runs the noisy backend concurrently;
 // results differ from serial (noise draws interleave) but must remain
 // race-free and structurally sound. Run under -race in CI.

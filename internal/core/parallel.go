@@ -1,12 +1,42 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/fdr"
+	"repro/internal/hdc"
 	"repro/internal/spectrum"
+	"repro/internal/units"
 )
+
+// parallelFor runs fn(i) for i in [0, n) across CPU cores.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // SearchAllParallel is SearchAll fanned out across CPU cores — the
 // software analogue of the massive query-level parallelism HyperOMS
@@ -14,37 +44,26 @@ import (
 // Results are returned in query order; queries rejected by
 // preprocessing or with empty candidate sets are omitted, exactly as
 // in SearchAll.
+//
+// When the engine's searcher implements BatchSearcher (the exact
+// sharded engine does), the search runs in two stages: preprocessing,
+// encoding and candidate selection fan out per query, then a single
+// BatchTopK scores every searchable query with per-worker reusable
+// scratch. Other searchers take the per-query path.
 func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
+	if bs, ok := e.searcher.(BatchSearcher); ok {
+		return e.searchAllBatch(queries, bs)
+	}
 	type slot struct {
 		psm fdr.PSM
 		ok  bool
 		err error
 	}
 	slots := make([]slot, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, len(queries))
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				psm, ok, err := e.SearchOne(queries[i])
-				slots[i] = slot{psm: psm, ok: ok, err: err}
-			}
-		}()
-	}
-	wg.Wait()
+	parallelFor(len(queries), func(i int) {
+		psm, ok, err := e.SearchOne(queries[i])
+		slots[i] = slot{psm: psm, ok: ok, err: err}
+	})
 	psms := make([]fdr.PSM, 0, len(queries))
 	for _, s := range slots {
 		if s.err != nil {
@@ -53,6 +72,82 @@ func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, err
 		if s.ok {
 			psms = append(psms, s.psm)
 		}
+	}
+	return psms, nil
+}
+
+// searchAllBatch is the batch-oriented parallel path. It mirrors
+// SearchOne stage by stage so the emitted PSMs are identical.
+func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum, bs BatchSearcher) ([]fdr.PSM, error) {
+	type prep struct {
+		hv   hdc.BinaryHV
+		mass float64
+		cand []int
+		ok   bool
+		err  error
+	}
+	preps := make([]prep, len(queries))
+	parallelFor(len(queries), func(i int) {
+		q := queries[i]
+		pre, err := e.params.Preprocess.Preprocess(q)
+		if err != nil {
+			return // uninformative spectrum: skip
+		}
+		hv, err := e.enc.EncodeVector(e.params.Binner.Vectorize(pre))
+		if err != nil {
+			preps[i].err = fmt.Errorf("core: encoding query %s: %w", q.ID, err)
+			return
+		}
+		mass := q.PrecursorMass()
+		var window units.MassWindow
+		if e.params.Open {
+			window = e.params.Window
+		} else {
+			window = units.StandardWindow(mass, e.params.StandardTol)
+		}
+		cand := e.lib.Candidates(mass, window)
+		if len(cand) == 0 {
+			return
+		}
+		preps[i] = prep{hv: hv, mass: mass, cand: cand, ok: true}
+	})
+	for i := range preps {
+		if preps[i].err != nil {
+			return nil, preps[i].err
+		}
+	}
+	// One batch search over the searchable queries.
+	var (
+		order []int
+		hvs   []hdc.BinaryHV
+		cands [][]int
+	)
+	for i := range preps {
+		if preps[i].ok {
+			order = append(order, i)
+			hvs = append(hvs, preps[i].hv)
+			cands = append(cands, preps[i].cand)
+		}
+	}
+	if len(order) == 0 {
+		return []fdr.PSM{}, nil
+	}
+	tops := bs.BatchTopK(hvs, cands, e.params.TopK)
+	psms := make([]fdr.PSM, 0, len(order))
+	for j, i := range order {
+		top := tops[j]
+		if len(top) == 0 {
+			continue
+		}
+		best := top[0]
+		entry := e.lib.Entries[best.Index]
+		psms = append(psms, fdr.PSM{
+			QueryID:   queries[i].ID,
+			Peptide:   entry.Peptide,
+			Score:     float64(best.Similarity) / float64(e.params.Accel.D),
+			IsDecoy:   entry.IsDecoy,
+			MassShift: preps[i].mass - entry.Mass,
+		})
 	}
 	return psms, nil
 }

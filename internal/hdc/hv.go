@@ -11,6 +11,7 @@ package hdc
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand"
 )
@@ -124,17 +125,34 @@ func Dot(a, b BinaryHV) int {
 
 // FlipBits flips each component independently with probability rate,
 // returning the number of flipped bits. It models storage/compute bit
-// errors in the robustness experiments (Fig. 11).
+// errors in the robustness experiments (Fig. 11). The flip positions
+// are drawn by geometric skip sampling — O(expected flips) work
+// instead of one uniform draw per dimension — and are deterministic
+// for a given rng seed.
 func (h BinaryHV) FlipBits(rate float64, rng *rand.Rand) int {
 	if rate <= 0 {
 		return 0
 	}
-	flipped := 0
-	for i := 0; i < h.D; i++ {
-		if rng.Float64() < rate {
-			h.Words[i/64] ^= 1 << (uint(i) % 64)
-			flipped++
+	if rate >= 1 {
+		for i := range h.Words {
+			h.Words[i] = ^h.Words[i]
 		}
+		h.maskTail()
+		return h.D
+	}
+	// The gap between consecutive flips is Geometric(rate):
+	// P(skip = j) = (1-rate)^j * rate, sampled as
+	// floor(log(U) / log(1-rate)) with U uniform on (0, 1].
+	lnKeep := math.Log1p(-rate)
+	flipped := 0
+	for i := 0; ; i++ {
+		skip := math.Log(1-rng.Float64()) / lnKeep
+		if skip >= float64(h.D-i) {
+			break
+		}
+		i += int(skip)
+		h.Words[i/64] ^= 1 << (uint(i) % 64)
+		flipped++
 	}
 	return flipped
 }

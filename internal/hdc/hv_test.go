@@ -142,6 +142,48 @@ func TestFlipBitsRate(t *testing.T) {
 	}
 }
 
+// TestFlipBitsDeterministicPerSeed is the regression test for the
+// geometric-skip rewrite: the Fig. 11 robustness sweeps require the
+// same seed to flip the same bits on every run.
+func TestFlipBitsDeterministicPerSeed(t *testing.T) {
+	for _, rate := range []float64{0.001, 0.05, 0.5} {
+		a := NewBinaryHV(4096)
+		b := NewBinaryHV(4096)
+		na := a.FlipBits(rate, rand.New(rand.NewSource(99)))
+		nb := b.FlipBits(rate, rand.New(rand.NewSource(99)))
+		if na != nb || !a.Equal(b) {
+			t.Errorf("rate %g: same seed gave different flips (%d vs %d)", rate, na, nb)
+		}
+	}
+}
+
+// TestFlipBitsEdgeRates covers the rate >= 1 fast path and the tail
+// mask invariant after flipping a non-word-aligned dimension.
+func TestFlipBitsEdgeRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := RandomBinaryHV(100, rng) // D % 64 != 0
+	orig := h.Clone()
+	if n := h.FlipBits(1.0, rng); n != 100 {
+		t.Errorf("rate 1 flipped %d bits, want 100", n)
+	}
+	if d := HammingDistance(h, orig); d != 100 {
+		t.Errorf("rate 1 distance = %d, want 100", d)
+	}
+	if h.Words[len(h.Words)-1]>>(100%64) != 0 {
+		t.Error("tail bits beyond D were set")
+	}
+	// A tiny rate on a small vector must terminate and usually flip
+	// nothing; every flip it does make must land inside [0, D).
+	h2 := NewBinaryHV(65)
+	n := h2.FlipBits(1e-9, rng)
+	if d := HammingDistance(h2, NewBinaryHV(65)); d != n {
+		t.Errorf("reported %d flips, distance %d", n, d)
+	}
+	if h2.Words[1]>>1 != 0 {
+		t.Error("flip escaped the dimension range")
+	}
+}
+
 func TestFlipExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	h := RandomBinaryHV(500, rng)

@@ -3,8 +3,6 @@ package hdc
 import (
 	"container/heap"
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // Match is one similarity-search result.
@@ -19,79 +17,67 @@ type Match struct {
 // Searcher performs exact Hamming similarity search over a set of
 // reference hypervectors. It is the software ("ideal") counterpart of
 // the in-memory search the accelerator performs; the RRAM-backed
-// implementation lives in internal/accel.
+// implementation lives in internal/accel. Searcher is a thin wrapper
+// over the sharded batch engine (ShardedSearcher), which packs the
+// references into contiguous per-shard words and scores them with a
+// blocked XOR+popcount kernel; results are bit-identical to the
+// original flat scan.
 type Searcher struct {
-	d    int
-	refs []BinaryHV
+	refs   []BinaryHV
+	engine *ShardedSearcher
 }
 
 // NewSearcher builds a searcher over the reference hypervectors, which
-// must share one dimensionality.
+// must share one dimensionality. The reference words are copied into
+// the packed shard store at construction: mutating a reference
+// hypervector afterwards (e.g. FlipBits) is NOT reflected in search
+// results — inject storage errors before building the searcher. The
+// refs slice itself is retained (aliased, not copied) to serve Ref.
 func NewSearcher(refs []BinaryHV) (*Searcher, error) {
-	if len(refs) == 0 {
-		return nil, fmt.Errorf("hdc: empty reference set")
+	return NewSearcherSharded(refs, 0)
+}
+
+// NewSearcherSharded builds a searcher with an explicit shard size
+// (rows per shard; <= 0 selects DefaultShardSize).
+func NewSearcherSharded(refs []BinaryHV, shardSize int) (*Searcher, error) {
+	engine, err := NewShardedSearcher(refs, shardSize)
+	if err != nil {
+		return nil, err
 	}
-	d := refs[0].D
-	for i, r := range refs {
-		if r.D != d {
-			return nil, fmt.Errorf("hdc: reference %d has D=%d, want %d", i, r.D, d)
-		}
-	}
-	return &Searcher{d: d, refs: refs}, nil
+	return &Searcher{refs: refs, engine: engine}, nil
 }
 
 // D returns the hypervector dimension.
-func (s *Searcher) D() int { return s.d }
+func (s *Searcher) D() int { return s.engine.D() }
 
 // Len returns the number of references.
-func (s *Searcher) Len() int { return len(s.refs) }
+func (s *Searcher) Len() int { return s.engine.Len() }
 
 // Ref returns reference i.
 func (s *Searcher) Ref(i int) BinaryHV { return s.refs[i] }
 
+// Engine returns the underlying sharded search engine.
+func (s *Searcher) Engine() *ShardedSearcher { return s.engine }
+
 // Similarity returns the Hamming similarity between the query and
 // reference i.
 func (s *Searcher) Similarity(q BinaryHV, i int) int {
-	return HammingSimilarity(q, s.refs[i])
+	return s.engine.Similarity(q, i)
 }
 
 // TopK returns the k most similar references among the candidate
 // index set (nil = all references), ordered by descending similarity
 // with ties broken by ascending index.
 func (s *Searcher) TopK(q BinaryHV, candidates []int, k int) []Match {
-	if q.D != s.d {
-		panic(fmt.Sprintf("hdc: query D=%d, searcher D=%d", q.D, s.d))
-	}
-	if k <= 0 {
-		return nil
-	}
-	h := &matchHeap{}
-	heap.Init(h)
-	consider := func(i int) {
-		sim := HammingSimilarity(q, s.refs[i])
-		if h.Len() < k {
-			heap.Push(h, Match{Index: i, Similarity: sim})
-		} else if worse((*h)[0], Match{Index: i, Similarity: sim}) {
-			(*h)[0] = Match{Index: i, Similarity: sim}
-			heap.Fix(h, 0)
-		}
-	}
-	if candidates == nil {
-		for i := range s.refs {
-			consider(i)
-		}
-	} else {
-		for _, i := range candidates {
-			if i >= 0 && i < len(s.refs) {
-				consider(i)
-			}
-		}
-	}
-	out := make([]Match, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Match)
-	}
-	return out
+	return s.engine.TopK(q, candidates, k)
+}
+
+// BatchTopK runs TopK for many queries in parallel across CPU cores.
+// candidates[i] restricts query i's search space (nil = all). A
+// candidates slice shorter than queries treats the missing entries as
+// nil rather than panicking.
+func (s *Searcher) BatchTopK(queries []BinaryHV, candidates [][]int, k int) [][]Match {
+	return s.engine.BatchTopK(queries, candidates, k)
 }
 
 // worse reports whether a ranks strictly below b (lower similarity, or
@@ -103,8 +89,47 @@ func worse(a, b Match) bool {
 	return a.Index > b.Index
 }
 
+// naiveTopK is the original flat-scan, container/heap top-k over a
+// reference slice. It is retained as the independent reference
+// implementation the sharded engine is parity-tested against.
+func naiveTopK(refs []BinaryHV, d int, q BinaryHV, candidates []int, k int) []Match {
+	if q.D != d {
+		panic(fmt.Sprintf("hdc: query D=%d, searcher D=%d", q.D, d))
+	}
+	if k <= 0 {
+		return nil
+	}
+	h := &matchHeap{}
+	heap.Init(h)
+	consider := func(i int) {
+		sim := HammingSimilarity(q, refs[i])
+		if h.Len() < k {
+			heap.Push(h, Match{Index: i, Similarity: sim})
+		} else if worse((*h)[0], Match{Index: i, Similarity: sim}) {
+			(*h)[0] = Match{Index: i, Similarity: sim}
+			heap.Fix(h, 0)
+		}
+	}
+	if candidates == nil {
+		for i := range refs {
+			consider(i)
+		}
+	} else {
+		for _, i := range candidates {
+			if i >= 0 && i < len(refs) {
+				consider(i)
+			}
+		}
+	}
+	out := make([]Match, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out
+}
+
 // matchHeap is a min-heap on match rank, keeping the current worst of
-// the top-k at the root.
+// the top-k at the root (used by the naive reference implementation).
 type matchHeap []Match
 
 func (h matchHeap) Len() int            { return len(h) }
@@ -117,38 +142,4 @@ func (h *matchHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
-}
-
-// BatchTopK runs TopK for many queries in parallel across CPU cores.
-// candidates[i] restricts query i's search space (nil = all).
-func (s *Searcher) BatchTopK(queries []BinaryHV, candidates [][]int, k int) [][]Match {
-	out := make([][]Match, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, len(queries))
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				var cand []int
-				if candidates != nil {
-					cand = candidates[i]
-				}
-				out[i] = s.TopK(queries[i], cand, k)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
 }

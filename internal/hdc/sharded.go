@@ -1,0 +1,454 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DefaultShardSize is the reference-row count per shard when the
+// caller does not pick one. 2048 rows keeps one shard's packed words
+// within a few MB at the paper's D=8192 (2048 rows × 128 words × 8 B
+// = 2 MiB), streaming through L2/L3 rather than thrashing it.
+const DefaultShardSize = 2048
+
+// kernelBlockBytes is the packed-word footprint the scoring kernel
+// targets per row block. Batch search sweeps every query over one row
+// block before advancing, so a block is sized to stay L1-resident
+// across the query sweep (16 KiB block + query words + similarity
+// buffer fit a 32 KiB L1d) and the packed reference store streams
+// from memory once per batch rather than once per query.
+const kernelBlockBytes = 16 << 10
+
+// blockRows returns the rows per kernel block for a word width.
+func blockRows(words int) int {
+	r := kernelBlockBytes / (words * 8)
+	if r < 8 {
+		return 8
+	}
+	return r
+}
+
+// parallelMinRefs is the smallest full-scan reference count for which
+// a single-query TopK fans shards out across goroutines. Below it the
+// per-goroutine overhead exceeds the scan cost.
+const parallelMinRefs = 1 << 13
+
+// ShardedSearcher is the sharded, batch-oriented exact Hamming search
+// engine — the software analogue of the paper's crossbar-parallel
+// in-memory search (one shard per crossbar tile group) and of the
+// query-level parallelism HyperOMS exploits on GPUs. Reference
+// hypervectors are packed row-major into fixed-size shards of
+// contiguous words, scored with a blocked XOR+popcount kernel into
+// reusable per-worker similarity buffers, and shard-level top-k lists
+// are merged deterministically (similarity descending, index
+// ascending — the same tie-break as the scalar Searcher).
+type ShardedSearcher struct {
+	d         int // hypervector dimension
+	words     int // packed words per hypervector, ceil(d/64)
+	n         int // total references
+	shardSize int // rows per shard (last shard may be shorter)
+	block     int // rows per kernel block (see kernelBlockBytes)
+	shards    []shard
+}
+
+// shard is one fixed-size slice of the reference store.
+type shard struct {
+	// start is the global index of the shard's first row.
+	start int
+	// rows is the number of references in this shard.
+	rows int
+	// packed holds rows*words words, row-major: reference r of the
+	// shard occupies packed[r*words : (r+1)*words].
+	packed []uint64
+}
+
+// NewShardedSearcher builds the engine over the reference
+// hypervectors (which must share one dimensionality), splitting them
+// into shards of shardSize rows. shardSize <= 0 selects
+// DefaultShardSize. The reference words are copied into the packed
+// store: later in-place mutation of the source hypervectors is not
+// seen by this engine.
+func NewShardedSearcher(refs []BinaryHV, shardSize int) (*ShardedSearcher, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("hdc: empty reference set")
+	}
+	d := refs[0].D
+	for i, r := range refs {
+		if r.D != d {
+			return nil, fmt.Errorf("hdc: reference %d has D=%d, want %d", i, r.D, d)
+		}
+	}
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	words := (d + 63) / 64
+	s := &ShardedSearcher{
+		d:         d,
+		words:     words,
+		n:         len(refs),
+		shardSize: shardSize,
+		block:     blockRows(words),
+	}
+	for start := 0; start < len(refs); start += shardSize {
+		rows := min(shardSize, len(refs)-start)
+		packed := make([]uint64, rows*s.words)
+		for r := 0; r < rows; r++ {
+			copy(packed[r*s.words:(r+1)*s.words], refs[start+r].Words)
+		}
+		s.shards = append(s.shards, shard{start: start, rows: rows, packed: packed})
+	}
+	return s, nil
+}
+
+// D returns the hypervector dimension.
+func (s *ShardedSearcher) D() int { return s.d }
+
+// Len returns the number of references.
+func (s *ShardedSearcher) Len() int { return s.n }
+
+// NumShards returns the shard count.
+func (s *ShardedSearcher) NumShards() int { return len(s.shards) }
+
+// ShardSize returns the configured rows-per-shard.
+func (s *ShardedSearcher) ShardSize() int { return s.shardSize }
+
+// checkQuery panics on a dimensionality mismatch, matching the scalar
+// Searcher's contract.
+func (s *ShardedSearcher) checkQuery(q BinaryHV) {
+	if q.D != s.d {
+		panic(fmt.Sprintf("hdc: query D=%d, searcher D=%d", q.D, s.d))
+	}
+}
+
+// Similarity returns the Hamming similarity between the query and
+// reference i, read from the packed store.
+func (s *ShardedSearcher) Similarity(q BinaryHV, i int) int {
+	s.checkQuery(q)
+	sh := &s.shards[i/s.shardSize]
+	return s.simRow(q.Words, sh, i-sh.start)
+}
+
+// simRow scores one packed row against the query words.
+func (s *ShardedSearcher) simRow(qw []uint64, sh *shard, row int) int {
+	base := row * s.words
+	seg := sh.packed[base : base+s.words]
+	var dist int
+	for i, w := range seg {
+		dist += bits.OnesCount64(w ^ qw[i])
+	}
+	return s.d - dist
+}
+
+// scoreRows is the XOR+popcount kernel: it scores rows [0, rows) of a
+// packed block against the query words, writing Hamming similarities
+// into sims. The word loop is 8-way unrolled through array pointers
+// (one bounds check per stride) with two accumulators so the popcounts
+// pipeline.
+func scoreRows(qw, packed []uint64, words, rows, d int, sims []int) {
+	for r := 0; r < rows; r++ {
+		base := r * words
+		row := packed[base : base+words]
+		var d0, d1 int
+		i := 0
+		for ; i+8 <= len(row); i += 8 {
+			x := (*[8]uint64)(row[i:])
+			y := (*[8]uint64)(qw[i:])
+			d0 += bits.OnesCount64(x[0]^y[0]) +
+				bits.OnesCount64(x[1]^y[1]) +
+				bits.OnesCount64(x[2]^y[2]) +
+				bits.OnesCount64(x[3]^y[3])
+			d1 += bits.OnesCount64(x[4]^y[4]) +
+				bits.OnesCount64(x[5]^y[5]) +
+				bits.OnesCount64(x[6]^y[6]) +
+				bits.OnesCount64(x[7]^y[7])
+		}
+		for ; i < len(row); i++ {
+			d0 += bits.OnesCount64(row[i] ^ qw[i])
+		}
+		sims[r] = d - (d0 + d1)
+	}
+}
+
+// scoreShard scores every row of the shard against one query, writing
+// similarities into sims (length sh.rows), in kernel-block strides.
+func (s *ShardedSearcher) scoreShard(qw []uint64, sh *shard, sims []int) {
+	words := s.words
+	for b0 := 0; b0 < sh.rows; b0 += s.block {
+		rows := min(s.block, sh.rows-b0)
+		scoreRows(qw, sh.packed[b0*words:], words, rows, s.d, sims[b0:])
+	}
+}
+
+// SimilaritiesInto scores the query against every reference, writing
+// HammingSimilarity(q, i) to dst[i] through the blocked kernel. dst is
+// grown as needed; the (possibly reallocated) slice of length Len()
+// is returned, so callers can reuse one buffer across queries.
+func (s *ShardedSearcher) SimilaritiesInto(q BinaryHV, dst []int) []int {
+	s.checkQuery(q)
+	if cap(dst) < s.n {
+		dst = make([]int, s.n)
+	}
+	dst = dst[:s.n]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.scoreShard(q.Words, sh, dst[sh.start:sh.start+sh.rows])
+	}
+	return dst
+}
+
+// searchScratch is the reusable per-worker state: the similarity
+// buffer the kernel writes into and the top-k heap, so steady-state
+// search performs no per-query allocation beyond the returned matches.
+type searchScratch struct {
+	sims []int
+	heap []Match
+}
+
+var scratchPool = sync.Pool{New: func() any { return &searchScratch{} }}
+
+// simsBuf returns the scratch similarity buffer with at least n slots.
+func (sc *searchScratch) simsBuf(n int) []int {
+	if cap(sc.sims) < n {
+		sc.sims = make([]int, n)
+	}
+	return sc.sims[:n]
+}
+
+// --- allocation-free top-k heap ----------------------------------------
+//
+// A binary min-heap on match rank (root = current worst of the kept
+// top-k), operating directly on a scratch slice: container/heap would
+// box every Match through interface{}.
+
+func heapPushMatch(h []Match, m Match) []Match {
+	h = append(h, m)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func heapFixRoot(h []Match) {
+	i, n := 0, len(h)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && worse(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && worse(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// offerTopK keeps m if it ranks within the current top-k.
+func offerTopK(h []Match, m Match, k int) []Match {
+	if len(h) < k {
+		return heapPushMatch(h, m)
+	}
+	if worse(h[0], m) {
+		h[0] = m
+		heapFixRoot(h)
+	}
+	return h
+}
+
+// sortedMatches copies the heap into a fresh, rank-sorted result
+// slice (similarity descending, ties by ascending index).
+func sortedMatches(h []Match) []Match {
+	out := make([]Match, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}
+
+// TopK returns the k most similar references among the candidate
+// index set (nil = all references), ordered by descending similarity
+// with ties broken by ascending index — bit-identical to the scalar
+// Searcher. Full scans over large reference sets fan the shards out
+// across CPU cores and merge the shard-level top-k lists.
+func (s *ShardedSearcher) TopK(q BinaryHV, candidates []int, k int) []Match {
+	s.checkQuery(q)
+	if k <= 0 {
+		return nil
+	}
+	if candidates == nil && s.n >= parallelMinRefs && len(s.shards) > 1 {
+		out := make([][]Match, 1)
+		s.batchFullScan([]BinaryHV{q}, []int{0}, k, out)
+		return out[0]
+	}
+	sc := scratchPool.Get().(*searchScratch)
+	out := s.topKScratch(q, candidates, k, sc)
+	scratchPool.Put(sc)
+	return out
+}
+
+// topKScratch is the sequential top-k path over a worker's scratch.
+func (s *ShardedSearcher) topKScratch(q BinaryHV, candidates []int, k int, sc *searchScratch) []Match {
+	h := sc.heap[:0]
+	if candidates != nil {
+		for _, i := range candidates {
+			if i < 0 || i >= s.n {
+				continue
+			}
+			sh := &s.shards[i/s.shardSize]
+			h = offerTopK(h, Match{Index: i, Similarity: s.simRow(q.Words, sh, i-sh.start)}, k)
+		}
+	} else {
+		for si := range s.shards {
+			sh := &s.shards[si]
+			sims := sc.simsBuf(sh.rows)
+			s.scoreShard(q.Words, sh, sims)
+			for r, sim := range sims {
+				h = offerTopK(h, Match{Index: sh.start + r, Similarity: sim}, k)
+			}
+		}
+	}
+	sc.heap = h
+	return sortedMatches(h)
+}
+
+// BatchTopK runs TopK for many queries, parallel across CPU cores,
+// each worker reusing one scratch heap and similarity buffer (no
+// per-query allocation beyond the returned matches). candidates[i]
+// restricts query i's search space; a nil candidates slice — or one
+// shorter than queries — treats the missing entries as nil (all
+// references). Full-scan queries take the blocked batch path: every
+// query is swept over each cache-resident row block before the scan
+// advances, so the packed reference store streams from memory once
+// per batch instead of once per query.
+func (s *ShardedSearcher) BatchTopK(queries []BinaryHV, candidates [][]int, k int) [][]Match {
+	out := make([][]Match, len(queries))
+	for i := range queries {
+		s.checkQuery(queries[i])
+	}
+	if k <= 0 {
+		return out
+	}
+	// Split full scans from candidate-restricted queries.
+	var full, restricted []int
+	for i := range queries {
+		if i < len(candidates) && candidates[i] != nil {
+			restricted = append(restricted, i)
+		} else {
+			full = append(full, i)
+		}
+	}
+	// The two pools run one after the other: both are CPU-bound and
+	// each already fans out to GOMAXPROCS workers, so overlapping them
+	// would only oversubscribe the cores.
+	if len(full) > 0 {
+		s.batchFullScan(queries, full, k, out)
+	}
+	if len(restricted) > 0 {
+		workers := min(runtime.GOMAXPROCS(0), len(restricted))
+		next := make(chan int, len(restricted))
+		for _, i := range restricted {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := scratchPool.Get().(*searchScratch)
+				defer scratchPool.Put(sc)
+				for i := range next {
+					out[i] = s.topKScratch(queries[i], candidates[i], k, sc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return out
+}
+
+// batchFullScan scores the full-scan queries qIdx against every
+// shard, fanning shards out across CPU cores. Within a shard, each
+// kernelRowBlock of packed rows is swept by all queries while it is
+// cache-resident. Shard-level top-k lists are merged per query by
+// (similarity desc, index asc) — deterministic regardless of shard
+// completion order, and exact because a global top-k member is
+// necessarily in its own shard's top-k.
+func (s *ShardedSearcher) batchFullScan(queries []BinaryHV, qIdx []int, k int, out [][]Match) {
+	perShard := make([][][]Match, len(s.shards)) // [shard][query position] sorted top-k
+	workers := min(runtime.GOMAXPROCS(0), len(s.shards))
+	next := make(chan int, len(s.shards))
+	for i := range s.shards {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := scratchPool.Get().(*searchScratch)
+			defer scratchPool.Put(sc)
+			for si := range next {
+				sh := &s.shards[si]
+				heaps := make([][]Match, len(qIdx))
+				sims := sc.simsBuf(s.block)
+				for b0 := 0; b0 < sh.rows; b0 += s.block {
+					rows := min(s.block, sh.rows-b0)
+					block := sh.packed[b0*s.words:]
+					start := sh.start + b0
+					for qi, f := range qIdx {
+						scoreRows(queries[f].Words, block, s.words, rows, s.d, sims)
+						h := heaps[qi]
+						if len(h) < k {
+							for r := 0; r < rows; r++ {
+								h = offerTopK(h, Match{Index: start + r, Similarity: sims[r]}, k)
+							}
+						} else {
+							// Steady state: almost every row scores below
+							// the current worst of the top-k, so reject on
+							// one compare and take the heap path only for
+							// potential entrants (ties resolve inside).
+							worst := h[0].Similarity
+							for r, sim := range sims[:rows] {
+								if sim < worst {
+									continue
+								}
+								h = offerTopK(h, Match{Index: start + r, Similarity: sim}, k)
+								worst = h[0].Similarity
+							}
+						}
+						heaps[qi] = h
+					}
+				}
+				for qi := range heaps {
+					heaps[qi] = sortedMatches(heaps[qi])
+				}
+				perShard[si] = heaps
+			}
+		}()
+	}
+	wg.Wait()
+	for qi, f := range qIdx {
+		var merged []Match
+		for si := range perShard {
+			merged = append(merged, perShard[si][qi]...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return worse(merged[j], merged[i]) })
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		out[f] = merged
+	}
+}

@@ -1,0 +1,181 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// matchesEqual reports exact equality of two match lists, order and
+// ties included.
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedParityWithNaive asserts the sharded engine returns
+// bit-identical results (order and ties included) to the seed
+// flat-scan TopK across random seeds, shard sizes and candidate
+// subsets — the acceptance criterion of the refactor.
+func TestShardedParityWithNaive(t *testing.T) {
+	shardSizes := []int{1, 3, 16, 64, 0} // 0 = DefaultShardSize
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 64 + rng.Intn(300)
+		n := 1 + rng.Intn(400)
+		refs := randomRefs(d, n, seed+100)
+		// Duplicate a few references so ties actually occur.
+		for i := 0; i+7 < n; i += 7 {
+			refs[i+1] = refs[i].Clone()
+		}
+		queries := make([]BinaryHV, 5)
+		for i := range queries {
+			queries[i] = RandomBinaryHV(d, rng)
+		}
+		// Candidate variants: all, random subset, subset with
+		// out-of-range entries, empty (non-nil).
+		candSets := [][]int{nil, rng.Perm(n)[:1+rng.Intn(n)], {-5, 0, n - 1, n, n + 3}, {}}
+		for _, shardSize := range shardSizes {
+			s, err := NewSearcherSharded(refs, shardSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, n, n + 10} {
+				for qi, q := range queries {
+					for ci, cand := range candSets {
+						want := naiveTopK(refs, d, q, cand, k)
+						got := s.TopK(q, cand, k)
+						if !matchesEqual(got, want) {
+							t.Fatalf("seed %d shard %d k %d query %d cand %d:\ngot  %v\nwant %v",
+								seed, shardSize, k, qi, ci, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedParityLargeParallel exercises the concurrent full-scan
+// path (n >= parallelMinRefs, multiple shards) against the naive scan.
+func TestShardedParityLargeParallel(t *testing.T) {
+	d, n := 256, parallelMinRefs+100
+	refs := randomRefs(d, n, 42)
+	s, err := NewSearcherSharded(refs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine().NumShards() < 2 {
+		t.Fatal("test needs multiple shards")
+	}
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 3; trial++ {
+		q := RandomBinaryHV(d, rng)
+		want := naiveTopK(refs, d, q, nil, 10)
+		got := s.TopK(q, nil, 10)
+		if !matchesEqual(got, want) {
+			t.Fatalf("parallel full scan diverged:\ngot  %v\nwant %v", got, want)
+		}
+	}
+}
+
+// TestShardedBatchParity asserts BatchTopK agrees with per-query TopK
+// under mixed candidate subsets and shard counts.
+func TestShardedBatchParity(t *testing.T) {
+	refs := randomRefs(512, 200, 7)
+	for _, shardSize := range []int{16, 100, 0} {
+		s, err := NewSearcherSharded(refs, shardSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		queries := make([]BinaryHV, 17)
+		for i := range queries {
+			queries[i] = RandomBinaryHV(512, rng)
+		}
+		cands := make([][]int, len(queries))
+		for i := range cands {
+			switch i % 3 {
+			case 0:
+				cands[i] = nil
+			case 1:
+				cands[i] = rng.Perm(200)[:1+rng.Intn(199)]
+			case 2:
+				cands[i] = []int{i, -1, 500, 199}
+			}
+		}
+		batch := s.BatchTopK(queries, cands, 6)
+		for i, q := range queries {
+			want := s.TopK(q, cands[i], 6)
+			if !matchesEqual(batch[i], want) {
+				t.Fatalf("shard %d query %d: batch %v vs topk %v", shardSize, i, batch[i], want)
+			}
+		}
+	}
+}
+
+// TestBatchTopKShortCandidates is the regression test for the seed
+// panic: a non-nil candidates slice shorter than queries must treat
+// the missing entries as nil, not index out of range.
+func TestBatchTopKShortCandidates(t *testing.T) {
+	refs := randomRefs(128, 20, 9)
+	s, _ := NewSearcher(refs)
+	queries := []BinaryHV{refs[0].Clone(), refs[5].Clone(), refs[9].Clone()}
+	out := s.BatchTopK(queries, [][]int{{1, 2}}, 1)
+	if len(out) != 3 {
+		t.Fatalf("batch len = %d", len(out))
+	}
+	// Query 0 is restricted; queries 1 and 2 fall back to a full scan
+	// and must self-match.
+	for _, m := range out[0] {
+		if m.Index != 1 && m.Index != 2 {
+			t.Errorf("restricted query escaped candidates: %+v", m)
+		}
+	}
+	if out[1][0].Index != 5 || out[2][0].Index != 9 {
+		t.Errorf("unrestricted queries: %+v %+v", out[1], out[2])
+	}
+}
+
+// TestShardedSimilaritiesInto checks the bulk scoring kernel against
+// the scalar similarity.
+func TestShardedSimilaritiesInto(t *testing.T) {
+	refs := randomRefs(320, 77, 10) // d not a multiple of 256: exercises tail words
+	s, _ := NewSearcherSharded(refs, 13)
+	rng := rand.New(rand.NewSource(11))
+	q := RandomBinaryHV(320, rng)
+	var buf []int
+	buf = s.Engine().SimilaritiesInto(q, buf)
+	if len(buf) != len(refs) {
+		t.Fatalf("buf len = %d", len(buf))
+	}
+	for i, r := range refs {
+		if want := HammingSimilarity(q, r); buf[i] != want {
+			t.Fatalf("ref %d: kernel %d vs scalar %d", i, buf[i], want)
+		}
+	}
+	// Reuse must not reallocate.
+	buf2 := s.Engine().SimilaritiesInto(q, buf)
+	if &buf2[0] != &buf[0] {
+		t.Error("buffer was reallocated on reuse")
+	}
+}
+
+// TestShardedQueryDimensionPanics keeps the scalar contract: a
+// mismatched query dimension panics.
+func TestShardedQueryDimensionPanics(t *testing.T) {
+	refs := randomRefs(128, 4, 12)
+	s, _ := NewSearcher(refs)
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	s.TopK(NewBinaryHV(64), nil, 1)
+}

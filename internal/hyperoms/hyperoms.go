@@ -95,9 +95,21 @@ func (e *Engine) SearchAll(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
 	return e.inner.SearchAll(queries)
 }
 
+// SearchAllParallel is SearchAll through the core batch path: the
+// sharded exact engine scores all queries across CPU cores, matching
+// HyperOMS's original GPU query-level parallelism.
+func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
+	return e.inner.SearchAllParallel(queries)
+}
+
 // Run searches all queries and applies FDR filtering.
 func (e *Engine) Run(queries []*spectrum.Spectrum) (fdr.Result, error) {
 	return e.inner.Run(queries)
+}
+
+// RunParallel is Run using the parallel batch search path.
+func (e *Engine) RunParallel(queries []*spectrum.Spectrum) (fdr.Result, error) {
+	return e.inner.RunParallel(queries)
 }
 
 // Library exposes the encoded library (for size accounting).
