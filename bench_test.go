@@ -317,6 +317,58 @@ func BenchmarkShardedBatchTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenSearchBatch measures the open-search hot path at the
+// paper's operating point (D=8192, 100k references) with realistic
+// precursor-window occupancy (each query's candidate set is a
+// contiguous 25% slice of the mass-ordered store, windows sliding
+// with query mass). The range variant streams candidates through the
+// block-major BatchTopKRange kernel; the gather variant is the
+// retained per-query candidate-slice path the range engine replaces
+// on the engine hot path. The ratio of the two is the open-search
+// speedup (acceptance: range beats gather).
+func BenchmarkOpenSearchBatch(b *testing.B) {
+	const (
+		d         = 8192
+		nRefs     = 100_000
+		nQueries  = batchBenchQueries
+		occupancy = 0.25
+	)
+	refs, queries := batchBenchInputs(b, d, nRefs, nQueries)
+	s, err := hdc.NewSearcher(refs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	width := int(occupancy * nRefs)
+	ranges := make([]hdc.RowRange, nQueries)
+	for i := range ranges {
+		// Mass-sorted queries: window starts slide monotonically
+		// across the store and neighbouring windows overlap heavily.
+		lo := i * (nRefs - width) / nQueries
+		ranges[i] = hdc.RowRange{Lo: lo, Hi: lo + width}
+	}
+	cands := make([][]int, nQueries)
+	for i, r := range ranges {
+		cands[i] = make([]int, r.Len())
+		for j := range cands[i] {
+			cands[i][j] = r.Lo + j
+		}
+	}
+	b.Run("range", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.BatchTopKRange(queries, ranges, 5)
+		}
+		b.ReportMetric(float64(nQueries), "queries/op")
+	})
+	b.Run("gather", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.BatchTopK(queries, cands, 5)
+		}
+		b.ReportMetric(float64(nQueries), "queries/op")
+	})
+}
+
 // BenchmarkSeedBatchTopK is the seed flat-scan baseline for
 // BenchmarkShardedBatchTopK.
 func BenchmarkSeedBatchTopK(b *testing.B) {

@@ -5,7 +5,12 @@
 //	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard] \
 //	         [-parallel] [-shardsize 2048]
 //
-// Results are written to stdout as a TSV of accepted PSMs.
+// The encoded library is stored in ascending precursor-mass order, so
+// each query's precursor window (open or standard) is a contiguous
+// row range streamed through the sharded engine's blocked
+// XOR+popcount kernel; with -parallel the whole query set is scored
+// by one block-major batch sweep of the packed store. Results are
+// written to stdout as a TSV of accepted PSMs.
 package main
 
 import (

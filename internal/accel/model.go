@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"repro/internal/hdc"
@@ -155,6 +156,22 @@ func NewNoisySearcher(exact *hdc.Searcher, model NoisyModel, seed int64) *NoisyS
 // simsPool recycles full-scan similarity buffers across queries.
 var simsPool = sync.Pool{New: func() any { return new([]int) }}
 
+// drawNoise returns n Gaussian similarity perturbations drawn under
+// one lock (so concurrent queries stay safe and deterministic
+// per-searcher), or nil when the model is noiseless.
+func (s *NoisySearcher) drawNoise(n int) []float64 {
+	if s.Model.SearchSigma <= 0 || n <= 0 {
+		return nil
+	}
+	noise := make([]float64, n)
+	s.mu.Lock()
+	for i := range noise {
+		noise[i] = s.rng.NormFloat64() * s.Model.SearchSigma
+	}
+	s.mu.Unlock()
+	return noise
+}
+
 // TopK returns the k best matches under noisy similarity scores,
 // restricted to candidates (nil = all). Full scans bulk-score the
 // references through the sharded exact engine's blocked XOR+popcount
@@ -167,17 +184,7 @@ func (s *NoisySearcher) TopK(q hdc.BinaryHV, candidates []int, k int) []hdc.Matc
 	if candidates == nil {
 		n = s.Exact.Len()
 	}
-	// Draw all noise under one lock so concurrent queries stay safe
-	// and deterministic per-searcher.
-	var noise []float64
-	if s.Model.SearchSigma > 0 {
-		noise = make([]float64, n)
-		s.mu.Lock()
-		for i := range noise {
-			noise[i] = s.rng.NormFloat64() * s.Model.SearchSigma
-		}
-		s.mu.Unlock()
-	}
+	noise := s.drawNoise(n)
 	perturb := func(sim float64, pos int) int {
 		if noise != nil {
 			sim += noise[pos]
@@ -202,6 +209,106 @@ func (s *NoisySearcher) TopK(q hdc.BinaryHV, candidates []int, k int) []hdc.Matc
 		sim := float64(s.Exact.Similarity(q, i))
 		best = insertTopK(best, hdc.Match{Index: i, Similarity: perturb(sim, pos)}, k)
 	}
+	return best
+}
+
+// noiseSource returns a per-query noise stream seeded from the
+// searcher's master RNG under one lock — O(1) master-RNG consumption
+// per query, so a batch never materializes per-candidate noise
+// buffers up front (a query window can span hundreds of thousands of
+// rows) yet stays deterministic per seed regardless of goroutine
+// scheduling. Nil for a noiseless model.
+func (s *NoisySearcher) noiseSource() *rand.Rand {
+	if s.Model.SearchSigma <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	seed := s.rng.Int63()
+	s.mu.Unlock()
+	return rand.New(rand.NewSource(seed))
+}
+
+// TopKRange returns the k best matches among packed rows [lo, hi)
+// (clamped to the reference count) under noisy similarity scores. The
+// rows are bulk-scored through the sharded exact engine's blocked
+// kernel — no per-row gather — and every candidate score is perturbed
+// before top-k selection, exactly as on the slice path.
+func (s *NoisySearcher) TopKRange(q hdc.BinaryHV, lo, hi, k int) []hdc.Match {
+	if k <= 0 {
+		return nil
+	}
+	r := hdc.RowRange{Lo: lo, Hi: hi}.Clamp(s.Exact.Len())
+	if r.Empty() {
+		return []hdc.Match{}
+	}
+	return s.topKRangeNoise(q, r.Lo, r.Hi, k, s.noiseSource())
+}
+
+// BatchTopKRange runs TopKRange for every query (ranges[i] restricts
+// query i), parallel across CPU cores. Per-query noise streams are
+// seeded in query order, so results are deterministic per seed
+// regardless of goroutine scheduling.
+func (s *NoisySearcher) BatchTopKRange(queries []hdc.BinaryHV, ranges []hdc.RowRange, k int) [][]hdc.Match {
+	if len(ranges) != len(queries) {
+		panic(fmt.Sprintf("accel: %d queries with %d ranges", len(queries), len(ranges)))
+	}
+	out := make([][]hdc.Match, len(queries))
+	if k <= 0 {
+		return out
+	}
+	n := s.Exact.Len()
+	clamped := make([]hdc.RowRange, len(queries))
+	noise := make([]*rand.Rand, len(queries))
+	for i, r := range ranges {
+		clamped[i] = r.Clamp(n)
+		if !clamped[i].Empty() {
+			noise[i] = s.noiseSource()
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := clamped[i]
+				if r.Empty() {
+					out[i] = []hdc.Match{}
+					continue
+				}
+				out[i] = s.topKRangeNoise(queries[i], r.Lo, r.Hi, k, noise[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// topKRangeNoise bulk-scores rows [lo, hi) and selects the top k of
+// the perturbed scores, drawing one noise value per row from the
+// query's noise stream (nil for a noiseless model).
+func (s *NoisySearcher) topKRangeNoise(q hdc.BinaryHV, lo, hi, k int, noise *rand.Rand) []hdc.Match {
+	bufp := simsPool.Get().(*[]int)
+	sims := s.Exact.Engine().SimilaritiesRangeInto(q, lo, hi, *bufp)
+	best := make([]hdc.Match, 0, k)
+	for j, sim := range sims {
+		v := float64(sim)
+		if noise != nil {
+			v += noise.NormFloat64() * s.Model.SearchSigma
+		}
+		best = insertTopK(best, hdc.Match{Index: lo + j, Similarity: int(math.Round(v))}, k)
+	}
+	*bufp = sims
+	simsPool.Put(bufp)
 	return best
 }
 

@@ -167,6 +167,83 @@ func TestNoisySearcherCandidateFilter(t *testing.T) {
 	}
 }
 
+// TestNoisySearcherRangeZeroSigmaParity checks the bulk range path:
+// with a noiseless model, TopKRange and BatchTopKRange must match the
+// exact engine's range results bit for bit, including clamping and
+// empty ranges.
+func TestNoisySearcherRangeZeroSigmaParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	refs := make([]hdc.BinaryHV, 60)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(256, rng)
+	}
+	exact, err := hdc.NewSearcher(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNoisySearcher(exact, NoisyModel{}, 15)
+	q := hdc.RandomBinaryHV(256, rng)
+	for _, r := range [][2]int{{0, 60}, {10, 30}, {-5, 20}, {50, 90}, {25, 25}} {
+		got := ns.TopKRange(q, r[0], r[1], 5)
+		want := exact.TopKRange(q, r[0], r[1], 5)
+		if len(got) != len(want) {
+			t.Fatalf("range %v: %d vs %d results", r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("range %v result %d: %+v vs %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+	queries := []hdc.BinaryHV{q, hdc.RandomBinaryHV(256, rng), q}
+	ranges := []hdc.RowRange{{Lo: 5, Hi: 40}, {Lo: 0, Hi: 60}, {Lo: 33, Hi: 33}}
+	got := ns.BatchTopKRange(queries, ranges, 4)
+	want := exact.BatchTopKRange(queries, ranges, 4)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("query %d: %d vs %d results", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("query %d result %d: %+v vs %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestNoisySearcherBatchRangeDeterministic asserts the batch range
+// path draws per-query noise in query order: two searchers with the
+// same seed must agree regardless of goroutine scheduling.
+func TestNoisySearcherBatchRangeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	refs := make([]hdc.BinaryHV, 80)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(512, rng)
+	}
+	exact, err := hdc.NewSearcher(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]hdc.BinaryHV, 16)
+	ranges := make([]hdc.RowRange, 16)
+	for i := range queries {
+		queries[i] = hdc.RandomBinaryHV(512, rng)
+		ranges[i] = hdc.RowRange{Lo: i, Hi: 40 + i*2}
+	}
+	a := NewNoisySearcher(exact, NoisyModel{SearchSigma: 30}, 99).BatchTopKRange(queries, ranges, 3)
+	b := NewNoisySearcher(exact, NoisyModel{SearchSigma: 30}, 99).BatchTopKRange(queries, ranges, 3)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("query %d: %d vs %d results", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Errorf("query %d result %d: %+v vs %+v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
 func TestChipSpecCapacity(t *testing.T) {
 	spec := DefaultChipSpec()
 	if spec.CapacityBits() != 9_000_000 {

@@ -152,7 +152,7 @@ func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
 	if len(eligible) == 0 {
 		return fdr.PSM{}, false, nil
 	}
-	shortlist := e.annCandidates(qv, eligible)
+	shortlist := e.annCandidates(qv, mass, eligible)
 	best, found := e.bestShifted(qv, mass, shortlist)
 	if !found {
 		return fdr.PSM{}, false, nil
@@ -188,8 +188,9 @@ func (e *Engine) bestCosine(qv spectrum.Vector, candidates []int) (hit, bool) {
 
 // annCandidates ranks the eligible entries by the number of query bins
 // they share (via the inverted index) and returns the MaxCandidates
-// best — the approximate-nearest-neighbour shortlist.
-func (e *Engine) annCandidates(qv spectrum.Vector, eligible []int) []int {
+// best — the approximate-nearest-neighbour shortlist. An undersized
+// shortlist is padded with the mass-nearest eligible entries.
+func (e *Engine) annCandidates(qv spectrum.Vector, queryMass float64, eligible []int) []int {
 	if len(eligible) <= e.params.MaxCandidates {
 		return eligible
 	}
@@ -225,16 +226,37 @@ func (e *Engine) annCandidates(qv spectrum.Vector, eligible []int) []int {
 		out[i] = ranked[i].idx
 	}
 	// Shared-bin counting finds unmodified-dominant matches; heavily
-	// modified spectra may share few bins. Pad with mass-nearest
-	// eligible entries if the shortlist is undersized.
+	// modified spectra may share few bins. Pad an undersized shortlist
+	// with the eligible entries nearest the query's precursor mass
+	// (ties by ascending index), so the padding favors candidates a
+	// small modification could explain rather than whichever entries
+	// happen to sit at the light end of the window.
 	if len(out) < e.params.MaxCandidates {
+		used := make(map[int]bool, len(out))
+		for _, i := range out {
+			used[i] = true
+		}
+		type padEntry struct {
+			idx  int
+			dist float64
+		}
+		pad := make([]padEntry, 0, len(eligible)-len(out))
 		for _, i := range eligible {
-			if len(out) >= e.params.MaxCandidates {
-				break
+			if !used[i] {
+				pad = append(pad, padEntry{idx: i, dist: math.Abs(e.entries[i].mass - queryMass)})
 			}
-			if _, dup := counts[i]; !dup {
-				out = append(out, i)
+		}
+		sort.Slice(pad, func(a, b int) bool {
+			if pad[a].dist != pad[b].dist {
+				return pad[a].dist < pad[b].dist
 			}
+			return pad[a].idx < pad[b].idx
+		})
+		if room := e.params.MaxCandidates - len(out); len(pad) > room {
+			pad = pad[:room]
+		}
+		for _, p := range pad {
+			out = append(out, p.idx)
 		}
 	}
 	return out

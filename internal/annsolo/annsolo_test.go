@@ -155,9 +155,63 @@ func TestANNShortlistBounded(t *testing.T) {
 	if len(eligible) <= p.MaxCandidates {
 		t.Skip("not enough eligible entries to exercise the bound")
 	}
-	got := eng.annCandidates(qv, eligible)
+	got := eng.annCandidates(qv, mass, eligible)
 	if len(got) > p.MaxCandidates {
 		t.Errorf("shortlist = %d, cap %d", len(got), p.MaxCandidates)
+	}
+}
+
+// TestANNShortlistPadsMassNearest is the regression for the padding
+// order bug: an undersized shortlist used to be padded in
+// ascending-mass order from the window's light end, not with the
+// promised mass-nearest eligible entries.
+func TestANNShortlistPadsMassNearest(t *testing.T) {
+	p := testParams()
+	p.MaxCandidates = 3
+	// Library entries share no bins with the query (distinct m/z
+	// regions), so the shared-bin ranking is empty and the whole
+	// shortlist comes from padding. Masses straddle the query mass.
+	mkSpec := func(id string, precursorMZ float64, base float64) *spectrum.Spectrum {
+		return &spectrum.Spectrum{
+			ID: id, PrecursorMZ: precursorMZ, Charge: 1, Peptide: id,
+			Peaks: []spectrum.Peak{
+				{MZ: base, Intensity: 10}, {MZ: base + 3, Intensity: 20},
+				{MZ: base + 6, Intensity: 30}, {MZ: base + 9, Intensity: 40},
+			},
+		}
+	}
+	lib := []*spectrum.Spectrum{
+		mkSpec("far-light", 900, 200),
+		mkSpec("near-light", 990, 240),
+		mkSpec("nearest", 1001, 280),
+		mkSpec("near-heavy", 1012, 320),
+		mkSpec("far-heavy", 1100, 360),
+	}
+	eng, err := NewEngine(p, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mkSpec("query", 1000, 600)
+	pre, err := p.Preprocess.Preprocess(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv := p.Binner.Vectorize(pre).Normalized()
+	mass := q.PrecursorMass()
+	eligible := eng.massRange(mass-p.OpenWindow.Upper, mass-p.OpenWindow.Lower)
+	if len(eligible) != len(lib) {
+		t.Fatalf("eligible = %d entries, want all %d", len(eligible), len(lib))
+	}
+	got := eng.annCandidates(qv, mass, eligible)
+	if len(got) != p.MaxCandidates {
+		t.Fatalf("shortlist = %v, want %d entries", got, p.MaxCandidates)
+	}
+	want := map[string]bool{"nearest": true, "near-light": true, "near-heavy": true}
+	for _, i := range got {
+		id := eng.entries[i].id
+		if !want[id] {
+			t.Errorf("shortlist contains %s; want the three mass-nearest entries", id)
+		}
 	}
 }
 

@@ -44,6 +44,25 @@ type BatchSearcher interface {
 	BatchTopK(queries []hdc.BinaryHV, candidates [][]int, k int) [][]hdc.Match
 }
 
+// RangeSearcher is the optional contiguous-range extension of
+// Searcher. The library is mass-sorted, so every precursor window is
+// a contiguous row range [lo, hi); range-native searchers (the exact
+// sharded engine, the characterized-noise searcher) stream those rows
+// through the blocked kernel without materializing per-query
+// candidate index slices. Deterministic implementations must return
+// results bit-identical to TopK over the equivalent candidate slice;
+// noisy implementations must apply their error model to every
+// candidate in the range and stay deterministic per seed, but may
+// consume their noise stream differently than the slice path.
+type RangeSearcher interface {
+	Searcher
+	// TopKRange returns the k best matches among rows [lo, hi).
+	TopKRange(q hdc.BinaryHV, lo, hi, k int) []hdc.Match
+	// BatchTopKRange runs TopKRange for every query; ranges[i]
+	// restricts query i.
+	BatchTopKRange(queries []hdc.BinaryHV, ranges []hdc.RowRange, k int) [][]hdc.Match
+}
+
 // Params configures an OMS engine.
 type Params struct {
 	// Accel is the HD/hardware operating point (dimension, precision,
@@ -101,14 +120,23 @@ type LibraryEntry struct {
 	Mass float64
 }
 
-// Library is an encoded, mass-indexed reference library.
+// Library is an encoded, mass-ordered reference library: entries are
+// stored sorted by ascending precursor mass, so entry index == mass
+// rank, every precursor window selects a contiguous index range
+// [lo, hi) (CandidateRange), and a searcher packed over HVs can
+// stream any candidate set as a contiguous row range instead of
+// gathering a materialized index slice.
 type Library struct {
-	// Entries holds metadata parallel to the encoded hypervectors.
+	// Entries holds metadata parallel to the encoded hypervectors,
+	// sorted by ascending precursor mass.
 	Entries []LibraryEntry
-	// HVs are the encoded reference hypervectors.
+	// HVs are the encoded reference hypervectors, parallel to Entries
+	// (and therefore also in ascending-mass order).
 	HVs []hdc.BinaryHV
-	// byMass lists entry indices sorted by ascending mass.
-	byMass []int
+	// srcPos is the permutation recorded by the mass sort: srcPos[i]
+	// is the position entry i (equivalently: packed searcher row i)
+	// occupied in the original build order of the kept spectra.
+	srcPos []int
 	// Skipped counts reference spectra rejected by preprocessing.
 	Skipped int
 }
@@ -142,41 +170,77 @@ func BuildLibrary(spectra []*spectrum.Spectrum, p Params, enc Encoder) (*Library
 	if len(lib.Entries) == 0 {
 		return nil, fmt.Errorf("core: empty library after preprocessing")
 	}
-	lib.reindex()
+	lib.SortByMass()
 	return lib, nil
 }
 
-func (l *Library) reindex() {
-	l.byMass = make([]int, len(l.Entries))
-	for i := range l.byMass {
-		l.byMass[i] = i
+// SortByMass sorts entries and hypervectors in place by ascending
+// precursor mass (stable: equal masses keep their build order) and
+// records the permutation back to build order (SourcePos). Libraries
+// built by BuildLibrary are already sorted; a Library constructed by
+// hand must call it before CandidateRange, Candidates or SourcePos
+// are meaningful, and before packing HVs into a searcher.
+func (l *Library) SortByMass() {
+	if len(l.HVs) != len(l.Entries) {
+		panic(fmt.Sprintf("core: library has %d entries but %d hypervectors", len(l.Entries), len(l.HVs)))
 	}
-	sort.Slice(l.byMass, func(a, b int) bool {
-		return l.Entries[l.byMass[a]].Mass < l.Entries[l.byMass[b]].Mass
+	perm := make([]int, len(l.Entries))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return l.Entries[perm[a]].Mass < l.Entries[perm[b]].Mass
 	})
+	entries := make([]LibraryEntry, len(l.Entries))
+	hvs := make([]hdc.BinaryHV, len(l.HVs))
+	for rank, src := range perm {
+		entries[rank] = l.Entries[src]
+		hvs[rank] = l.HVs[src]
+	}
+	l.Entries, l.HVs, l.srcPos = entries, hvs, perm
 }
 
 // Len returns the number of encoded references.
 func (l *Library) Len() int { return len(l.Entries) }
 
-// Candidates returns the indices of references whose mass difference
-// to the query (queryMass − refMass) lies within the window, i.e. the
-// open-search candidate set.
-func (l *Library) Candidates(queryMass float64, w units.MassWindow) []int {
+// SourcePos returns the position entry i (= packed searcher row i)
+// occupied in the original build order of the kept spectra, before
+// the ascending-mass sort — the permutation mapping packed rows back
+// to build-order positions.
+func (l *Library) SourcePos(i int) int { return l.srcPos[i] }
+
+// CandidateRange returns the half-open entry-index range [lo, hi) of
+// references whose mass difference to the query (queryMass − refMass)
+// lies within the window — the open-search candidate set. Entries are
+// mass-sorted, so two binary searches suffice: O(log n) time, O(1)
+// space, no per-query slice allocation.
+func (l *Library) CandidateRange(queryMass float64, w units.MassWindow) (lo, hi int) {
 	// queryMass − refMass ∈ [w.Lower, w.Upper]
 	// ⇔ refMass ∈ [queryMass − w.Upper, queryMass − w.Lower].
-	lo := queryMass - w.Upper
-	hi := queryMass - w.Lower
-	first := sort.Search(len(l.byMass), func(i int) bool {
-		return l.Entries[l.byMass[i]].Mass >= lo
-	})
-	var out []int
-	for i := first; i < len(l.byMass); i++ {
-		e := l.byMass[i]
-		if l.Entries[e].Mass > hi {
-			break
-		}
-		out = append(out, e)
+	mLo := queryMass - w.Upper
+	mHi := queryMass - w.Lower
+	lo = sort.Search(len(l.Entries), func(i int) bool { return l.Entries[i].Mass >= mLo })
+	hi = lo + sort.Search(len(l.Entries)-lo, func(i int) bool { return l.Entries[lo+i].Mass > mHi })
+	return lo, hi
+}
+
+// Candidates materializes CandidateRange as an ascending index slice
+// (nil when empty). The engine's search path uses the range form
+// directly; this slice API is retained for external callers and
+// searchers without range support.
+func (l *Library) Candidates(queryMass float64, w units.MassWindow) []int {
+	return indexSlice(l.CandidateRange(queryMass, w))
+}
+
+// indexSlice expands [lo, hi) into an ascending index slice, nil when
+// the range is empty.
+func indexSlice(lo, hi int) []int {
+	if lo >= hi {
+		return nil
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
 	}
 	return out
 }
@@ -199,9 +263,18 @@ type Engine struct {
 	lib      *Library
 	enc      Encoder
 	searcher Searcher
+	// ranger is the searcher's range-native view, nil when the
+	// searcher only supports candidate index slices.
+	ranger RangeSearcher
+	// normD is the score normalizer: the library's actual hypervector
+	// dimension, validated against params.Accel.D at construction.
+	normD float64
 }
 
-// NewEngine wires a library, encoder and searcher together.
+// NewEngine wires a library, encoder and searcher together. The
+// configured dimension Params.Accel.D must match the library's actual
+// hypervector dimension: similarity scores are normalized by it, so a
+// silent mismatch would mis-scale every PSM score.
 func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error) {
 	if lib == nil || lib.Len() == 0 {
 		return nil, fmt.Errorf("core: empty library")
@@ -209,10 +282,23 @@ func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error)
 	if enc == nil || s == nil {
 		return nil, fmt.Errorf("core: nil encoder or searcher")
 	}
+	if len(lib.HVs) != lib.Len() {
+		return nil, fmt.Errorf("core: library has %d entries but %d hypervectors", lib.Len(), len(lib.HVs))
+	}
+	d := lib.HVs[0].D
+	if d <= 0 {
+		return nil, fmt.Errorf("core: library hypervectors have dimension %d", d)
+	}
+	if p.Accel.D != d {
+		return nil, fmt.Errorf("core: configured dimension D=%d does not match library hypervector dimension D=%d",
+			p.Accel.D, d)
+	}
 	if p.TopK < 1 {
 		p.TopK = 1
 	}
-	return &Engine{params: p, lib: lib, enc: enc, searcher: s}, nil
+	e := &Engine{params: p, lib: lib, enc: enc, searcher: s, normD: float64(d)}
+	e.ranger, _ = s.(RangeSearcher)
+	return e, nil
 }
 
 // Library returns the engine's library.
@@ -231,17 +317,11 @@ func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
 		return fdr.PSM{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
 	}
 	mass := q.PrecursorMass()
-	var window units.MassWindow
-	if e.params.Open {
-		window = e.params.Window
-	} else {
-		window = units.StandardWindow(mass, e.params.StandardTol)
-	}
-	cand := e.lib.Candidates(mass, window)
-	if len(cand) == 0 {
+	lo, hi := e.lib.CandidateRange(mass, e.window(mass))
+	if lo >= hi {
 		return fdr.PSM{}, false, nil
 	}
-	top := e.searcher.TopK(hv, cand, e.params.TopK)
+	top := e.topKRange(hv, lo, hi)
 	if len(top) == 0 {
 		return fdr.PSM{}, false, nil
 	}
@@ -250,10 +330,34 @@ func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
 	return fdr.PSM{
 		QueryID:   q.ID,
 		Peptide:   entry.Peptide,
-		Score:     float64(best.Similarity) / float64(e.params.Accel.D),
+		Score:     float64(best.Similarity) / e.normD,
 		IsDecoy:   entry.IsDecoy,
 		MassShift: mass - entry.Mass,
 	}, true, nil
+}
+
+// window returns the precursor window for a query mass: the open
+// window, or the narrow standard-search window around the mass.
+func (e *Engine) window(queryMass float64) units.MassWindow {
+	if e.params.Open {
+		return e.params.Window
+	}
+	return units.StandardWindow(queryMass, e.params.StandardTol)
+}
+
+// topKRange searches the candidate row range [lo, hi): range-native
+// searchers stream it through the blocked kernel; others receive the
+// materialized index slice. An empty range yields no matches (the
+// gather fallback must not pass a nil slice to TopK, which would mean
+// "all references").
+func (e *Engine) topKRange(hv hdc.BinaryHV, lo, hi int) []hdc.Match {
+	if lo >= hi {
+		return nil
+	}
+	if e.ranger != nil {
+		return e.ranger.TopKRange(hv, lo, hi, e.params.TopK)
+	}
+	return e.searcher.TopK(hv, indexSlice(lo, hi), e.params.TopK)
 }
 
 // SearchAll runs every query and returns the PSM list (one best match

@@ -138,7 +138,7 @@ func TestCandidatesWindowSemantics(t *testing.T) {
 		},
 		HVs: make([]hdc.BinaryHV, 4),
 	}
-	lib.reindex()
+	lib.SortByMass()
 	// Query mass 1510, window [-150, +500]: accept refs with
 	// queryMass - refMass in window => refMass in [1010, 1660].
 	got := lib.Candidates(1510, units.OpenWindow(-150, 500))
@@ -212,6 +212,173 @@ func TestNewEngineValidation(t *testing.T) {
 	p := testParams()
 	if _, err := NewEngine(p, nil, nil, nil); err == nil {
 		t.Error("nil library accepted")
+	}
+}
+
+// TestNewEngineRejectsDimensionMismatch is the regression for the
+// silent score mis-normalization: the engine divided similarities by
+// Params.Accel.D without checking it against the library's actual
+// hypervector dimension, so a mismatched config skewed every PSM
+// score instead of failing loudly.
+func TestNewEngineRejectsDimensionMismatch(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	enc := exactEncoder(t, p)
+	lib, err := BuildLibrary(ds.Library, p, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searcher, err := hdc.NewSearcher(lib.HVs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(p, lib, enc, searcher); err != nil {
+		t.Fatalf("matched dimensions rejected: %v", err)
+	}
+	bad := p
+	bad.Accel.D = p.Accel.D * 2
+	if _, err := NewEngine(bad, lib, enc, searcher); err == nil {
+		t.Error("dimension mismatch accepted: scores would be mis-normalized")
+	}
+}
+
+// TestLibraryMassOrderedWithSourcePermutation checks the mass sort of
+// BuildLibrary and the recorded permutation back to build order.
+func TestLibraryMassOrderedWithSourcePermutation(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	enc := exactEncoder(t, p)
+	lib, err := BuildLibrary(ds.Library, p, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, lib.Len())
+	for i := range lib.Entries {
+		if i > 0 && lib.Entries[i-1].Mass > lib.Entries[i].Mass {
+			t.Fatalf("entries not mass-sorted at %d: %v > %v", i, lib.Entries[i-1].Mass, lib.Entries[i].Mass)
+		}
+		sp := lib.SourcePos(i)
+		if sp < 0 || sp >= lib.Len() || seen[sp] {
+			t.Fatalf("SourcePos(%d) = %d is not a permutation", i, sp)
+		}
+		seen[sp] = true
+	}
+	// The permutation must map each entry back to the kept spectrum it
+	// was built from: kept build order is the source-spectra order
+	// minus the skipped ones, so IDs must line up.
+	kept := make([]string, 0, lib.Len())
+	for _, s := range ds.Library {
+		if _, err := p.Preprocess.Preprocess(s); err == nil {
+			kept = append(kept, s.ID)
+		}
+	}
+	if len(kept) != lib.Len() {
+		t.Fatalf("kept %d spectra, library has %d", len(kept), lib.Len())
+	}
+	for i := range lib.Entries {
+		if kept[lib.SourcePos(i)] != lib.Entries[i].ID {
+			t.Fatalf("entry %d: ID %s but source position %d holds %s",
+				i, lib.Entries[i].ID, lib.SourcePos(i), kept[lib.SourcePos(i)])
+		}
+	}
+}
+
+// TestCandidateRangeMatchesCandidates cross-checks the O(1) range
+// representation against the retained slice API on random windows.
+func TestCandidateRangeMatchesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lib := &Library{
+		Entries: make([]LibraryEntry, 200),
+		HVs:     make([]hdc.BinaryHV, 200),
+	}
+	for i := range lib.Entries {
+		lib.Entries[i].Mass = 500 + rng.Float64()*2000
+	}
+	lib.SortByMass()
+	for trial := 0; trial < 200; trial++ {
+		mass := 400 + rng.Float64()*2400
+		w := units.OpenWindow(-rng.Float64()*200, rng.Float64()*500)
+		lo, hi := lib.CandidateRange(mass, w)
+		slice := lib.Candidates(mass, w)
+		if len(slice) != hi-lo {
+			t.Fatalf("trial %d: range [%d,%d) vs slice len %d", trial, lo, hi, len(slice))
+		}
+		for j, idx := range slice {
+			if idx != lo+j {
+				t.Fatalf("trial %d: slice[%d] = %d, want %d", trial, j, idx, lo+j)
+			}
+		}
+		for i, e := range lib.Entries {
+			in := i >= lo && i < hi
+			within := mass-e.Mass >= w.Lower && mass-e.Mass <= w.Upper
+			if in != within {
+				t.Fatalf("trial %d: entry %d (mass %v) in-range=%v but window says %v", trial, i, e.Mass, in, within)
+			}
+		}
+	}
+}
+
+// sliceOnlySearcher hides the range and batch extensions of the
+// sharded engine, forcing the engine onto the retained gather path.
+type sliceOnlySearcher struct{ s *hdc.Searcher }
+
+func (w sliceOnlySearcher) TopK(q hdc.BinaryHV, candidates []int, k int) []hdc.Match {
+	return w.s.TopK(q, candidates, k)
+}
+
+// TestRangePathMatchesGatherPath runs the same workload through the
+// range-native engine and through a slice-only searcher over the same
+// library, asserting PSM-for-PSM identical results on both the serial
+// and the parallel paths — the end-to-end parity criterion.
+func TestRangePathMatchesGatherPath(t *testing.T) {
+	ds := testDataset(t)
+	p := testParams()
+	rangeEng, enc, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := rangeEng.Library()
+	searcher, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatherEng, err := NewEngine(p, lib, enc, sliceOnlySearcher{s: searcher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gatherEng.ranger != nil {
+		t.Fatal("slice-only searcher unexpectedly implements RangeSearcher")
+	}
+	if rangeEng.ranger == nil {
+		t.Fatal("exact engine's searcher lost RangeSearcher support")
+	}
+	want, err := gatherEng.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rangeEng.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PSM counts differ: range %d vs gather %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("PSM %d differs:\nrange  %+v\ngather %+v", i, got[i], want[i])
+		}
+	}
+	gotPar, err := rangeEng.SearchAllParallel(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPar) != len(want) {
+		t.Fatalf("parallel PSM counts differ: %d vs %d", len(gotPar), len(want))
+	}
+	for i := range gotPar {
+		if gotPar[i] != want[i] {
+			t.Fatalf("parallel PSM %d differs:\nrange  %+v\ngather %+v", i, gotPar[i], want[i])
+		}
 	}
 }
 
@@ -297,7 +464,7 @@ func TestInjectStorageErrorsRate(t *testing.T) {
 		lib.HVs[i] = hdc.RandomBinaryHV(2000, rng)
 		orig[i] = lib.HVs[i].Clone()
 	}
-	lib.reindex()
+	lib.SortByMass()
 	lib.InjectStorageErrors(0.1, rng)
 	var flipped int
 	for i := range lib.HVs {

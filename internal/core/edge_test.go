@@ -46,7 +46,7 @@ func TestCandidatesEmptyWindow(t *testing.T) {
 		Entries: []LibraryEntry{{Mass: 1000}},
 		HVs:     make([]hdc.BinaryHV, 1),
 	}
-	lib.reindex()
+	lib.SortByMass()
 	// Inverted/degenerate window around a far-off mass.
 	if got := lib.Candidates(5000, units.OpenWindow(-1, 1)); got != nil {
 		t.Errorf("expected no candidates, got %v", got)
@@ -58,7 +58,7 @@ func TestCandidatesBoundaryInclusive(t *testing.T) {
 		Entries: []LibraryEntry{{Mass: 1000}, {Mass: 1150}, {Mass: 1500}},
 		HVs:     make([]hdc.BinaryHV, 3),
 	}
-	lib.reindex()
+	lib.SortByMass()
 	// Window [-150, +500]: query 1000 accepts refs in [500, 1150].
 	got := lib.Candidates(1000, units.OpenWindow(-150, 500))
 	found := map[int]bool{}

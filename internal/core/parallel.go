@@ -8,7 +8,6 @@ import (
 	"repro/internal/fdr"
 	"repro/internal/hdc"
 	"repro/internal/spectrum"
-	"repro/internal/units"
 )
 
 // parallelFor runs fn(i) for i in [0, n) across CPU cores.
@@ -45,14 +44,18 @@ func parallelFor(n int, fn func(i int)) {
 // preprocessing or with empty candidate sets are omitted, exactly as
 // in SearchAll.
 //
-// When the engine's searcher implements BatchSearcher (the exact
-// sharded engine does), the search runs in two stages: preprocessing,
-// encoding and candidate selection fan out per query, then a single
-// BatchTopK scores every searchable query with per-worker reusable
-// scratch. Other searchers take the per-query path.
+// When the engine's searcher implements RangeSearcher or
+// BatchSearcher (the exact sharded engine and the characterized-noise
+// searcher do), the search runs in two stages: preprocessing,
+// encoding and candidate-range selection fan out per query, then a
+// single batch top-k scores every searchable query — range-native
+// searchers sweep each cache-resident row block with all queries
+// whose precursor windows cover it, so the packed reference store
+// streams from memory once per batch. Other searchers take the
+// per-query path.
 func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
-	if bs, ok := e.searcher.(BatchSearcher); ok {
-		return e.searchAllBatch(queries, bs)
+	if _, ok := e.searcher.(BatchSearcher); ok || e.ranger != nil {
+		return e.searchAllBatch(queries)
 	}
 	type slot struct {
 		psm fdr.PSM
@@ -77,14 +80,17 @@ func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, err
 }
 
 // searchAllBatch is the batch-oriented parallel path. It mirrors
-// SearchOne stage by stage so the emitted PSMs are identical.
-func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum, bs BatchSearcher) ([]fdr.PSM, error) {
+// SearchOne stage by stage so the emitted PSMs are identical. The
+// candidate set of each query is carried as a mass-rank row range
+// [lo, hi) — O(1) per query — and only materialized into an index
+// slice for searchers without range support.
+func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
 	type prep struct {
-		hv   hdc.BinaryHV
-		mass float64
-		cand []int
-		ok   bool
-		err  error
+		hv     hdc.BinaryHV
+		mass   float64
+		lo, hi int
+		ok     bool
+		err    error
 	}
 	preps := make([]prep, len(queries))
 	parallelFor(len(queries), func(i int) {
@@ -99,17 +105,11 @@ func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum, bs BatchSearcher) 
 			return
 		}
 		mass := q.PrecursorMass()
-		var window units.MassWindow
-		if e.params.Open {
-			window = e.params.Window
-		} else {
-			window = units.StandardWindow(mass, e.params.StandardTol)
-		}
-		cand := e.lib.Candidates(mass, window)
-		if len(cand) == 0 {
+		lo, hi := e.lib.CandidateRange(mass, e.window(mass))
+		if lo >= hi {
 			return
 		}
-		preps[i] = prep{hv: hv, mass: mass, cand: cand, ok: true}
+		preps[i] = prep{hv: hv, mass: mass, lo: lo, hi: hi, ok: true}
 	})
 	for i := range preps {
 		if preps[i].err != nil {
@@ -118,21 +118,30 @@ func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum, bs BatchSearcher) 
 	}
 	// One batch search over the searchable queries.
 	var (
-		order []int
-		hvs   []hdc.BinaryHV
-		cands [][]int
+		order  []int
+		hvs    []hdc.BinaryHV
+		ranges []hdc.RowRange
 	)
 	for i := range preps {
 		if preps[i].ok {
 			order = append(order, i)
 			hvs = append(hvs, preps[i].hv)
-			cands = append(cands, preps[i].cand)
+			ranges = append(ranges, hdc.RowRange{Lo: preps[i].lo, Hi: preps[i].hi})
 		}
 	}
 	if len(order) == 0 {
 		return []fdr.PSM{}, nil
 	}
-	tops := bs.BatchTopK(hvs, cands, e.params.TopK)
+	var tops [][]hdc.Match
+	if e.ranger != nil {
+		tops = e.ranger.BatchTopKRange(hvs, ranges, e.params.TopK)
+	} else {
+		cands := make([][]int, len(ranges))
+		for j, r := range ranges {
+			cands[j] = indexSlice(r.Lo, r.Hi)
+		}
+		tops = e.searcher.(BatchSearcher).BatchTopK(hvs, cands, e.params.TopK)
+	}
 	psms := make([]fdr.PSM, 0, len(order))
 	for j, i := range order {
 		top := tops[j]
@@ -144,7 +153,7 @@ func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum, bs BatchSearcher) 
 		psms = append(psms, fdr.PSM{
 			QueryID:   queries[i].ID,
 			Peptide:   entry.Peptide,
-			Score:     float64(best.Similarity) / float64(e.params.Accel.D),
+			Score:     float64(best.Similarity) / e.normD,
 			IsDecoy:   entry.IsDecoy,
 			MassShift: preps[i].mass - entry.Mass,
 		})

@@ -33,16 +33,23 @@ func NewRescorer(engine *Engine, library []*spectrum.Spectrum, alpha float64) (*
 		return nil, fmt.Errorf("core: rescore alpha %v outside [0,1]", alpha)
 	}
 	r := &Rescorer{engine: engine, binner: engine.params.Binner, Alpha: alpha}
+	var built []spectrum.Vector
 	for _, s := range library {
 		pre, err := engine.params.Preprocess.Preprocess(s)
 		if err != nil {
 			continue // skipped at library build time too
 		}
-		r.vectors = append(r.vectors, r.binner.Vectorize(pre).Normalized())
+		built = append(built, r.binner.Vectorize(pre).Normalized())
 	}
-	if len(r.vectors) != engine.lib.Len() {
+	if len(built) != engine.lib.Len() {
 		return nil, fmt.Errorf("core: rescorer has %d vectors, library has %d entries — pass the same library slice",
-			len(r.vectors), engine.lib.Len())
+			len(built), engine.lib.Len())
+	}
+	// The library was sorted by ascending mass at build time; apply the
+	// recorded permutation so vectors stay parallel to its entries.
+	r.vectors = make([]spectrum.Vector, len(built))
+	for i := range r.vectors {
+		r.vectors[i] = built[engine.lib.SourcePos(i)]
 	}
 	return r, nil
 }
@@ -59,21 +66,19 @@ func (r *Rescorer) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
 		return fdr.PSM{}, false, err
 	}
 	mass := q.PrecursorMass()
-	window := r.engine.params.Window
-	if !r.engine.params.Open {
-		window = r.engine.params.Window // open window still bounds candidates
-	}
-	cand := r.engine.lib.Candidates(mass, window)
-	if len(cand) == 0 {
+	// The open window bounds candidates even in standard mode: the
+	// shortlist is rescored, so the wider net costs only HD search.
+	lo, hi := r.engine.lib.CandidateRange(mass, r.engine.params.Window)
+	if lo >= hi {
 		return fdr.PSM{}, false, nil
 	}
-	top := r.engine.searcher.TopK(hv, cand, r.engine.params.TopK)
+	top := r.engine.topKRange(hv, lo, hi)
 	if len(top) == 0 {
 		return fdr.PSM{}, false, nil
 	}
 	qn := qv.Normalized()
 	bestIdx, bestScore := -1, math.Inf(-1)
-	d := float64(r.engine.params.Accel.D)
+	d := r.engine.normD
 	for _, m := range top {
 		entry := r.engine.lib.Entries[m.Index]
 		shiftBins := int(math.Round((mass - entry.Mass) / r.binner.BinWidth))

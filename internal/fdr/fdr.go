@@ -38,10 +38,14 @@ type Result struct {
 }
 
 // Filter applies target-decoy FDR control at level alpha (e.g. 0.01):
-// PSMs are sorted by descending score and the largest prefix whose
-// estimated FDR (#decoys/#targets) stays at or below alpha is
-// accepted. Decoy PSMs are excluded from the returned acceptances.
-// The input slice is not modified.
+// PSMs are sorted by descending score and the deepest score threshold
+// whose acceptance set {score >= threshold} has estimated FDR
+// (#decoys/#targets) at or below alpha is selected. Acceptance never
+// splits a run of equal-score PSMs — a cut inside a tie run would
+// accept and reject the same score — so Result.Threshold exactly
+// describes the accepted set: every PSM scoring at or above it was
+// counted, every PSM below it was rejected. Decoy PSMs are excluded
+// from the returned acceptances. The input slice is not modified.
 func Filter(psms []PSM, alpha float64) (Result, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return Result{}, fmt.Errorf("fdr: alpha %v outside (0,1)", alpha)
@@ -51,7 +55,9 @@ func Filter(psms []PSM, alpha float64) (Result, error) {
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
 
 	// Walk down the ranked list tracking the running decoy/target
-	// ratio; remember the deepest prefix satisfying the bound.
+	// ratio; remember the deepest tie-run boundary satisfying the
+	// bound (evaluating only at run ends extends acceptance through
+	// ties at the threshold score).
 	var targets, decoys int
 	bestIdx := -1
 	bestTargets, bestDecoys := 0, 0
@@ -60,6 +66,9 @@ func Filter(psms []PSM, alpha float64) (Result, error) {
 			decoys++
 		} else {
 			targets++
+		}
+		if i+1 < len(sorted) && sorted[i+1].Score == p.Score {
+			continue // mid-run: not a valid score cut
 		}
 		if targets == 0 {
 			continue
@@ -84,8 +93,11 @@ func Filter(psms []PSM, alpha float64) (Result, error) {
 
 // QValues computes the q-value (minimal FDR at which the PSM would be
 // accepted) for every input PSM, returned in the same order as the
-// input. The standard monotonization (cumulative minimum from the
-// bottom of the ranked list) is applied.
+// input. Acceptance sets are score-threshold sets, so equal-score
+// PSMs share one raw FDR — evaluated at the end of their tie run,
+// matching Filter's never-split-ties contract — and the standard
+// monotonization (cumulative minimum from the bottom of the ranked
+// list) is applied.
 func QValues(psms []PSM) []float64 {
 	n := len(psms)
 	order := make([]int, n)
@@ -96,21 +108,27 @@ func QValues(psms []PSM) []float64 {
 
 	raw := make([]float64, n)
 	var targets, decoys int
+	runStart := 0
 	for rank, i := range order {
 		if psms[i].IsDecoy {
 			decoys++
 		} else {
 			targets++
 		}
-		if targets == 0 {
-			raw[rank] = 1
-		} else {
-			f := float64(decoys) / float64(targets)
+		if rank+1 < n && psms[order[rank+1]].Score == psms[i].Score {
+			continue // mid-run: the cut completes at the run's end
+		}
+		f := 1.0
+		if targets > 0 {
+			f = float64(decoys) / float64(targets)
 			if f > 1 {
 				f = 1
 			}
-			raw[rank] = f
 		}
+		for r := runStart; r <= rank; r++ {
+			raw[r] = f
+		}
+		runStart = rank + 1
 	}
 	// Monotonize: q[rank] = min over ranks >= rank.
 	for rank := n - 2; rank >= 0; rank-- {

@@ -46,6 +46,104 @@ func TestFilterBasicThreshold(t *testing.T) {
 	}
 }
 
+// TestFilterNeverSplitsTieRuns is the regression for the cutoff tie
+// bug: the accepted prefix used to end mid-run, so Threshold ("the
+// score cut applied") named a score that was simultaneously accepted
+// (targets above the cut) and rejected (a decoy at the same score).
+func TestFilterNeverSplitsTieRuns(t *testing.T) {
+	// A target and a decoy tie at score 9; accepting {100, 9T} while
+	// rejecting 9D splits the run. With the run as a whole the FDR is
+	// 1/2 > 0.4, so acceptance must retreat to the run above.
+	psms := []PSM{
+		{QueryID: "q1", Peptide: "A", Score: 100},
+		{QueryID: "q2", Peptide: "B", Score: 9},
+		{QueryID: "q3", Peptide: "C", Score: 9, IsDecoy: true},
+		{QueryID: "q4", Peptide: "D", Score: 8, IsDecoy: true},
+	}
+	res, err := Filter(psms, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 || res.Accepted[0].QueryID != "q1" {
+		t.Errorf("accepted = %+v, want only q1", res.Accepted)
+	}
+	if res.Threshold != 100 {
+		t.Errorf("threshold = %v, want 100", res.Threshold)
+	}
+	if res.TargetCount != 1 || res.DecoyCount != 0 {
+		t.Errorf("counts: %d targets, %d decoys", res.TargetCount, res.DecoyCount)
+	}
+
+	// Same shape but a tolerant alpha: acceptance extends through the
+	// whole tie run, decoy counted, and the threshold names the run.
+	res, err = Filter(psms, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 2 {
+		t.Fatalf("accepted = %+v, want q1 and q2", res.Accepted)
+	}
+	if res.Threshold != 9 {
+		t.Errorf("threshold = %v, want 9", res.Threshold)
+	}
+	if res.TargetCount != 2 || res.DecoyCount != 1 {
+		t.Errorf("counts: %d targets, %d decoys", res.TargetCount, res.DecoyCount)
+	}
+}
+
+// TestFilterThresholdDescribesAcceptedSet fuzzes tie-heavy inputs
+// (scores drawn from a handful of values) and checks the threshold
+// contract: the accepted targets are exactly the targets scoring at
+// or above Threshold, the counts tally every PSM at or above it, and
+// the estimated FDR of that set respects alpha.
+func TestFilterThresholdDescribesAcceptedSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		psms := make([]PSM, n)
+		for i := range psms {
+			psms[i] = PSM{
+				QueryID: "q",
+				Score:   float64(rng.Intn(6)), // heavy ties
+				IsDecoy: rng.Float64() < 0.3,
+			}
+		}
+		alpha := 0.05 + rng.Float64()*0.4
+		res, err := Filter(psms, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Accepted) == 0 {
+			continue
+		}
+		var targets, decoys int
+		for _, p := range psms {
+			if p.Score >= res.Threshold {
+				if p.IsDecoy {
+					decoys++
+				} else {
+					targets++
+				}
+			}
+		}
+		if targets != res.TargetCount || decoys != res.DecoyCount {
+			t.Fatalf("trial %d: counts at threshold %v: got %d/%d, result says %d/%d",
+				trial, res.Threshold, targets, decoys, res.TargetCount, res.DecoyCount)
+		}
+		if len(res.Accepted) != targets {
+			t.Fatalf("trial %d: %d accepted, %d targets at threshold", trial, len(res.Accepted), targets)
+		}
+		for _, p := range res.Accepted {
+			if p.Score < res.Threshold {
+				t.Fatalf("trial %d: accepted score %v below threshold %v", trial, p.Score, res.Threshold)
+			}
+		}
+		if float64(decoys)/float64(targets) > alpha {
+			t.Fatalf("trial %d: FDR %v over alpha %v", trial, float64(decoys)/float64(targets), alpha)
+		}
+	}
+}
+
 func TestFilterNothingPasses(t *testing.T) {
 	psms := []PSM{
 		{QueryID: "q1", Score: 100, IsDecoy: true},

@@ -1,0 +1,277 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gatherRange materializes [lo, hi) (clamped) as a candidate slice —
+// the retained gather path the range kernel must match bit for bit.
+func gatherRange(lo, hi, n int) []int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return []int{} // non-nil: nil means "all references" to TopK
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// TestTopKRangeParityWithGather asserts TopKRange is bit-identical to
+// the gather path (TopK over the materialized slice) and to the seed
+// naive scan, across shard sizes, window widths, ties, empty and
+// out-of-bounds ranges — the acceptance criterion of the range
+// kernel.
+func TestTopKRangeParityWithGather(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 64 + rng.Intn(200)
+		n := 50 + rng.Intn(400)
+		refs := randomRefs(d, n, seed+200)
+		// Duplicate references so ties occur at range boundaries.
+		for i := 0; i+5 < n; i += 5 {
+			refs[i+1] = refs[i].Clone()
+		}
+		q := RandomBinaryHV(d, rng)
+		ranges := [][2]int{
+			{0, n},                         // full scan as a range
+			{0, 1},                         // single row
+			{n - 1, n},                     // last row
+			{n / 3, n / 2},                 // interior window
+			{7, 7},                         // empty
+			{n / 2, n / 3},                 // inverted (empty)
+			{-10, n + 10},                  // out of bounds both sides
+			{-5, 3},                        // clamped low
+			{n - 3, n + 50},                // clamped high
+			{rng.Intn(n), rng.Intn(2 * n)}, // random
+		}
+		for _, shardSize := range []int{1, 7, 64, 0} {
+			s, err := NewSearcherSharded(refs, shardSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, n + 10} {
+				for ri, r := range ranges {
+					cand := gatherRange(r[0], r[1], n)
+					want := s.TopK(q, cand, k)
+					got := s.TopKRange(q, r[0], r[1], k)
+					if !matchesEqual(got, want) {
+						t.Fatalf("seed %d shard %d k %d range %d %v:\ngot  %v\nwant %v",
+							seed, shardSize, k, ri, r, got, want)
+					}
+					if naive := naiveTopK(refs, d, q, cand, k); !matchesEqual(got, naive) {
+						t.Fatalf("seed %d shard %d k %d range %d %v: diverges from naive",
+							seed, shardSize, k, ri, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchTopKRangeParity asserts the block-major batch range scan
+// matches per-query gather results for batches of overlapping,
+// disjoint, empty and unsorted ranges.
+func TestBatchTopKRangeParity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed + 10))
+		d := 64 + rng.Intn(200)
+		n := 100 + rng.Intn(500)
+		refs := randomRefs(d, n, seed+300)
+		for i := 0; i+4 < n; i += 4 {
+			refs[i+2] = refs[i].Clone()
+		}
+		nq := 12
+		queries := make([]BinaryHV, nq)
+		ranges := make([]RowRange, nq)
+		for i := range queries {
+			queries[i] = RandomBinaryHV(d, rng)
+			switch i % 4 {
+			case 0: // sliding overlapping windows (the mass-sorted shape)
+				lo := (i * n) / (2 * nq)
+				ranges[i] = RowRange{Lo: lo, Hi: lo + n/3}
+			case 1: // random window, possibly past the end
+				lo := rng.Intn(n)
+				ranges[i] = RowRange{Lo: lo, Hi: lo + rng.Intn(n)}
+			case 2: // empty
+				ranges[i] = RowRange{Lo: n / 2, Hi: n / 2}
+			default: // full plus out-of-bounds slack
+				ranges[i] = RowRange{Lo: -3, Hi: n + 3}
+			}
+		}
+		for _, shardSize := range []int{3, 64, 0} {
+			s, err := NewSearcherSharded(refs, shardSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5} {
+				got := s.BatchTopKRange(queries, ranges, k)
+				for i := range queries {
+					want := s.TopK(queries[i], gatherRange(ranges[i].Lo, ranges[i].Hi, n), k)
+					if !matchesEqual(got[i], want) {
+						t.Fatalf("seed %d shard %d k %d query %d range %+v:\ngot  %v\nwant %v",
+							seed, shardSize, k, i, ranges[i], got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKRangeParallelPath exercises the multi-shard fan-out branch
+// (range length above parallelMinRefs) against the gather path.
+func TestTopKRangeParallelPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large reference set")
+	}
+	d, n := 64, parallelMinRefs+1500
+	refs := randomRefs(d, n, 17)
+	s, err := NewSearcherSharded(refs, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	q := RandomBinaryHV(d, rng)
+	lo, hi := 100, 100+parallelMinRefs+700
+	got := s.TopKRange(q, lo, hi, 7)
+	want := s.TopK(q, gatherRange(lo, hi, n), 7)
+	if !matchesEqual(got, want) {
+		t.Fatalf("parallel range path diverges:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestSimilaritiesRangeIntoParity checks the bulk range scorer
+// against per-row Similarity, including buffer reuse and clamping.
+func TestSimilaritiesRangeIntoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, n := 130, 300
+	refs := randomRefs(d, n, 22)
+	s, err := NewSearcherSharded(refs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := RandomBinaryHV(d, rng)
+	var buf []int
+	for _, r := range [][2]int{{0, n}, {10, 200}, {-5, 40}, {250, n + 90}, {60, 60}, {120, 10}} {
+		buf = s.Engine().SimilaritiesRangeInto(q, r[0], r[1], buf)
+		lo, hi := r[0], r[1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		wantLen := hi - lo
+		if wantLen < 0 {
+			wantLen = 0
+		}
+		if len(buf) != wantLen {
+			t.Fatalf("range %v: len = %d, want %d", r, len(buf), wantLen)
+		}
+		for j := range buf {
+			if want := s.Similarity(q, lo+j); buf[j] != want {
+				t.Fatalf("range %v row %d: sim = %d, want %d", r, lo+j, buf[j], want)
+			}
+		}
+	}
+}
+
+// TestBatchTopKRangeShapeChecks covers the argument contracts: a
+// ranges slice shorter than queries panics, k <= 0 yields nil rows,
+// and an all-empty batch returns empty (non-nil) match lists.
+func TestBatchTopKRangeShapeChecks(t *testing.T) {
+	refs := randomRefs(64, 50, 31)
+	s, err := NewSearcherSharded(refs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	q := RandomBinaryHV(64, rng)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched ranges length did not panic")
+			}
+		}()
+		s.BatchTopKRange([]BinaryHV{q, q}, []RowRange{{Lo: 0, Hi: 10}}, 3)
+	}()
+
+	out := s.BatchTopKRange([]BinaryHV{q}, []RowRange{{Lo: 0, Hi: 10}}, 0)
+	if out[0] != nil {
+		t.Errorf("k=0: got %v, want nil", out[0])
+	}
+
+	out = s.BatchTopKRange([]BinaryHV{q, q}, []RowRange{{Lo: 5, Hi: 5}, {Lo: 40, Hi: 20}}, 3)
+	for i, matches := range out {
+		if matches == nil || len(matches) != 0 {
+			t.Errorf("empty range %d: got %v, want empty non-nil", i, matches)
+		}
+	}
+}
+
+// TestSimilarityBoundsContract asserts Similarity panics with a
+// descriptive message on out-of-range indices instead of a raw slice
+// bounds failure, and that TopK skips out-of-range and handles
+// duplicate candidates exactly like the naive reference scan.
+func TestSimilarityBoundsContract(t *testing.T) {
+	d, n := 96, 40
+	refs := randomRefs(d, n, 41)
+	s, err := NewSearcherSharded(refs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	q := RandomBinaryHV(d, rng)
+
+	for _, bad := range []int{-1, n, n + 100} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Similarity(%d) did not panic", bad)
+					return
+				}
+				if msg, ok := r.(string); !ok || msg == "" {
+					t.Errorf("Similarity(%d) panic = %v, want descriptive message", bad, r)
+				}
+			}()
+			s.Similarity(q, bad)
+		}()
+	}
+
+	// Duplicates and out-of-range entries in one candidate list: TopK
+	// must match the naive scan (duplicates scored twice, bad indices
+	// skipped), not panic.
+	cand := []int{3, 3, 3, -1, n, 7, 7, 0, n - 1, n - 1}
+	got := s.TopK(q, cand, 6)
+	want := naiveTopK(refs, d, q, cand, 6)
+	if !matchesEqual(got, want) {
+		t.Fatalf("duplicate/out-of-range candidates:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestRowRangeHelpers pins the RowRange value semantics.
+func TestRowRangeHelpers(t *testing.T) {
+	cases := []struct {
+		r     RowRange
+		empty bool
+		n     int
+	}{
+		{RowRange{Lo: 0, Hi: 0}, true, 0},
+		{RowRange{Lo: 5, Hi: 3}, true, 0},
+		{RowRange{Lo: 2, Hi: 7}, false, 5},
+	}
+	for _, c := range cases {
+		if c.r.Empty() != c.empty || c.r.Len() != c.n {
+			t.Errorf("%+v: Empty=%v Len=%d, want %v/%d", c.r, c.r.Empty(), c.r.Len(), c.empty, c.n)
+		}
+	}
+}

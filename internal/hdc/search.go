@@ -80,6 +80,21 @@ func (s *Searcher) BatchTopK(queries []BinaryHV, candidates [][]int, k int) [][]
 	return s.engine.BatchTopK(queries, candidates, k)
 }
 
+// TopKRange returns the k most similar references among the
+// contiguous row range [lo, hi) — the candidate representation of the
+// mass-ordered open-search pipeline — bit-identical to TopK over the
+// equivalent materialized candidate slice.
+func (s *Searcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
+	return s.engine.TopKRange(q, lo, hi, k)
+}
+
+// BatchTopKRange runs TopKRange for every query (ranges[i] restricts
+// query i), block-major and parallel across CPU cores: each
+// cache-resident row block is swept by all queries covering it.
+func (s *Searcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, k int) [][]Match {
+	return s.engine.BatchTopKRange(queries, ranges, k)
+}
+
 // worse reports whether a ranks strictly below b (lower similarity, or
 // equal similarity with a larger index).
 func worse(a, b Match) bool {

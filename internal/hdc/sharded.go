@@ -124,9 +124,15 @@ func (s *ShardedSearcher) checkQuery(q BinaryHV) {
 }
 
 // Similarity returns the Hamming similarity between the query and
-// reference i, read from the packed store.
+// reference i, read from the packed store. It panics with a
+// descriptive message when i is outside [0, Len()) — the same bounds
+// contract TopK applies (which silently skips out-of-range candidate
+// indices rather than scoring them).
 func (s *ShardedSearcher) Similarity(q BinaryHV, i int) int {
 	s.checkQuery(q)
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("hdc: reference index %d out of range [0, %d)", i, s.n))
+	}
 	sh := &s.shards[i/s.shardSize]
 	return s.simRow(q.Words, sh, i-sh.start)
 }
@@ -195,6 +201,63 @@ func (s *ShardedSearcher) SimilaritiesInto(q BinaryHV, dst []int) []int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		s.scoreShard(q.Words, sh, dst[sh.start:sh.start+sh.rows])
+	}
+	return dst
+}
+
+// RowRange is a half-open contiguous interval [Lo, Hi) of packed
+// reference rows — the candidate-set representation of the
+// mass-ordered open-search pipeline. When references are packed in
+// ascending precursor-mass order, every precursor window selects a
+// contiguous run of rows found by two binary searches, so a candidate
+// set costs O(1) space instead of a materialized index slice.
+type RowRange struct {
+	Lo, Hi int
+}
+
+// Empty reports whether the range selects no rows.
+func (r RowRange) Empty() bool { return r.Hi <= r.Lo }
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// Clamp clips the range to a reference count of n rows.
+func (r RowRange) Clamp(n int) RowRange {
+	if r.Lo < 0 {
+		r.Lo = 0
+	}
+	if r.Hi > n {
+		r.Hi = n
+	}
+	return r
+}
+
+// SimilaritiesRangeInto scores the query against packed rows [lo, hi)
+// (clamped to [0, Len())) through the blocked kernel, writing
+// HammingSimilarity(q, lo+j) to dst[j]. dst is grown as needed; the
+// (possibly reallocated) slice of length max(0, hi-lo) is returned, so
+// callers can reuse one buffer across queries.
+func (s *ShardedSearcher) SimilaritiesRangeInto(q BinaryHV, lo, hi int, dst []int) []int {
+	s.checkQuery(q)
+	r := RowRange{Lo: lo, Hi: hi}.Clamp(s.n)
+	n := r.Len()
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for row := r.Lo; row < r.Hi; {
+		sh := &s.shards[row/s.shardSize]
+		end := min(r.Hi, sh.start+sh.rows)
+		for b := row; b < end; b += s.block {
+			rows := min(s.block, end-b)
+			scoreRows(q.Words, sh.packed[(b-sh.start)*s.words:], s.words, rows, s.d, dst[b-r.Lo:])
+		}
+		row = end
 	}
 	return dst
 }
@@ -450,5 +513,213 @@ func (s *ShardedSearcher) batchFullScan(queries []BinaryHV, qIdx []int, k int, o
 			merged = merged[:k]
 		}
 		out[f] = merged
+	}
+}
+
+// TopKRange returns the k most similar references among the
+// contiguous packed-row range [lo, hi) (clamped to [0, Len())),
+// ordered by descending similarity with ties broken by ascending
+// index — bit-identical to TopK over the equivalent materialized
+// candidate slice, but streaming the rows through the blocked kernel
+// instead of gathering them one at a time. Large ranges spanning
+// several shards fan out across CPU cores.
+func (s *ShardedSearcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
+	s.checkQuery(q)
+	if k <= 0 {
+		return nil
+	}
+	r := RowRange{Lo: lo, Hi: hi}.Clamp(s.n)
+	if r.Empty() {
+		return []Match{}
+	}
+	if r.Len() >= parallelMinRefs && (r.Hi-1)/s.shardSize > r.Lo/s.shardSize {
+		out := make([][]Match, 1)
+		s.batchRangeScan([]BinaryHV{q}, []RowRange{r}, []int{0}, k, out)
+		return out[0]
+	}
+	sc := scratchPool.Get().(*searchScratch)
+	out := s.topKRangeScratch(q, r, k, sc)
+	scratchPool.Put(sc)
+	return out
+}
+
+// topKRangeScratch is the sequential range top-k path over a worker's
+// scratch: shard by shard, kernel block by kernel block.
+func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *searchScratch) []Match {
+	h := sc.heap[:0]
+	sims := sc.simsBuf(s.block)
+	for row := r.Lo; row < r.Hi; {
+		sh := &s.shards[row/s.shardSize]
+		end := min(r.Hi, sh.start+sh.rows)
+		for b := row; b < end; b += s.block {
+			rows := min(s.block, end-b)
+			scoreRows(q.Words, sh.packed[(b-sh.start)*s.words:], s.words, rows, s.d, sims)
+			for j := 0; j < rows; j++ {
+				h = offerTopK(h, Match{Index: b + j, Similarity: sims[j]}, k)
+			}
+		}
+		row = end
+	}
+	sc.heap = h
+	return sortedMatches(h)
+}
+
+// BatchTopKRange runs TopKRange for every query: ranges[i] restricts
+// query i to packed rows [Lo, Hi), clamped to the reference count
+// (ranges must have one entry per query; an empty range yields an
+// empty result). The scan is block-major: shards fan out across CPU
+// cores, and within a shard every cache-resident row block is swept
+// by all queries whose ranges cover it before the scan advances.
+// Queries sorted by precursor mass have heavily overlapping ranges,
+// so the packed store streams from memory once per batch — as in the
+// full-scan path — instead of once per query through the per-row
+// gather path. Results are bit-identical to TopK over the equivalent
+// materialized candidate slices.
+func (s *ShardedSearcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, k int) [][]Match {
+	if len(ranges) != len(queries) {
+		panic(fmt.Sprintf("hdc: %d queries with %d ranges", len(queries), len(ranges)))
+	}
+	for i := range queries {
+		s.checkQuery(queries[i])
+	}
+	out := make([][]Match, len(queries))
+	if k <= 0 {
+		return out
+	}
+	clamped := make([]RowRange, len(queries))
+	active := make([]int, 0, len(queries))
+	for i, r := range ranges {
+		clamped[i] = r.Clamp(s.n)
+		if clamped[i].Empty() {
+			out[i] = []Match{}
+		} else {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return out
+	}
+	// Sort by range start so each shard sees its queries as a
+	// near-contiguous run (mass-sorted query batches arrive almost
+	// sorted already); stable so equal starts keep query order.
+	sort.SliceStable(active, func(a, b int) bool {
+		return clamped[active[a]].Lo < clamped[active[b]].Lo
+	})
+	s.batchRangeScan(queries, clamped, active, k, out)
+	return out
+}
+
+// batchRangeScan is the block-major range scan over the active query
+// positions (sorted by range start, ranges pre-clamped and non-empty).
+// Each worker owns whole shards; within a shard every kernel block is
+// scored for all queries covering it while the block is
+// cache-resident. Per query and shard a top-k heap survives the sweep;
+// shard-level lists are merged per query by (similarity desc, index
+// asc) — deterministic regardless of shard completion order, and
+// exact because a range-global top-k member is necessarily in its own
+// shard's top-k.
+func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, active []int, k int, out [][]Match) {
+	// perQuery[j][t] is query active[j]'s sorted top-k within the t-th
+	// shard its range intersects; a contiguous row range intersects a
+	// contiguous shard run, so t = shard index − firstShard[j].
+	perQuery := make([][][]Match, len(active))
+	firstShard := make([]int, len(active))
+	for j, qi := range active {
+		r := ranges[qi]
+		firstShard[j] = r.Lo / s.shardSize
+		perQuery[j] = make([][]Match, (r.Hi-1)/s.shardSize-firstShard[j]+1)
+	}
+	workers := min(runtime.GOMAXPROCS(0), len(s.shards))
+	next := make(chan int, len(s.shards))
+	for i := range s.shards {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := scratchPool.Get().(*searchScratch)
+			defer scratchPool.Put(sc)
+			for si := range next {
+				s.scanShardRanges(si, queries, ranges, active, k, perQuery, firstShard, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	for j, qi := range active {
+		var merged []Match
+		for _, part := range perQuery[j] {
+			merged = append(merged, part...)
+		}
+		sort.Slice(merged, func(a, b int) bool { return worse(merged[b], merged[a]) })
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		out[qi] = merged
+	}
+}
+
+// scanShardRanges sweeps one shard's kernel blocks with every query
+// whose range intersects the shard, writing per-shard sorted top-k
+// lists into perQuery.
+func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []RowRange, active []int, k int, perQuery [][][]Match, firstShard []int, sc *searchScratch) {
+	sh := &s.shards[si]
+	shLo, shHi := sh.start, sh.start+sh.rows
+	// active is sorted by range start: positions at or past this bound
+	// begin after the shard ends and cannot intersect it.
+	bound := sort.Search(len(active), func(j int) bool { return ranges[active[j]].Lo >= shHi })
+	// shardQuery is one query's clip onto this shard.
+	type shardQuery struct {
+		j      int // position in active
+		lo, hi int // query range ∩ shard, absolute rows
+		heap   []Match
+	}
+	var qs []shardQuery
+	for j := 0; j < bound; j++ {
+		r := ranges[active[j]]
+		if r.Hi <= shLo {
+			continue
+		}
+		qs = append(qs, shardQuery{j: j, lo: max(r.Lo, shLo), hi: min(r.Hi, shHi)})
+	}
+	if len(qs) == 0 {
+		return
+	}
+	sims := sc.simsBuf(s.block)
+	for b0 := 0; b0 < sh.rows; b0 += s.block {
+		blockLo := shLo + b0
+		blockHi := blockLo + min(s.block, sh.rows-b0)
+		for t := range qs {
+			sq := &qs[t]
+			r0, r1 := max(sq.lo, blockLo), min(sq.hi, blockHi)
+			if r0 >= r1 {
+				continue
+			}
+			scoreRows(queries[active[sq.j]].Words, sh.packed[(r0-shLo)*s.words:], s.words, r1-r0, s.d, sims)
+			h := sq.heap
+			if len(h) < k {
+				for x := 0; x < r1-r0; x++ {
+					h = offerTopK(h, Match{Index: r0 + x, Similarity: sims[x]}, k)
+				}
+			} else {
+				// Steady state: reject on one compare, heap path only
+				// for potential entrants (as in batchFullScan).
+				worst := h[0].Similarity
+				for x, sim := range sims[:r1-r0] {
+					if sim < worst {
+						continue
+					}
+					h = offerTopK(h, Match{Index: r0 + x, Similarity: sim}, k)
+					worst = h[0].Similarity
+				}
+			}
+			sq.heap = h
+		}
+	}
+	for t := range qs {
+		sq := &qs[t]
+		perQuery[sq.j][si-firstShard[sq.j]] = sortedMatches(sq.heap)
 	}
 }

@@ -96,8 +96,11 @@ func (e *Engine) SearchAll(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
 }
 
 // SearchAllParallel is SearchAll through the core batch path: the
-// sharded exact engine scores all queries across CPU cores, matching
-// HyperOMS's original GPU query-level parallelism.
+// library is mass-ordered, so each query's precursor window is a
+// contiguous row range that the sharded exact engine streams through
+// its block-major batch kernel across CPU cores — matching HyperOMS's
+// original GPU query-level parallelism without materializing
+// per-query candidate lists.
 func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
 	return e.inner.SearchAllParallel(queries)
 }
