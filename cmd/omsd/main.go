@@ -1,0 +1,105 @@
+// Command omsd is the resident open-modification-search daemon: it
+// loads a persistent library index (built by omsbuild) at startup —
+// milliseconds instead of re-encoding the library — and serves
+// continuous query traffic over HTTP, coalescing concurrent requests
+// into block-major batched sweeps of the packed reference store:
+//
+//	omsd -index lib.omsidx [-addr :8993] [-maxbatch 64] \
+//	     [-maxdelay 1ms] [-maxqueue 4096] [-standard] [-topk 5]
+//
+// Endpoints:
+//
+//	POST /search   MGF body (default) or JSON peak lists
+//	               ({"spectra":[{"id","precursor_mz","charge","peaks":[[mz,intensity],...]}]});
+//	               responds with PSM JSON, or TSV with ?format=tsv
+//	GET  /healthz  liveness + library identity
+//	GET  /stats    serving counters: queue depth, batch size
+//	               histogram, latency quantiles
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/libindex"
+	"repro/internal/serve"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "library index path (required; build with omsbuild)")
+	addr := flag.String("addr", ":8993", "HTTP listen address")
+	maxBatch := flag.Int("maxbatch", 64, "flush a batch at this many coalesced requests")
+	maxDelay := flag.Duration("maxdelay", time.Millisecond, "flush a non-empty batch after this delay")
+	maxQueue := flag.Int("maxqueue", 4096, "admission bound on outstanding requests")
+	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
+	topk := flag.Int("topk", 0, "matches retrieved per query (0 = index setting)")
+	flag.Parse()
+
+	if *indexPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, lib, err := libindex.LoadFile(*indexPath)
+	fatalIf(err)
+	// Query-time settings may deviate from the build; encoder identity
+	// (D, seeds, binner, preprocessing) must not and stays as loaded.
+	p.Open = !*standard
+	if *topk > 0 {
+		p.TopK = *topk
+	}
+	start := time.Now()
+	engine, _, err := core.NewExactEngineFromLibrary(p, lib)
+	fatalIf(err)
+	// The searcher packed its own copy of the reference words; drop
+	// the loaded originals so the resident set is one packed store,
+	// not two.
+	engine.ReleaseLibraryHVs()
+	fmt.Fprintf(os.Stderr, "omsd: loaded %s: %d references, D=%d, engine up in %v\n",
+		*indexPath, lib.Len(), p.Accel.D, time.Since(start).Round(time.Millisecond))
+
+	srv, err := serve.New(engine, serve.Config{
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		MaxQueue: *maxQueue,
+	})
+	fatalIf(err)
+
+	d := &daemon{srv: srv, engine: engine, started: time.Now()}
+	httpSrv := &http.Server{Addr: *addr, Handler: d.mux()}
+	// ListenAndServe returns the moment Shutdown begins; the signal
+	// goroutine owns the blocking Shutdown call (which waits for
+	// in-flight handlers) and main must wait for it before stopping
+	// the batcher, or a mid-request drain would fail those searches
+	// with ErrClosed.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "omsd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	fmt.Fprintf(os.Stderr, "omsd: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		fatalIf(err)
+	}
+	<-shutdownDone
+	srv.Close()
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omsd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msdata"
+	"repro/internal/serve"
+	"repro/internal/spectrum"
+)
+
+// testDaemon builds a daemon over a small exact engine.
+func testDaemon(t *testing.T) (*daemon, *msdata.Dataset) {
+	t.Helper()
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 1024
+	p.Accel.NumChunks = 64
+	engine, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(engine, serve.Config{MaxBatch: 16, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &daemon{srv: srv, engine: engine, started: time.Now()}, ds
+}
+
+func TestHealthz(t *testing.T) {
+	d, _ := testDaemon(t)
+	rec := httptest.NewRecorder()
+	d.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["references"].(float64) <= 0 {
+		t.Fatalf("unexpected healthz body %v", body)
+	}
+}
+
+// TestSearchMGF posts the query set as MGF and pins that responses
+// agree with direct engine search.
+func TestSearchMGF(t *testing.T) {
+	d, ds := testDaemon(t)
+	var buf bytes.Buffer
+	if err := spectrum.WriteMGF(&buf, ds.Queries); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	d.mux().ServeHTTP(rec, httptest.NewRequest("POST", "/search", bytes.NewReader(buf.Bytes())))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(ds.Queries) {
+		t.Fatalf("%d results for %d queries", len(resp.Results), len(ds.Queries))
+	}
+	byID := make(map[string]searchResult)
+	var matched int
+	for _, res := range resp.Results {
+		if res.Error != "" {
+			t.Fatalf("result %s carries error %q", res.QueryID, res.Error)
+		}
+		if res.Matched {
+			matched++
+		}
+		byID[res.QueryID] = res
+	}
+	if matched == 0 {
+		t.Fatal("no query matched")
+	}
+	for _, q := range ds.Queries {
+		psm, ok, err := d.engine.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := byID[q.ID]
+		if res.Matched != ok {
+			t.Fatalf("query %s matched=%v, engine says %v", q.ID, res.Matched, ok)
+		}
+		if ok && (res.Peptide != psm.Peptide || res.Score != psm.Score) {
+			t.Fatalf("query %s: served %+v, engine %+v", q.ID, res, psm)
+		}
+	}
+
+	// Stats must reflect the traffic.
+	rec = httptest.NewRecorder()
+	d.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st statsView
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed == 0 || st.Batches == 0 {
+		t.Fatalf("stats did not count the traffic: %+v", st)
+	}
+}
+
+// TestSearchJSON posts one spectrum as a JSON peak list.
+func TestSearchJSON(t *testing.T) {
+	d, ds := testDaemon(t)
+	q := ds.Queries[0]
+	js := jsonSpectrum{ID: q.ID, PrecursorMZ: q.PrecursorMZ, Charge: q.Charge}
+	for _, p := range q.Peaks {
+		js.Peaks = append(js.Peaks, [2]float64{p.MZ, p.Intensity})
+	}
+	body, err := json.Marshal(searchRequest{Spectra: []jsonSpectrum{js}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/search", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	d.mux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].QueryID != q.ID {
+		t.Fatalf("unexpected results %+v", resp.Results)
+	}
+	psm, ok, err := d.engine.SearchOne(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Matched != ok || (ok && resp.Results[0].Peptide != psm.Peptide) {
+		t.Fatalf("served %+v, engine ok=%v psm=%+v", resp.Results[0], ok, psm)
+	}
+}
+
+// TestSearchTSV exercises the TSV response shape.
+func TestSearchTSV(t *testing.T) {
+	d, ds := testDaemon(t)
+	var buf bytes.Buffer
+	if err := spectrum.WriteMGF(&buf, ds.Queries[:3]); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	d.mux().ServeHTTP(rec, httptest.NewRequest("POST", "/search?format=tsv", bytes.NewReader(buf.Bytes())))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("TSV has %d lines, want 4:\n%s", len(lines), rec.Body.String())
+	}
+	if !strings.HasPrefix(lines[0], "query_id\tmatched\tpeptide") {
+		t.Fatalf("bad TSV header %q", lines[0])
+	}
+}
+
+// TestSearchBadBodies pins 400s for malformed input.
+func TestSearchBadBodies(t *testing.T) {
+	d, _ := testDaemon(t)
+	cases := []struct {
+		name, ctype, body string
+	}{
+		{"empty", "", ""},
+		{"bad MGF", "", "BEGIN IONS\nTITLE=x\nnot a peak\nEND IONS\n"},
+		{"bad JSON", "application/json", "{"},
+		{"invalid spectrum", "application/json", `{"spectra":[{"id":"x","precursor_mz":-5,"charge":1,"peaks":[[100,1]]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("POST", "/search", strings.NewReader(tc.body))
+			if tc.ctype != "" {
+				req.Header.Set("Content-Type", tc.ctype)
+			}
+			rec := httptest.NewRecorder()
+			d.mux().ServeHTTP(rec, req)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", rec.Code)
+			}
+		})
+	}
+}

@@ -4,28 +4,37 @@
 //	omsearch -library lib.mgf -queries q.mgf [-backend ideal|rram] \
 //	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard] \
 //	         [-parallel] [-shardsize 2048]
+//	omsearch -index lib.omsidx -queries q.mgf [-fdr 0.01] [-standard] \
+//	         [-parallel]
 //
-// The encoded library is stored in ascending precursor-mass order, so
-// each query's precursor window (open or standard) is a contiguous
-// row range streamed through the sharded engine's blocked
-// XOR+popcount kernel; with -parallel the whole query set is scored
-// by one block-major batch sweep of the packed store. Results are
-// written to stdout as a TSV of accepted PSMs.
+// With -library the encoded library is built from scratch; with
+// -index (built by omsbuild) the encoded, mass-ordered library and
+// its engine parameters are loaded from the persistent index in
+// milliseconds — the encoder-identity flags (-d, -precision, -seed)
+// come from the index and are ignored. Either way each query's
+// precursor window is a contiguous row range streamed through the
+// sharded engine's blocked XOR+popcount kernel; with -parallel the
+// whole query set is scored by one block-major batch sweep of the
+// packed store. Results are written to stdout as a TSV of accepted
+// PSMs.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fdr"
+	"repro/internal/libindex"
 	"repro/internal/spectrum"
 )
 
 func main() {
-	libPath := flag.String("library", "", "library MGF path (required)")
+	libPath := flag.String("library", "", "library MGF path (build the encoded library from spectra)")
+	indexPath := flag.String("index", "", "persistent library index path (load instead of encoding; see omsbuild)")
 	qPath := flag.String("queries", "", "query MGF path (required)")
 	backend := flag.String("backend", "ideal", "search backend: ideal or rram")
 	d := flag.Int("d", 8192, "HD dimension")
@@ -38,39 +47,67 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	if *libPath == "" || *qPath == "" {
+	if (*libPath == "") == (*indexPath == "") || *qPath == "" {
+		fmt.Fprintln(os.Stderr, "omsearch: exactly one of -library and -index is required, plus -queries")
 		flag.Usage()
 		os.Exit(2)
 	}
-	library, err := readMGF(*libPath)
-	fatalIf(err)
-	queries, err := readMGF(*qPath)
+	queries, err := spectrum.ReadSpectraFile(*qPath)
 	fatalIf(err)
 
-	p := core.DefaultParams()
-	p.Accel.D = *d
-	p.Accel.NumChunks = max(*d/32, 32)
-	p.Accel.IDPrecision = *precision
-	p.Accel.Seed = *seed
-	p.FDRAlpha = *alpha
-	p.Open = !*standard
-	p.ShardSize = *shardSize
+	var (
+		engine  *core.Engine
+		library []*spectrum.Spectrum
+	)
+	if *indexPath != "" {
+		if *backend != "ideal" {
+			fatalIf(fmt.Errorf("backend %q requires -library (the index stores the exact encoded library)", *backend))
+		}
+		if *rescore > 0 {
+			fatalIf(fmt.Errorf("-rescore needs the original library spectra: use -library"))
+		}
+		p, lib, lerr := libindex.LoadFile(*indexPath)
+		fatalIf(lerr)
+		// Query-time settings come from flags; encoder identity stays
+		// as the index was built.
+		p.FDRAlpha = *alpha
+		p.Open = !*standard
+		if *shardSize > 0 {
+			p.ShardSize = *shardSize
+		}
+		engine, _, err = core.NewExactEngineFromLibrary(p, lib)
+		fatalIf(err)
+		// The searcher packed its own copy of the reference words, and
+		// the -index path forbids the flows that read Library.HVs
+		// (rescore, rram): drop the loaded originals.
+		engine.ReleaseLibraryHVs()
+	} else {
+		library, err = spectrum.ReadSpectraFile(*libPath)
+		fatalIf(err)
+		p := core.DefaultParams()
+		p.Accel.D = *d
+		p.Accel.NumChunks = max(*d/32, 32)
+		p.Accel.IDPrecision = *precision
+		p.Accel.Seed = *seed
+		p.FDRAlpha = *alpha
+		p.Open = !*standard
+		p.ShardSize = *shardSize
 
-	var engine *core.Engine
-	switch *backend {
-	case "ideal":
-		engine, _, err = core.BuildExact(p, library)
-	case "rram":
-		engine, err = core.BuildNoisy(p, library, core.NoiseSpec{
-			EncodeBER:     0.04,
-			RefStorageBER: 0.02,
-			SearchSigma:   0.004 * float64(*d),
-			Seed:          *seed + 1,
-		})
-	default:
-		err = fmt.Errorf("unknown backend %q", *backend)
+		switch *backend {
+		case "ideal":
+			engine, _, err = core.BuildExact(p, library)
+		case "rram":
+			engine, err = core.BuildNoisy(p, library, core.NoiseSpec{
+				EncodeBER:     0.04,
+				RefStorageBER: 0.02,
+				SearchSigma:   0.004 * float64(*d),
+				Seed:          *seed + 1,
+			})
+		default:
+			err = fmt.Errorf("unknown backend %q", *backend)
+		}
+		fatalIf(err)
 	}
-	fatalIf(err)
 
 	var res fdr.Result
 	switch {
@@ -85,27 +122,27 @@ func main() {
 	}
 	fatalIf(err)
 
-	fmt.Println("query_id\tpeptide\tscore\tmass_shift")
-	for _, psm := range res.Accepted {
-		fmt.Printf("%s\t%s\t%.4f\t%+.4f\n", psm.QueryID, psm.Peptide, psm.Score, psm.MassShift)
-	}
+	fatalIf(writePSMs(os.Stdout, res))
 	fmt.Fprintf(os.Stderr,
 		"omsearch: %d queries, %d library spectra (%d skipped), %d identifications at FDR %.2g\n",
 		len(queries), engine.Library().Len(), engine.Library().Skipped, len(res.Accepted), *alpha)
 }
 
-// readMGF reads a spectra file, selecting the parser by extension
-// (.msp for NIST MSP, anything else MGF).
-func readMGF(path string) ([]*spectrum.Spectrum, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// writePSMs writes the accepted PSMs as TSV through one buffered
+// writer, propagating the first write error instead of silently
+// dropping output.
+func writePSMs(w io.Writer, res fdr.Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "query_id\tpeptide\tscore\tmass_shift"); err != nil {
+		return err
 	}
-	defer f.Close()
-	if strings.HasSuffix(strings.ToLower(path), ".msp") {
-		return spectrum.ReadMSP(f)
+	for _, psm := range res.Accepted {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%.4f\t%+.4f\n",
+			psm.QueryID, psm.Peptide, psm.Score, psm.MassShift); err != nil {
+			return err
+		}
 	}
-	return spectrum.ReadMGF(f)
+	return bw.Flush()
 }
 
 func fatalIf(err error) {
@@ -113,11 +150,4 @@ func fatalIf(err error) {
 		fmt.Fprintf(os.Stderr, "omsearch: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fdr"
+	"repro/internal/msdata"
+)
+
+// TestSearchOneConcurrent pins the contract the serving layer depends
+// on: Engine.SearchOne is safe to call from many goroutines at once
+// (run under -race in CI) and every concurrent result agrees
+// PSM-for-PSM with serial search. The engine holds no per-query
+// mutable state — scratch lives in per-worker pools — so concurrent
+// readers must be indistinguishable from serial ones.
+func TestSearchOneConcurrent(t *testing.T) {
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Accel.D = 1024
+	p.Accel.NumChunks = 64
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]fdr.PSM, len(ds.Queries))
+	wantOK := make([]bool, len(ds.Queries))
+	for i, q := range ds.Queries {
+		want[i], wantOK[i], err = engine.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker walks the query set from a different offset so
+			// distinct queries overlap in time.
+			for i := range ds.Queries {
+				j := (i + w) % len(ds.Queries)
+				psm, ok, err := engine.SearchOne(ds.Queries[j])
+				if err != nil {
+					t.Errorf("worker %d query %d: %v", w, j, err)
+					return
+				}
+				if ok != wantOK[j] || psm != want[j] {
+					t.Errorf("worker %d query %d: got %+v ok=%v, want %+v ok=%v",
+						w, j, psm, ok, want[j], wantOK[j])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSearchPreparedMatchesSearchOne pins that batch scoring of
+// prepared queries is bit-identical to per-query search — the
+// determinism contract of the micro-batching service (a query's PSM
+// must not depend on which batch it lands in).
+func TestSearchPreparedMatchesSearchOne(t *testing.T) {
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Accel.D = 1024
+	p.Accel.NumChunks = 64
+	engine, _, err := BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preps []PreparedQuery
+	var want []fdr.PSM
+	var wantOK []bool
+	for _, q := range ds.Queries {
+		pq, ok, err := engine.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		preps = append(preps, pq)
+		psm, ok1, err := engine.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, psm)
+		wantOK = append(wantOK, ok1)
+	}
+	if len(preps) == 0 {
+		t.Fatal("no searchable queries")
+	}
+	// Score as one batch, then in two splits: per-query results must
+	// not move.
+	check := func(psms []fdr.PSM, oks []bool, off int) {
+		t.Helper()
+		for i := range psms {
+			if oks[i] != wantOK[off+i] || (oks[i] && psms[i] != want[off+i]) {
+				t.Fatalf("batch result %d: got %+v ok=%v, want %+v ok=%v",
+					off+i, psms[i], oks[i], want[off+i], wantOK[off+i])
+			}
+		}
+	}
+	psms, oks := engine.SearchPrepared(preps)
+	check(psms, oks, 0)
+	half := len(preps) / 2
+	psms, oks = engine.SearchPrepared(preps[:half])
+	check(psms, oks, 0)
+	psms, oks = engine.SearchPrepared(preps[half:])
+	check(psms, oks, half)
+}

@@ -209,6 +209,46 @@ func (l *Library) Len() int { return len(l.Entries) }
 // to build-order positions.
 func (l *Library) SourcePos(i int) int { return l.srcPos[i] }
 
+// SourcePositions returns a copy of the whole sort permutation:
+// element i is the build-order position of mass-rank entry i. It is
+// the bulk form of SourcePos, used to persist a built library.
+func (l *Library) SourcePositions() []int {
+	out := make([]int, len(l.srcPos))
+	copy(out, l.srcPos)
+	return out
+}
+
+// RestoreLibrary reassembles a Library from previously built parts —
+// mass-ordered entries, their hypervectors, the SourcePositions
+// permutation and the skipped count — without re-running
+// preprocessing or encoding. It is the load path of the persistent
+// library index: BuildLibrary's invariants (ascending mass order,
+// srcPos a permutation, parallel slices) are validated rather than
+// re-derived.
+func RestoreLibrary(entries []LibraryEntry, hvs []hdc.BinaryHV, srcPos []int, skipped int) (*Library, error) {
+	n := len(entries)
+	if n == 0 {
+		return nil, fmt.Errorf("core: restoring empty library")
+	}
+	if len(hvs) != n || len(srcPos) != n {
+		return nil, fmt.Errorf("core: restoring library: %d entries, %d hypervectors, %d source positions",
+			n, len(hvs), len(srcPos))
+	}
+	for i := 1; i < n; i++ {
+		if entries[i].Mass < entries[i-1].Mass {
+			return nil, fmt.Errorf("core: restoring library: entries not in ascending mass order at index %d", i)
+		}
+	}
+	seen := make([]bool, n)
+	for i, p := range srcPos {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("core: restoring library: source positions are not a permutation of [0,%d) at index %d", n, i)
+		}
+		seen[p] = true
+	}
+	return &Library{Entries: entries, HVs: hvs, srcPos: srcPos, Skipped: skipped}, nil
+}
+
 // CandidateRange returns the half-open entry-index range [lo, hi) of
 // references whose mass difference to the query (queryMass − refMass)
 // lies within the window — the open-search candidate set. Entries are
@@ -304,36 +344,135 @@ func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error)
 // Library returns the engine's library.
 func (e *Engine) Library() *Library { return e.lib }
 
-// SearchOne runs one query and returns its best-match PSM; ok is
-// false when the query is rejected by preprocessing or finds no
-// candidate in the precursor window.
-func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
+// ReleaseLibraryHVs drops the library's hypervector slices. The
+// searcher packed its own copy of every reference word at
+// construction and the search path reads only Entries and the packed
+// store, so a long-lived serving process can halve its resident
+// memory by releasing the originals. After the call, Library.HVs is
+// nil: the caller must not inject storage errors, rebuild a searcher
+// from this library, or save it to an index.
+func (e *Engine) ReleaseLibraryHVs() { e.lib.HVs = nil }
+
+// PreparedQuery is a query that has passed preprocessing and encoding
+// and has had its precursor window resolved to a candidate row range
+// in the mass-ordered library. Preparation is the per-query,
+// trivially parallel half of a search; scoring prepared queries is
+// the bandwidth-bound half, which batch paths (SearchPrepared, the
+// serving layer's micro-batcher) amortize across whole query sets.
+type PreparedQuery struct {
+	// QueryID is the source spectrum ID, carried into the PSM.
+	QueryID string
+	// HV is the encoded query hypervector.
+	HV hdc.BinaryHV
+	// Mass is the neutral precursor mass in Da.
+	Mass float64
+	// Lo, Hi is the candidate entry-index range [Lo, Hi).
+	Lo, Hi int
+}
+
+// Prepare preprocesses and encodes one query and resolves its
+// candidate row range. ok is false when the query is rejected by
+// preprocessing or no library mass lies inside its precursor window —
+// exactly the conditions under which SearchOne reports no PSM.
+func (e *Engine) Prepare(q *spectrum.Spectrum) (PreparedQuery, bool, error) {
 	pre, err := e.params.Preprocess.Preprocess(q)
 	if err != nil {
-		return fdr.PSM{}, false, nil // uninformative spectrum: skip
+		return PreparedQuery{}, false, nil // uninformative spectrum: skip
 	}
 	hv, err := e.enc.EncodeVector(e.params.Binner.Vectorize(pre))
 	if err != nil {
-		return fdr.PSM{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
+		return PreparedQuery{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
 	}
 	mass := q.PrecursorMass()
 	lo, hi := e.lib.CandidateRange(mass, e.window(mass))
 	if lo >= hi {
-		return fdr.PSM{}, false, nil
+		return PreparedQuery{}, false, nil
 	}
-	top := e.topKRange(hv, lo, hi)
-	if len(top) == 0 {
-		return fdr.PSM{}, false, nil
-	}
-	best := top[0]
+	return PreparedQuery{QueryID: q.ID, HV: hv, Mass: mass, Lo: lo, Hi: hi}, true, nil
+}
+
+// psmFor converts the best match of a prepared query into its PSM.
+func (e *Engine) psmFor(pq PreparedQuery, best hdc.Match) fdr.PSM {
 	entry := e.lib.Entries[best.Index]
 	return fdr.PSM{
-		QueryID:   q.ID,
+		QueryID:   pq.QueryID,
 		Peptide:   entry.Peptide,
 		Score:     float64(best.Similarity) / e.normD,
 		IsDecoy:   entry.IsDecoy,
-		MassShift: mass - entry.Mass,
-	}, true, nil
+		MassShift: pq.Mass - entry.Mass,
+	}
+}
+
+// SearchOne runs one query and returns its best-match PSM; ok is
+// false when the query is rejected by preprocessing or finds no
+// candidate in the precursor window.
+func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
+	pq, ok, err := e.Prepare(q)
+	if err != nil || !ok {
+		return fdr.PSM{}, false, err
+	}
+	top := e.topKRange(pq.HV, pq.Lo, pq.Hi)
+	if len(top) == 0 {
+		return fdr.PSM{}, false, nil
+	}
+	return e.psmFor(pq, top[0]), true, nil
+}
+
+// SearchPrepared scores prepared queries through one batch top-k
+// sweep: range-native searchers sweep each cache-resident row block
+// with every query whose window covers it, so the packed reference
+// store streams from memory once per batch instead of once per query.
+// It returns one slot per input: ok[i] is false when query i's range
+// produced no match. With a deterministic searcher (the exact sharded
+// engine), per-query results are bit-identical to SearchOne and
+// independent of batch composition and order. Noisy searchers draw
+// their error stream in batch query order (see RangeSearcher), so
+// their results may vary with how queries are batched — per-seed
+// reproducible for a fixed batching, but not batch-invariant.
+func (e *Engine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
+	psms := make([]fdr.PSM, len(qs))
+	oks := make([]bool, len(qs))
+	if len(qs) == 0 {
+		return psms, oks
+	}
+	var tops [][]hdc.Match
+	switch {
+	case e.ranger != nil:
+		hvs := make([]hdc.BinaryHV, len(qs))
+		ranges := make([]hdc.RowRange, len(qs))
+		for i, pq := range qs {
+			hvs[i] = pq.HV
+			ranges[i] = hdc.RowRange{Lo: pq.Lo, Hi: pq.Hi}
+		}
+		tops = e.ranger.BatchTopKRange(hvs, ranges, e.params.TopK)
+	default:
+		if bs, ok := e.searcher.(BatchSearcher); ok {
+			hvs := make([]hdc.BinaryHV, len(qs))
+			cands := make([][]int, len(qs))
+			for i, pq := range qs {
+				hvs[i] = pq.HV
+				if cands[i] = indexSlice(pq.Lo, pq.Hi); cands[i] == nil {
+					// An empty range must stay restricted: nil would
+					// mean "all references" to BatchTopK.
+					cands[i] = []int{}
+				}
+			}
+			tops = bs.BatchTopK(hvs, cands, e.params.TopK)
+		} else {
+			tops = make([][]hdc.Match, len(qs))
+			for i, pq := range qs {
+				tops[i] = e.topKRange(pq.HV, pq.Lo, pq.Hi)
+			}
+		}
+	}
+	for i, top := range tops {
+		if len(top) == 0 {
+			continue
+		}
+		psms[i] = e.psmFor(qs[i], top[0])
+		oks[i] = true
+	}
+	return psms, oks
 }
 
 // window returns the precursor window for a query mass: the open
@@ -402,6 +541,40 @@ func BuildExact(p Params, library []*spectrum.Spectrum) (*Engine, *hdc.Encoder, 
 	lib, err := BuildLibrary(library, p, enc)
 	if err != nil {
 		return nil, nil, err
+	}
+	searcher, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := NewEngine(p, lib, enc, searcher)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, enc, nil
+}
+
+// NewExactEngineFromLibrary wires the exact (software) engine over an
+// already-encoded library — the load path of the persistent library
+// index. The query encoder is rebuilt deterministically from p.Accel
+// (item memories and level sets are seeded), and the sharded searcher
+// is packed straight from the library's stored hypervectors: no
+// spectrum is re-preprocessed or re-encoded, so construction is
+// bounded by one pass over the packed words instead of the full
+// encoding pipeline. p must carry the same encoder-identity fields
+// (D, Q, NumChunks, IDPrecision, NumBins, Seed, binner, preprocessing)
+// the library was built with; query-time fields (window, TopK,
+// FDRAlpha, ShardSize) are free to differ.
+func NewExactEngineFromLibrary(p Params, lib *Library) (*Engine, *hdc.Encoder, error) {
+	ids, levels, err := accel.NewEncoderComponents(p.Accel)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := hdc.NewEncoder(ids, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lib == nil || lib.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: empty library")
 	}
 	searcher, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
 	if err != nil {

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/fdr"
-	"repro/internal/hdc"
 	"repro/internal/spectrum"
 )
 
@@ -79,84 +77,39 @@ func (e *Engine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, err
 	return psms, nil
 }
 
-// searchAllBatch is the batch-oriented parallel path. It mirrors
-// SearchOne stage by stage so the emitted PSMs are identical. The
-// candidate set of each query is carried as a mass-rank row range
-// [lo, hi) — O(1) per query — and only materialized into an index
-// slice for searchers without range support.
+// searchAllBatch is the batch-oriented parallel path: preparation
+// (preprocessing, encoding, candidate-range selection) fans out per
+// query, then one SearchPrepared sweep scores every searchable query.
+// Each stage mirrors SearchOne, so the emitted PSMs are identical.
 func (e *Engine) searchAllBatch(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
 	type prep struct {
-		hv     hdc.BinaryHV
-		mass   float64
-		lo, hi int
-		ok     bool
-		err    error
+		pq  PreparedQuery
+		ok  bool
+		err error
 	}
 	preps := make([]prep, len(queries))
 	parallelFor(len(queries), func(i int) {
-		q := queries[i]
-		pre, err := e.params.Preprocess.Preprocess(q)
-		if err != nil {
-			return // uninformative spectrum: skip
-		}
-		hv, err := e.enc.EncodeVector(e.params.Binner.Vectorize(pre))
-		if err != nil {
-			preps[i].err = fmt.Errorf("core: encoding query %s: %w", q.ID, err)
-			return
-		}
-		mass := q.PrecursorMass()
-		lo, hi := e.lib.CandidateRange(mass, e.window(mass))
-		if lo >= hi {
-			return
-		}
-		preps[i] = prep{hv: hv, mass: mass, lo: lo, hi: hi, ok: true}
+		pq, ok, err := e.Prepare(queries[i])
+		preps[i] = prep{pq: pq, ok: ok, err: err}
 	})
+	var batch []PreparedQuery
 	for i := range preps {
 		if preps[i].err != nil {
 			return nil, preps[i].err
 		}
-	}
-	// One batch search over the searchable queries.
-	var (
-		order  []int
-		hvs    []hdc.BinaryHV
-		ranges []hdc.RowRange
-	)
-	for i := range preps {
 		if preps[i].ok {
-			order = append(order, i)
-			hvs = append(hvs, preps[i].hv)
-			ranges = append(ranges, hdc.RowRange{Lo: preps[i].lo, Hi: preps[i].hi})
+			batch = append(batch, preps[i].pq)
 		}
 	}
-	if len(order) == 0 {
+	if len(batch) == 0 {
 		return []fdr.PSM{}, nil
 	}
-	var tops [][]hdc.Match
-	if e.ranger != nil {
-		tops = e.ranger.BatchTopKRange(hvs, ranges, e.params.TopK)
-	} else {
-		cands := make([][]int, len(ranges))
-		for j, r := range ranges {
-			cands[j] = indexSlice(r.Lo, r.Hi)
+	batchPSMs, oks := e.SearchPrepared(batch)
+	psms := make([]fdr.PSM, 0, len(batch))
+	for j, ok := range oks {
+		if ok {
+			psms = append(psms, batchPSMs[j])
 		}
-		tops = e.searcher.(BatchSearcher).BatchTopK(hvs, cands, e.params.TopK)
-	}
-	psms := make([]fdr.PSM, 0, len(order))
-	for j, i := range order {
-		top := tops[j]
-		if len(top) == 0 {
-			continue
-		}
-		best := top[0]
-		entry := e.lib.Entries[best.Index]
-		psms = append(psms, fdr.PSM{
-			QueryID:   queries[i].ID,
-			Peptide:   entry.Peptide,
-			Score:     float64(best.Similarity) / e.normD,
-			IsDecoy:   entry.IsDecoy,
-			MassShift: preps[i].mass - entry.Mass,
-		})
 	}
 	return psms, nil
 }

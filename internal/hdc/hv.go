@@ -26,12 +26,18 @@ type BinaryHV struct {
 	Words []uint64
 }
 
+// WordsPerHV returns the packed word count of a D-dimensional
+// hypervector: ceil(d/64). It is the row stride of every packed
+// hypervector store (BinaryHV.Words, the sharded searcher's shards,
+// the on-disk library index).
+func WordsPerHV(d int) int { return (d + 63) / 64 }
+
 // NewBinaryHV returns an all -1 (all bits clear) hypervector.
 func NewBinaryHV(d int) BinaryHV {
 	if d <= 0 {
 		panic(fmt.Sprintf("hdc: non-positive dimension %d", d))
 	}
-	return BinaryHV{D: d, Words: make([]uint64, (d+63)/64)}
+	return BinaryHV{D: d, Words: make([]uint64, WordsPerHV(d))}
 }
 
 // RandomBinaryHV returns a uniformly random hypervector.

@@ -84,7 +84,7 @@ func NewShardedSearcher(refs []BinaryHV, shardSize int) (*ShardedSearcher, error
 	if shardSize <= 0 {
 		shardSize = DefaultShardSize
 	}
-	words := (d + 63) / 64
+	words := WordsPerHV(d)
 	s := &ShardedSearcher{
 		d:         d,
 		words:     words,
@@ -135,6 +135,21 @@ func (s *ShardedSearcher) Similarity(q BinaryHV, i int) int {
 	}
 	sh := &s.shards[i/s.shardSize]
 	return s.simRow(q.Words, sh, i-sh.start)
+}
+
+// PackedRow returns the packed words of reference row i exactly as
+// stored in the engine — a live view into the packed store, not a
+// copy; callers must not modify it. It panics on an out-of-range
+// index, matching Similarity's bounds contract. The persistent
+// library index uses it to verify that a loaded store is bit-identical
+// to the freshly packed one.
+func (s *ShardedSearcher) PackedRow(i int) []uint64 {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("hdc: reference index %d out of range [0, %d)", i, s.n))
+	}
+	sh := &s.shards[i/s.shardSize]
+	base := (i - sh.start) * s.words
+	return sh.packed[base : base+s.words : base+s.words]
 }
 
 // simRow scores one packed row against the query words.

@@ -1,0 +1,473 @@
+// Package libindex persists a built core.Library — the expensive
+// product of preprocessing and HD-encoding an entire spectral library
+// — as a versioned, checksummed binary index file. Loading an index
+// reconstructs a search engine in milliseconds (one pass over packed
+// words) instead of re-encoding every spectrum, which is what makes a
+// resident search service (cmd/omsd) economical: one library write is
+// amortized across arbitrarily many queries.
+//
+// # File format (version 1, all integers little-endian)
+//
+//	magic      [6]byte  "OMSIDX"
+//	version    uint16   1
+//	d          uint32   hypervector dimension
+//	shardSize  uint32   search shard size hint (0 = default)
+//	n          uint64   entry count
+//	skipped    uint64   spectra rejected by preprocessing at build time
+//	paramsLen  uint32   length of the params JSON
+//	params     []byte   JSON-encoded core.Params the library was built with
+//	masses     n×f64    ascending precursor masses (entry order = mass rank)
+//	srcPos     n×u64    mass-rank → build-order permutation (Library.SourcePositions)
+//	entries    n×{flags u8, idLen u32, id, pepLen u32, pep}
+//	words      n×W×u64  packed hypervector words, W = hdc.WordsPerHV(d)
+//	crc        uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// The trailing checksum covers the header too, so truncation, bit rot
+// and partial writes are all detected; Load additionally validates the
+// structural invariants the engine relies on (ascending masses, a true
+// permutation, zero tail bits beyond dimension d) so a corrupted file
+// can never silently mis-score searches.
+package libindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hdc"
+)
+
+var magic = [6]byte{'O', 'M', 'S', 'I', 'D', 'X'}
+
+// Version is the current index file format version.
+const Version = 1
+
+// Sanity bounds on header fields, so a corrupted length can't drive a
+// huge allocation before the payload bytes confirm it. Metadata
+// sections are additionally read with chunk-growing slices: the
+// allocation tracks bytes actually present in the file, so a tiny
+// crafted file with an enormous header count fails on truncation
+// after a bounded allocation, and the bulk word section is only sized
+// from the header after ~29 bytes per claimed entry have already been
+// consumed.
+const (
+	maxDim        = 1 << 22 // 4M-dimensional hypervectors
+	maxEntries    = 1 << 28 // 268M library entries (paper scale: 3M)
+	maxTotalWords = 1 << 33 // 64 GiB of packed hypervector words
+	maxParamsLen  = 1 << 20 // 1 MiB of params JSON
+	maxStringLen  = 1 << 20 // 1 MiB per ID/peptide string
+	allocChunk    = 1 << 20 // elements pre-allocated ahead of payload bytes
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes the library and the parameters it was built with as a
+// version-1 index to w.
+func Save(w io.Writer, p core.Params, lib *core.Library) error {
+	if lib == nil || lib.Len() == 0 {
+		return fmt.Errorf("libindex: refusing to save empty library")
+	}
+	n := lib.Len()
+	if len(lib.HVs) != n {
+		return fmt.Errorf("libindex: library has %d entries but %d hypervectors", n, len(lib.HVs))
+	}
+	d := lib.HVs[0].D
+	if p.Accel.D != d {
+		return fmt.Errorf("libindex: params dimension D=%d does not match library hypervector dimension D=%d", p.Accel.D, d)
+	}
+	// Refuse to write a file Load would reject: a hand-assembled
+	// library that never ran SortByMass has no permutation and may be
+	// out of mass order, and the failure should surface now rather
+	// than after the expensive build is gone.
+	srcPos := lib.SourcePositions()
+	if len(srcPos) != n {
+		return fmt.Errorf("libindex: library has %d entries but %d source positions (SortByMass never ran?)", n, len(srcPos))
+	}
+	for i := 1; i < n; i++ {
+		if lib.Entries[i].Mass < lib.Entries[i-1].Mass {
+			return fmt.Errorf("libindex: library entries not in ascending mass order at index %d", i)
+		}
+	}
+	paramsJSON, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("libindex: encoding params: %w", err)
+	}
+	if len(paramsJSON) > maxParamsLen {
+		return fmt.Errorf("libindex: params JSON of %d bytes exceeds limit %d", len(paramsJSON), maxParamsLen)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+	enc := sectionWriter{w: out}
+
+	enc.bytes(magic[:])
+	enc.u16(Version)
+	enc.u32(uint32(d))
+	enc.u32(uint32(p.ShardSize))
+	enc.u64(uint64(n))
+	enc.u64(uint64(lib.Skipped))
+	enc.u32(uint32(len(paramsJSON)))
+	enc.bytes(paramsJSON)
+	for _, e := range lib.Entries {
+		enc.f64(e.Mass)
+	}
+	for _, pos := range srcPos {
+		enc.u64(uint64(pos))
+	}
+	for _, e := range lib.Entries {
+		var flags byte
+		if e.IsDecoy {
+			flags |= 1
+		}
+		if len(e.ID) > maxStringLen || len(e.Peptide) > maxStringLen {
+			return fmt.Errorf("libindex: entry %q: string exceeds %d bytes", e.ID, maxStringLen)
+		}
+		enc.u8(flags)
+		enc.str(e.ID)
+		enc.str(e.Peptide)
+	}
+	words := hdc.WordsPerHV(d)
+	for i, hv := range lib.HVs {
+		if hv.D != d || len(hv.Words) != words {
+			return fmt.Errorf("libindex: hypervector %d has D=%d (%d words), want D=%d (%d words)",
+				i, hv.D, len(hv.Words), d, words)
+		}
+		enc.u64s(hv.Words)
+	}
+	if enc.err != nil {
+		return fmt.Errorf("libindex: writing index: %w", enc.err)
+	}
+	// The checksum trailer goes to the buffered writer only — it must
+	// not hash itself.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("libindex: writing index: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("libindex: writing index: %w", err)
+	}
+	return nil
+}
+
+// SaveFile saves the library index to path atomically: the index is
+// written to a temporary sibling file and renamed over path only after
+// a successful flush, so readers never observe a half-written index.
+func SaveFile(path string, p core.Params, lib *core.Library) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, p, lib); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush the data blocks before the rename is journaled, or a crash
+	// could leave path pointing at an unwritten file — replacing a good
+	// index with a corrupt one.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads a version-1 index from r, verifies its checksum and
+// structural invariants, and reconstructs the library and the
+// parameters it was built with. The returned library is ready for
+// core.NewExactEngineFromLibrary — no spectrum is re-encoded.
+func Load(r io.Reader) (core.Params, *core.Library, error) {
+	crc := crc32.New(castagnoli)
+	br := bufio.NewReaderSize(r, 1<<16)
+	dec := sectionReader{r: io.TeeReader(br, crc)}
+
+	var hdr [6]byte
+	dec.bytes(hdr[:])
+	if dec.err != nil {
+		return core.Params{}, nil, loadErr(dec.err)
+	}
+	if hdr != magic {
+		return core.Params{}, nil, fmt.Errorf("libindex: not an OMS library index (bad magic %q)", hdr[:])
+	}
+	version := dec.u16()
+	if dec.err == nil && version != Version {
+		return core.Params{}, nil, fmt.Errorf("libindex: unsupported index version %d (this build reads version %d)", version, Version)
+	}
+	d := int(dec.u32())
+	shardSize := int(dec.u32())
+	n64 := dec.u64()
+	skipped := dec.u64()
+	paramsLen := int(dec.u32())
+	if dec.err != nil {
+		return core.Params{}, nil, loadErr(dec.err)
+	}
+	if d <= 0 || d > maxDim {
+		return core.Params{}, nil, fmt.Errorf("libindex: implausible hypervector dimension %d in header", d)
+	}
+	if n64 == 0 || n64 > maxEntries {
+		return core.Params{}, nil, fmt.Errorf("libindex: implausible entry count %d in header", n64)
+	}
+	if paramsLen <= 0 || paramsLen > maxParamsLen {
+		return core.Params{}, nil, fmt.Errorf("libindex: implausible params length %d in header", paramsLen)
+	}
+	n := int(n64)
+	words := hdc.WordsPerHV(d)
+	if int64(n)*int64(words) > maxTotalWords {
+		return core.Params{}, nil, fmt.Errorf("libindex: implausible index size: %d entries × %d words", n, words)
+	}
+
+	paramsJSON := make([]byte, paramsLen)
+	dec.bytes(paramsJSON)
+	masses := make([]float64, 0, min(n, allocChunk))
+	for len(masses) < n && dec.err == nil {
+		masses = append(masses, dec.f64())
+	}
+	srcPos := make([]int, 0, min(n, allocChunk))
+	for len(srcPos) < n && dec.err == nil {
+		p64 := dec.u64()
+		if dec.err == nil && p64 >= n64 {
+			return core.Params{}, nil, fmt.Errorf("libindex: source position %d out of range [0,%d)", p64, n)
+		}
+		srcPos = append(srcPos, int(p64))
+	}
+	entries := make([]core.LibraryEntry, 0, min(n, allocChunk))
+	for len(entries) < n && dec.err == nil {
+		flags := dec.u8()
+		entries = append(entries, core.LibraryEntry{
+			ID:      dec.str(),
+			Peptide: dec.str(),
+			IsDecoy: flags&1 != 0,
+			Mass:    masses[len(entries)],
+		})
+	}
+	if dec.err != nil {
+		return core.Params{}, nil, loadErr(dec.err)
+	}
+	// The bulk section: by now the file has backed its claimed entry
+	// count with the full metadata sections, so the exact allocation
+	// is warranted.
+	block := make([]uint64, n*words)
+	dec.u64s(block)
+	if dec.err != nil {
+		return core.Params{}, nil, loadErr(dec.err)
+	}
+
+	// Checksum trailer: read from the raw reader so it does not hash
+	// itself, then confirm nothing trails it.
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return core.Params{}, nil, loadErr(err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
+		return core.Params{}, nil, fmt.Errorf("libindex: checksum mismatch (file %08x, computed %08x): index is corrupted", want, got)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return core.Params{}, nil, fmt.Errorf("libindex: trailing data after checksum")
+	}
+
+	var p core.Params
+	if err := json.Unmarshal(paramsJSON, &p); err != nil {
+		return core.Params{}, nil, fmt.Errorf("libindex: decoding params: %w", err)
+	}
+	if p.Accel.D != d {
+		return core.Params{}, nil, fmt.Errorf("libindex: params dimension D=%d disagrees with header dimension %d", p.Accel.D, d)
+	}
+	p.ShardSize = shardSize // header is authoritative for the shard hint
+	for i, m := range masses {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return core.Params{}, nil, fmt.Errorf("libindex: non-finite precursor mass at entry %d", i)
+		}
+	}
+	// Slice the contiguous word block into per-entry hypervectors and
+	// re-check the packed-tail invariant (bits beyond dimension d must
+	// be zero, or every Hamming similarity would be silently skewed).
+	hvs := make([]hdc.BinaryHV, n)
+	tailMask := ^uint64(0)
+	if rem := d % 64; rem != 0 {
+		tailMask = (1 << uint(rem)) - 1
+	}
+	for i := range hvs {
+		row := block[i*words : (i+1)*words : (i+1)*words]
+		if row[words-1]&^tailMask != 0 {
+			return core.Params{}, nil, fmt.Errorf("libindex: hypervector %d has bits set beyond dimension %d", i, d)
+		}
+		hvs[i] = hdc.BinaryHV{D: d, Words: row}
+	}
+	lib, err := core.RestoreLibrary(entries, hvs, srcPos, int(skipped))
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	return p, lib, nil
+}
+
+// LoadFile loads a library index from path.
+func LoadFile(path string) (core.Params, *core.Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// loadErr normalizes read failures: any EOF inside a section means the
+// file ends before the format says it should.
+func loadErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("libindex: truncated index: %w", io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("libindex: reading index: %w", err)
+}
+
+// sectionWriter writes fixed-width little-endian fields, capturing the
+// first error so call sites stay linear.
+type sectionWriter struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (s *sectionWriter) bytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(b)
+}
+
+func (s *sectionWriter) u8(v byte) {
+	s.buf[0] = v
+	s.bytes(s.buf[:1])
+}
+
+func (s *sectionWriter) u16(v uint16) {
+	binary.LittleEndian.PutUint16(s.buf[:2], v)
+	s.bytes(s.buf[:2])
+}
+
+func (s *sectionWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(s.buf[:4], v)
+	s.bytes(s.buf[:4])
+}
+
+func (s *sectionWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(s.buf[:8], v)
+	s.bytes(s.buf[:8])
+}
+
+func (s *sectionWriter) f64(v float64) { s.u64(math.Float64bits(v)) }
+
+func (s *sectionWriter) str(v string) {
+	s.u32(uint32(len(v)))
+	s.bytes([]byte(v))
+}
+
+// u64s writes a word slice in chunks through one scratch buffer,
+// avoiding a per-word Write without materializing the whole section.
+func (s *sectionWriter) u64s(vs []uint64) {
+	if s.err != nil {
+		return
+	}
+	const chunkWords = 8192
+	buf := make([]byte, 0, chunkWords*8)
+	for len(vs) > 0 {
+		c := min(chunkWords, len(vs))
+		buf = buf[:c*8]
+		for i, v := range vs[:c] {
+			binary.LittleEndian.PutUint64(buf[i*8:], v)
+		}
+		s.bytes(buf)
+		if s.err != nil {
+			return
+		}
+		vs = vs[c:]
+	}
+}
+
+// sectionReader mirrors sectionWriter for reads.
+type sectionReader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (s *sectionReader) bytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.ReadFull(s.r, b)
+}
+
+func (s *sectionReader) u8() byte {
+	s.bytes(s.buf[:1])
+	return s.buf[0]
+}
+
+func (s *sectionReader) u16() uint16 {
+	s.bytes(s.buf[:2])
+	return binary.LittleEndian.Uint16(s.buf[:2])
+}
+
+func (s *sectionReader) u32() uint32 {
+	s.bytes(s.buf[:4])
+	return binary.LittleEndian.Uint32(s.buf[:4])
+}
+
+func (s *sectionReader) u64() uint64 {
+	s.bytes(s.buf[:8])
+	return binary.LittleEndian.Uint64(s.buf[:8])
+}
+
+func (s *sectionReader) f64() float64 { return math.Float64frombits(s.u64()) }
+
+func (s *sectionReader) str() string {
+	ln := int(s.u32())
+	if s.err != nil {
+		return ""
+	}
+	if ln < 0 || ln > maxStringLen {
+		s.err = fmt.Errorf("string length %d exceeds limit %d", ln, maxStringLen)
+		return ""
+	}
+	b := make([]byte, ln)
+	s.bytes(b)
+	return string(b)
+}
+
+// u64s fills a word slice in chunks through one scratch buffer.
+func (s *sectionReader) u64s(vs []uint64) {
+	if s.err != nil {
+		return
+	}
+	const chunkWords = 8192
+	buf := make([]byte, 0, chunkWords*8)
+	for len(vs) > 0 {
+		c := min(chunkWords, len(vs))
+		buf = buf[:c*8]
+		s.bytes(buf)
+		if s.err != nil {
+			return
+		}
+		for i := range vs[:c] {
+			vs[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		vs = vs[c:]
+	}
+}

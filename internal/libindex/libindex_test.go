@@ -1,0 +1,306 @@
+package libindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdc"
+	"repro/internal/msdata"
+	"repro/internal/spectrum"
+)
+
+// testParams returns a small but non-degenerate engine configuration.
+func testParams(d, shardSize, precision int) core.Params {
+	p := core.DefaultParams()
+	p.Accel.D = d
+	p.Accel.NumChunks = max(d/32, 32)
+	p.Accel.IDPrecision = precision
+	p.ShardSize = shardSize
+	return p
+}
+
+// testWorkload generates a small dataset shared by the tests.
+func testWorkload(t testing.TB) *msdata.Dataset {
+	t.Helper()
+	cfg := msdata.IPRG2012(0.001)
+	ds, err := msdata.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// buildEngine builds the exact engine and returns it with its library.
+func buildEngine(t testing.TB, p core.Params, library []*spectrum.Spectrum) *core.Engine {
+	t.Helper()
+	engine, _, err := core.BuildExact(p, library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// TestRoundTripSearchIdentical pins the core contract: save → load →
+// search is bit-identical to searching with the freshly built engine,
+// across dimensions, shard sizes and ID precisions.
+func TestRoundTripSearchIdentical(t *testing.T) {
+	ds := testWorkload(t)
+	cases := []struct{ d, shard, precision int }{
+		{512, 0, 3},
+		{1024, 64, 1},
+		{2048, 128, 2},
+		{1000, 96, 3}, // non-multiple-of-64 dimension exercises the tail mask
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("D%d/shard%d/p%d", tc.d, tc.shard, tc.precision), func(t *testing.T) {
+			p := testParams(tc.d, tc.shard, tc.precision)
+			built := buildEngine(t, p, ds.Library)
+
+			var buf bytes.Buffer
+			if err := Save(&buf, p, built.Library()); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			lp, lib, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if lp.Accel.D != p.Accel.D || lp.Accel.IDPrecision != p.Accel.IDPrecision ||
+				lp.Accel.Seed != p.Accel.Seed || lp.ShardSize != p.ShardSize {
+				t.Fatalf("params round-trip mismatch: saved %+v loaded %+v", p.Accel, lp.Accel)
+			}
+			loaded, _, err := core.NewExactEngineFromLibrary(lp, lib)
+			if err != nil {
+				t.Fatalf("NewExactEngineFromLibrary: %v", err)
+			}
+
+			// Library-level identity.
+			if lib.Len() != built.Library().Len() || lib.Skipped != built.Library().Skipped {
+				t.Fatalf("library size mismatch: loaded %d/%d, built %d/%d",
+					lib.Len(), lib.Skipped, built.Library().Len(), built.Library().Skipped)
+			}
+			for i := 0; i < lib.Len(); i++ {
+				if lib.Entries[i] != built.Library().Entries[i] {
+					t.Fatalf("entry %d mismatch: %+v vs %+v", i, lib.Entries[i], built.Library().Entries[i])
+				}
+				if !lib.HVs[i].Equal(built.Library().HVs[i]) {
+					t.Fatalf("hypervector %d differs after round trip", i)
+				}
+				if lib.SourcePos(i) != built.Library().SourcePos(i) {
+					t.Fatalf("source position %d mismatch", i)
+				}
+			}
+
+			// PSM-for-PSM identity on the full query set.
+			want, err := built.SearchAll(ds.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.SearchAll(ds.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("PSM count mismatch: loaded %d, built %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("PSM %d mismatch:\nloaded %+v\nbuilt  %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPackedStoreMatchesIndex verifies the loaded engine's packed rows
+// are bit-identical to the saved hypervector words, through the
+// sharded searcher's PackedRow accessor.
+func TestPackedStoreMatchesIndex(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(512, 100, 3)
+	built := buildEngine(t, p, ds.Library)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, p, built.Library()); err != nil {
+		t.Fatal(err)
+	}
+	lp, lib, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := hdc.NewShardedSearcher(lib.HVs, lp.ShardSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := hdc.WordsPerHV(p.Accel.D)
+	for i := 0; i < lib.Len(); i++ {
+		row := s.PackedRow(i)
+		if len(row) != words {
+			t.Fatalf("row %d has %d words, want %d", i, len(row), words)
+		}
+		for w, v := range row {
+			if v != built.Library().HVs[i].Words[w] {
+				t.Fatalf("row %d word %d differs from built library", i, w)
+			}
+		}
+	}
+}
+
+// corruptionCase mutates a valid index image and names the failure it
+// should provoke.
+type corruptionCase struct {
+	name    string
+	mutate  func(img []byte) []byte
+	wantSub string
+}
+
+// TestLoadRejectsCorruption pins that truncated, corrupted and
+// wrong-version files are rejected with descriptive errors.
+func TestLoadRejectsCorruption(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(512, 0, 3)
+	built := buildEngine(t, p, ds.Library)
+	var buf bytes.Buffer
+	if err := Save(&buf, p, built.Library()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := []corruptionCase{
+		{
+			name:    "empty",
+			mutate:  func(img []byte) []byte { return nil },
+			wantSub: "truncated",
+		},
+		{
+			name:    "bad magic",
+			mutate:  func(img []byte) []byte { img[0] = 'X'; return img },
+			wantSub: "bad magic",
+		},
+		{
+			name:    "wrong version",
+			mutate:  func(img []byte) []byte { img[6] = 99; return img },
+			wantSub: "unsupported index version 99",
+		},
+		{
+			name:    "truncated header",
+			mutate:  func(img []byte) []byte { return img[:10] },
+			wantSub: "truncated",
+		},
+		{
+			name:    "truncated mid-body",
+			mutate:  func(img []byte) []byte { return img[:len(img)/2] },
+			wantSub: "truncated",
+		},
+		{
+			name:    "truncated checksum",
+			mutate:  func(img []byte) []byte { return img[:len(img)-2] },
+			wantSub: "truncated",
+		},
+		{
+			// Flip a bit deep in the packed-words section: structurally
+			// valid, caught only by the checksum.
+			name:    "flipped body bit",
+			mutate:  func(img []byte) []byte { img[len(img)-100] ^= 0x40; return img },
+			wantSub: "corrupted",
+		},
+		{
+			name:    "flipped checksum bit",
+			mutate:  func(img []byte) []byte { img[len(img)-1] ^= 0x01; return img },
+			wantSub: "corrupted",
+		},
+		{
+			name:    "trailing garbage",
+			mutate:  func(img []byte) []byte { return append(img, 0xAA) },
+			wantSub: "trailing data",
+		},
+		{
+			// Header entry count beyond the hard bound fails before any
+			// section allocation.
+			name: "absurd entry count",
+			mutate: func(img []byte) []byte {
+				binary.LittleEndian.PutUint64(img[16:24], 1<<60)
+				return img
+			},
+			wantSub: "implausible entry count",
+		},
+		{
+			// A large-but-bounded crafted count must fail on truncation
+			// (chunk-growing section reads track the actual file size)
+			// rather than attempting a count-sized allocation.
+			name: "inflated entry count",
+			mutate: func(img []byte) []byte {
+				binary.LittleEndian.PutUint64(img[16:24], 1<<27)
+				return img
+			},
+			wantSub: "truncated",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := append([]byte(nil), valid...)
+			img = tc.mutate(img)
+			_, _, err := Load(bytes.NewReader(img))
+			if err == nil {
+				t.Fatalf("Load accepted a %s index", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// The pristine image must still load after all that slicing.
+	if _, _, err := Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("pristine image failed to load: %v", err)
+	}
+}
+
+// TestSaveFileLoadFile exercises the atomic file path.
+func TestSaveFileLoadFile(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(512, 0, 3)
+	built := buildEngine(t, p, ds.Library)
+	path := t.TempDir() + "/lib.omsidx"
+	if err := SaveFile(path, p, built.Library()); err != nil {
+		t.Fatal(err)
+	}
+	lp, lib, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != built.Library().Len() {
+		t.Fatalf("loaded %d entries, want %d", lib.Len(), built.Library().Len())
+	}
+	if _, _, err := core.NewExactEngineFromLibrary(lp, lib); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveRejectsMismatch pins Save's own validation.
+func TestSaveRejectsMismatch(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(512, 0, 3)
+	built := buildEngine(t, p, ds.Library)
+	var buf bytes.Buffer
+	if err := Save(&buf, p, nil); err == nil {
+		t.Fatal("Save accepted a nil library")
+	}
+	wrong := p
+	wrong.Accel.D = 1024
+	if err := Save(&buf, wrong, built.Library()); err == nil {
+		t.Fatal("Save accepted params whose D disagrees with the library")
+	}
+	// A hand-assembled library that never ran SortByMass has no
+	// permutation; Save must refuse rather than write a file Load
+	// would reject.
+	unsorted := &core.Library{
+		Entries: append([]core.LibraryEntry(nil), built.Library().Entries...),
+		HVs:     append([]hdc.BinaryHV(nil), built.Library().HVs...),
+	}
+	if err := Save(&buf, p, unsorted); err == nil || !strings.Contains(err.Error(), "source positions") {
+		t.Fatalf("Save of a never-sorted library: got %v, want source-position refusal", err)
+	}
+}

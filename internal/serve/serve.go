@@ -1,0 +1,299 @@
+// Package serve is the request-coalescing serving layer over the OMS
+// engine: it accepts individual Search calls from arbitrarily many
+// concurrent goroutines, collects them for a bounded window (max-batch
+// size / max-delay), and flushes each batch through one block-major
+// batched top-k sweep — turning N concurrent single-query requests
+// into the same once-per-batch memory stream the offline batch path
+// enjoys. The paper's deployment story is a resident accelerator that
+// amortizes one expensive library write across millions of searches;
+// this package is the software articulation of that story's serving
+// half.
+//
+// Guarantees:
+//
+//   - With a deterministic searcher (the exact sharded engine — what
+//     omsd runs) per-request results are bit-identical to
+//     Engine.SearchOne: a query's PSM does not depend on which batch
+//     it lands in, on the batch's composition, or on its position
+//     within the batch. An engine wired to a noisy searcher draws its
+//     error stream in batch order, so its serving results vary with
+//     traffic timing — acceptable for robustness studies, not for the
+//     deterministic serving contract.
+//   - Admission is bounded: at most MaxQueue requests are outstanding
+//     (queued or being scored); beyond that Search fails fast with
+//     ErrQueueFull instead of building an unbounded backlog.
+//   - Every request carries a context: a caller that gives up stops
+//     waiting immediately, and its slot is skipped at flush time if
+//     the batch has not started scoring yet.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/spectrum"
+)
+
+// ErrQueueFull is returned when admission control rejects a request
+// because MaxQueue requests are already outstanding.
+var ErrQueueFull = errors.New("serve: request queue full")
+
+// ErrClosed is returned for requests submitted to (or still waiting
+// on) a server that has been closed.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the micro-batcher.
+type Config struct {
+	// MaxBatch flushes a batch as soon as it holds this many requests
+	// (default 64 — one full sweep of queries per pass over the packed
+	// store is the knee of the bandwidth-amortization curve).
+	MaxBatch int
+	// MaxDelay flushes a non-empty batch this long after its first
+	// request arrived, bounding the latency cost of coalescing
+	// (default 1ms).
+	MaxDelay time.Duration
+	// MaxQueue bounds outstanding requests — queued plus being scored
+	// — for admission control (default 4096).
+	MaxQueue int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4096
+	}
+	return c
+}
+
+// response is what a flushed batch delivers back to one waiter.
+type response struct {
+	psm fdr.PSM
+	ok  bool
+}
+
+// request is one queued search: a prepared query plus the plumbing to
+// deliver its result.
+type request struct {
+	pq       core.PreparedQuery
+	ctx      context.Context
+	enqueued time.Time
+	// out is buffered (capacity 1) so the dispatcher never blocks on a
+	// waiter that already gave up.
+	out chan response
+}
+
+// Server coalesces concurrent searches into batched engine sweeps.
+type Server struct {
+	engine *core.Engine
+	cfg    Config
+
+	in   chan *request
+	quit chan struct{}
+	done chan struct{}
+
+	// pending counts outstanding requests for admission control.
+	pending atomic.Int64
+
+	closeOnce sync.Once
+	stats     collector
+}
+
+// New starts the micro-batcher over an engine. The returned server
+// must be Closed to stop its dispatcher goroutine.
+func New(engine *core.Engine, cfg Config) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("serve: nil engine")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine: engine,
+		cfg:    cfg,
+		in:     make(chan *request, cfg.MaxQueue),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.stats.init(cfg)
+	go s.dispatch()
+	return s, nil
+}
+
+// Engine returns the underlying engine.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Search prepares one query in the caller's goroutine (preprocessing,
+// encoding and candidate-range selection parallelize naturally across
+// clients) and submits it for batched scoring. ok is false when the
+// query is rejected by preprocessing, finds no candidate in the
+// precursor window, or finds no match — the same conditions as
+// Engine.SearchOne. The error is non-nil for encoding failures,
+// admission rejection (ErrQueueFull), cancellation (the context's
+// error) and shutdown (ErrClosed).
+func (s *Server) Search(ctx context.Context, q *spectrum.Spectrum) (fdr.PSM, bool, error) {
+	pq, ok, err := s.engine.Prepare(q)
+	if err != nil {
+		s.stats.prepareError()
+		return fdr.PSM{}, false, err
+	}
+	if !ok {
+		s.stats.skip()
+		return fdr.PSM{}, false, nil
+	}
+	return s.SearchPrepared(ctx, pq)
+}
+
+// SearchPrepared submits an already prepared query for batched
+// scoring and blocks until its batch is flushed, the context is done,
+// or the server closes.
+func (s *Server) SearchPrepared(ctx context.Context, pq core.PreparedQuery) (fdr.PSM, bool, error) {
+	s.stats.admit()
+	if n := s.pending.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.pending.Add(-1)
+		s.stats.reject()
+		return fdr.PSM{}, false, ErrQueueFull
+	}
+	defer s.pending.Add(-1)
+
+	r := &request{pq: pq, ctx: ctx, enqueued: time.Now(), out: make(chan response, 1)}
+	select {
+	case s.in <- r:
+	case <-s.done:
+		s.stats.closedReject()
+		return fdr.PSM{}, false, ErrClosed
+	default:
+		// pending admits at most MaxQueue requests and the channel holds
+		// MaxQueue, so the only way the send can fail is a dispatcher
+		// mid-drain race; treat it as the bound it is.
+		s.stats.reject()
+		return fdr.PSM{}, false, ErrQueueFull
+	}
+	select {
+	case resp := <-r.out:
+		return resp.psm, resp.ok, nil
+	case <-ctx.Done():
+		s.stats.cancel()
+		return fdr.PSM{}, false, ctx.Err()
+	case <-s.done:
+		// Close drains and flushes admitted requests before done
+		// closes, so this request's result may already be waiting —
+		// prefer it over ErrClosed (select picks ready cases at
+		// random, so the race is real).
+		select {
+		case resp := <-r.out:
+			return resp.psm, resp.ok, nil
+		default:
+		}
+		s.stats.closedReject()
+		return fdr.PSM{}, false, ErrClosed
+	}
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot(int(s.pending.Load()))
+}
+
+// Close stops the dispatcher after flushing every request already
+// queued, then releases any remaining waiters with ErrClosed. It is
+// idempotent and safe to call concurrently with Search.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		<-s.done
+	})
+}
+
+// dispatch is the coalescing loop: it owns the batch under
+// construction and is the only goroutine that touches the engine's
+// batch path, so a flush is one deterministic BatchTopKRange sweep.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	var batch []*request
+	flush := func() {
+		s.flush(batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case r := <-s.in:
+			batch = append(batch, r)
+			if len(batch) == 1 {
+				timer.Reset(s.cfg.MaxDelay)
+			}
+			if len(batch) >= s.cfg.MaxBatch {
+				// Go 1.23+ timer semantics: after Stop returns, no stale
+				// expiry is delivered on timer.C, so the next batch
+				// cannot be cut short by this window's timer. The
+				// len(batch) guard below stays as defense in depth.
+				timer.Stop()
+				flush()
+			}
+		case <-timer.C:
+			if len(batch) > 0 {
+				flush()
+			}
+		case <-s.quit:
+			// Drain whatever was admitted before shutdown and flush it
+			// in MaxBatch-sized sweeps (the backlog can approach
+			// MaxQueue, and batch sizes — and their histogram — stay
+			// bounded by MaxBatch everywhere); anything submitted after
+			// done closes gets ErrClosed.
+			for {
+				select {
+				case r := <-s.in:
+					batch = append(batch, r)
+					continue
+				default:
+				}
+				break
+			}
+			for len(batch) > 0 {
+				c := min(len(batch), s.cfg.MaxBatch)
+				s.flush(batch[:c])
+				batch = batch[c:]
+			}
+			return
+		}
+	}
+}
+
+// flush scores one batch through the engine's batched search and
+// delivers each result to its waiter. Requests whose context is
+// already done are skipped — their waiters have left.
+func (s *Server) flush(batch []*request) {
+	live := batch[:0:len(batch)]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	preps := make([]core.PreparedQuery, len(live))
+	for i, r := range live {
+		preps[i] = r.pq
+	}
+	psms, oks := s.engine.SearchPrepared(preps)
+	now := time.Now()
+	for i, r := range live {
+		r.out <- response{psm: psms[i], ok: oks[i]}
+		s.stats.observeRequest(now.Sub(r.enqueued), oks[i])
+	}
+	s.stats.observeBatch(len(live))
+}

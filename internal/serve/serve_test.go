@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/msdata"
+	"repro/internal/spectrum"
+)
+
+// testEngine builds a small exact engine and the workload it serves.
+func testEngine(t testing.TB) (*core.Engine, []*spectrum.Spectrum) {
+	t.Helper()
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 1024
+	p.Accel.NumChunks = 64
+	engine, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, ds.Queries
+}
+
+// TestSearchMatchesEngine pins the serving contract: results from
+// concurrent coalesced searches are PSM-for-PSM identical to serial
+// Engine.SearchOne, regardless of how requests landed in batches.
+func TestSearchMatchesEngine(t *testing.T) {
+	engine, queries := testEngine(t)
+	want := make(map[string]fdr.PSM)
+	wantOK := make(map[string]bool)
+	for _, q := range queries {
+		psm, ok, err := engine.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK[q.ID] = ok
+		if ok {
+			want[q.ID] = psm
+		}
+	}
+
+	for _, cfg := range []Config{
+		{MaxBatch: 4, MaxDelay: 200 * time.Microsecond},
+		{MaxBatch: 64, MaxDelay: 5 * time.Millisecond},
+	} {
+		srv, err := New(engine, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		got := make(map[string]fdr.PSM)
+		gotOK := make(map[string]bool)
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q *spectrum.Spectrum) {
+				defer wg.Done()
+				psm, ok, err := srv.Search(context.Background(), q)
+				if err != nil {
+					t.Errorf("Search(%s): %v", q.ID, err)
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				gotOK[q.ID] = ok
+				if ok {
+					got[q.ID] = psm
+				}
+			}(q)
+		}
+		wg.Wait()
+		srv.Close()
+		for id, ok := range wantOK {
+			if gotOK[id] != ok {
+				t.Fatalf("cfg %+v: query %s ok=%v, want %v", cfg, id, gotOK[id], ok)
+			}
+			if ok && got[id] != want[id] {
+				t.Fatalf("cfg %+v: query %s PSM %+v, want %+v", cfg, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestCoalescing pins that concurrent requests actually share batches
+// rather than degenerating to one flush per request.
+func TestCoalescing(t *testing.T) {
+	engine, queries := testEngine(t)
+	const clients = 8
+	srv, err := New(engine, Config{MaxBatch: clients, MaxDelay: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(q *spectrum.Spectrum) {
+			defer wg.Done()
+			if _, _, err := srv.Search(context.Background(), q); err != nil {
+				t.Errorf("Search: %v", err)
+			}
+		}(queries[i])
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	// All clients were in flight well within the 250ms window, so they
+	// must have been scored in far fewer flushes than requests — with
+	// the full-batch flush triggering at MaxBatch, typically exactly
+	// one.
+	if st.Batches >= st.Completed {
+		t.Fatalf("no coalescing: %d batches for %d completed requests", st.Batches, st.Completed)
+	}
+	if st.MeanBatchSize <= 1 {
+		t.Fatalf("mean batch size %.2f, want > 1", st.MeanBatchSize)
+	}
+}
+
+// TestQueueFull pins admission control: with MaxQueue outstanding
+// requests parked in the coalescing window, the next submission fails
+// fast with ErrQueueFull.
+func TestQueueFull(t *testing.T) {
+	engine, queries := testEngine(t)
+	srv, err := New(engine, Config{MaxBatch: 64, MaxDelay: time.Minute, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	prep := func(i int) core.PreparedQuery {
+		for _, q := range queries[i:] {
+			pq, ok, err := engine.Prepare(q)
+			if err == nil && ok {
+				return pq
+			}
+		}
+		t.Fatal("no preparable query")
+		return core.PreparedQuery{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pq := prep(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Parked until cancel: the minute-long window keeps the batch open.
+			srv.SearchPrepared(ctx, pq)
+		}()
+	}
+	// Wait for both to be admitted.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := srv.SearchPrepared(context.Background(), prep(2)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third request got %v, want ErrQueueFull", err)
+	}
+	if srv.Stats().Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestContextCancel pins that a waiter whose context ends stops
+// waiting immediately and is counted as canceled.
+func TestContextCancel(t *testing.T) {
+	engine, queries := testEngine(t)
+	srv, err := New(engine, Config{MaxBatch: 64, MaxDelay: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = srv.Search(ctx, queries[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("cancellation took %v", since)
+	}
+	if srv.Stats().Canceled != 1 {
+		t.Fatalf("canceled count %d, want 1", srv.Stats().Canceled)
+	}
+}
+
+// TestClose pins shutdown: queued requests are flushed, later ones
+// get ErrClosed, and Close is idempotent.
+func TestClose(t *testing.T) {
+	engine, queries := testEngine(t)
+	srv, err := New(engine, Config{MaxBatch: 64, MaxDelay: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A request parked in the coalescing window is still answered at
+	// shutdown: Close drains and flushes before releasing waiters.
+	type result struct {
+		ok  bool
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		_, ok, err := srv.Search(context.Background(), queries[0])
+		res <- result{ok: ok, err: err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+	r := <-res
+	if r.err != nil {
+		t.Fatalf("queued request got %v, want flushed result", r.err)
+	}
+	if _, _, err := srv.Search(context.Background(), queries[1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close search got %v, want ErrClosed", err)
+	}
+	srv.Close() // idempotent
+}
+
+// TestStatsHistograms sanity-checks the histogram plumbing.
+func TestStatsHistograms(t *testing.T) {
+	engine, queries := testEngine(t)
+	srv, err := New(engine, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, q := range queries {
+		srv.Search(context.Background(), q)
+	}
+	st := srv.Stats()
+	if st.Batches == 0 || st.Completed == 0 {
+		t.Fatalf("stats did not accumulate: %+v", st)
+	}
+	var batchTotal uint64
+	for _, b := range st.BatchSizes {
+		batchTotal += b.Count
+	}
+	if batchTotal != st.Batches {
+		t.Fatalf("batch histogram total %d != batches %d", batchTotal, st.Batches)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP99 < st.LatencyP50 {
+		t.Fatalf("implausible latency quantiles p50=%v p99=%v", st.LatencyP50, st.LatencyP99)
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats is a snapshot of the serving counters.
+type Stats struct {
+	// Requests counts every submission exactly once: queries that fail
+	// preparation (Skipped/Errors) plus every admission attempt,
+	// counted when it enters SearchPrepared.
+	Requests uint64
+	// Completed counts requests whose batch delivered a result —
+	// including waiters that had already given up, so a cancellation
+	// racing the scoring sweep may appear in both Completed and
+	// Canceled.
+	Completed uint64
+	// Matched counts completed requests that produced a PSM.
+	Matched uint64
+	// Skipped counts queries rejected before batching: failed
+	// preprocessing or an empty precursor window.
+	Skipped uint64
+	// Rejected counts admission-control rejections (ErrQueueFull).
+	Rejected uint64
+	// Canceled counts waiters whose context ended before they received
+	// a result.
+	Canceled uint64
+	// Closed counts requests released by server shutdown.
+	Closed uint64
+	// Errors counts query encoding failures.
+	Errors uint64
+	// Batches counts flushed batches.
+	Batches uint64
+	// QueueDepth is the number of requests outstanding right now.
+	QueueDepth int
+	// MeanBatchSize is Completed / Batches.
+	MeanBatchSize float64
+	// BatchSizes is the batch-size histogram in power-of-two buckets:
+	// BatchSizes[i] counts batches with size in (2^(i-1), 2^i].
+	BatchSizes []BucketCount
+	// LatencyP50 and LatencyP99 are approximate request latency
+	// quantiles (enqueue → batch scored), resolved to the upper bound
+	// of exponential histogram buckets.
+	LatencyP50, LatencyP99 time.Duration
+}
+
+// BucketCount is one histogram bucket: Count observations with value
+// at most Le (and greater than the previous bucket's Le).
+type BucketCount struct {
+	Le    int    `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// latency histogram buckets: powers of two from 1µs to ~8.6s, with a
+// final overflow bucket.
+const latBuckets = 24
+
+// collector accumulates the counters. Counter increments come from
+// many goroutines; histogram writes come only from the dispatcher.
+// One mutex keeps it simple — none of this is on the per-word hot
+// path, and a flush touches it once per batch.
+type collector struct {
+	mu sync.Mutex
+
+	requests, completed, matched uint64
+	skipped, rejected, canceled  uint64
+	closed, errors, batches      uint64
+
+	batchHist []uint64 // power-of-two buckets, index i ⇒ size ≤ 2^i
+	latHist   [latBuckets + 1]uint64
+}
+
+func (c *collector) init(cfg Config) {
+	buckets := 1
+	for 1<<buckets < cfg.MaxBatch {
+		buckets++
+	}
+	c.batchHist = make([]uint64, buckets+1)
+}
+
+// admit counts one submission entering SearchPrepared; all later
+// outcomes (rejected, canceled, closed, completed) refer back to it.
+func (c *collector) admit() {
+	c.mu.Lock()
+	c.requests++
+	c.mu.Unlock()
+}
+
+func (c *collector) reject() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+}
+
+func (c *collector) cancel() {
+	c.mu.Lock()
+	c.canceled++
+	c.mu.Unlock()
+}
+
+func (c *collector) closedReject() {
+	c.mu.Lock()
+	c.closed++
+	c.mu.Unlock()
+}
+
+func (c *collector) skip() {
+	c.mu.Lock()
+	c.requests++
+	c.skipped++
+	c.mu.Unlock()
+}
+
+func (c *collector) prepareError() {
+	c.mu.Lock()
+	c.requests++
+	c.errors++
+	c.mu.Unlock()
+}
+
+// observeRequest records one delivered result and its latency.
+func (c *collector) observeRequest(lat time.Duration, matched bool) {
+	c.mu.Lock()
+	c.completed++
+	if matched {
+		c.matched++
+	}
+	us := lat.Microseconds()
+	b := 0
+	for b < latBuckets && us > 1<<b {
+		b++
+	}
+	c.latHist[b]++
+	c.mu.Unlock()
+}
+
+// observeBatch records one flushed batch of the given size.
+func (c *collector) observeBatch(size int) {
+	c.mu.Lock()
+	c.batches++
+	b := 0
+	for b < len(c.batchHist)-1 && size > 1<<b {
+		b++
+	}
+	c.batchHist[b]++
+	c.mu.Unlock()
+}
+
+// snapshot assembles a Stats under the lock.
+func (c *collector) snapshot(queueDepth int) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Requests:   c.requests,
+		Completed:  c.completed,
+		Matched:    c.matched,
+		Skipped:    c.skipped,
+		Rejected:   c.rejected,
+		Canceled:   c.canceled,
+		Closed:     c.closed,
+		Errors:     c.errors,
+		Batches:    c.batches,
+		QueueDepth: queueDepth,
+	}
+	if c.batches > 0 {
+		st.MeanBatchSize = float64(c.completed) / float64(c.batches)
+	}
+	for i, n := range c.batchHist {
+		st.BatchSizes = append(st.BatchSizes, BucketCount{Le: 1 << i, Count: n})
+	}
+	st.LatencyP50 = latQuantile(&c.latHist, 0.50)
+	st.LatencyP99 = latQuantile(&c.latHist, 0.99)
+	return st
+}
+
+// latQuantile resolves quantile q against the latency histogram,
+// returning the upper bound of the bucket where the cumulative count
+// crosses q.
+func latQuantile(hist *[latBuckets + 1]uint64, q float64) time.Duration {
+	var total uint64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b, n := range hist {
+		cum += n
+		if cum > rank {
+			if b >= latBuckets {
+				b = latBuckets // overflow bucket reports the cap
+			}
+			return time.Duration(1<<b) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<latBuckets) * time.Microsecond
+}

@@ -1,0 +1,21 @@
+package spectrum
+
+import (
+	"os"
+	"strings"
+)
+
+// ReadSpectraFile reads all spectra from a file, selecting the parser
+// by extension: .msp parses as NIST MSP, anything else as MGF. It is
+// the shared input path of the command-line tools.
+func ReadSpectraFile(path string) ([]*Spectrum, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".msp") {
+		return ReadMSP(f)
+	}
+	return ReadMGF(f)
+}
