@@ -246,6 +246,13 @@ type statsView struct {
 	BatchSizes    []serve.BucketCount `json:"batch_size_histogram"`
 	LatencyP50US  int64               `json:"latency_p50_us"`
 	LatencyP99US  int64               `json:"latency_p99_us"`
+
+	// Cascade pruning telemetry; the counters are meaningful (and zero
+	// is a legitimate value) whenever CascadeEnabled is true.
+	CascadeEnabled     bool    `json:"cascade_enabled"`
+	CascadePrefiltered uint64  `json:"cascade_prefiltered"`
+	CascadeCompleted   uint64  `json:"cascade_completed"`
+	CascadePruneRate   float64 `json:"cascade_prune_rate"`
 }
 
 // handleStats renders the serving counters.
@@ -266,6 +273,11 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchSizes:    st.BatchSizes,
 		LatencyP50US:  st.LatencyP50.Microseconds(),
 		LatencyP99US:  st.LatencyP99.Microseconds(),
+
+		CascadeEnabled:     st.CascadeEnabled,
+		CascadePrefiltered: st.CascadePrefiltered,
+		CascadeCompleted:   st.CascadeCompleted,
+		CascadePruneRate:   st.CascadePruneRate,
 	})
 }
 

@@ -5,7 +5,12 @@
 // into block-major batched sweeps of the packed reference store:
 //
 //	omsd -index lib.omsidx [-addr :8993] [-maxbatch 64] \
-//	     [-maxdelay 1ms] [-maxqueue 4096] [-standard] [-topk 5]
+//	     [-maxdelay 1ms] [-maxqueue 4096] [-standard] [-topk 5] \
+//	     [-prefilter-words 16] [-shortlist 0]
+//
+// -prefilter-words selects the two-tier pruned cascade search layout
+// (exact; -shortlist M switches it to approximate best-M completion);
+// GET /stats reports the measured pruning rate.
 //
 // Endpoints:
 //
@@ -14,13 +19,15 @@
 //	               responds with PSM JSON, or TSV with ?format=tsv
 //	GET  /healthz  liveness + library identity
 //	GET  /stats    serving counters: queue depth, batch size
-//	               histogram, latency quantiles
+//	               histogram, latency quantiles, cascade pruning rate
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +47,8 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 4096, "admission bound on outstanding requests")
 	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
 	topk := flag.Int("topk", 0, "matches retrieved per query (0 = index setting)")
+	prefilterWords := flag.Int("prefilter-words", -1, "two-tier cascade: packed words per row in the prefilter tier (-1 = index setting, 0 = single-tier scan)")
+	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N prefilter rows per query (-1 = index setting, 0 = exact pruning bound)")
 	flag.Parse()
 
 	if *indexPath == "" {
@@ -54,6 +63,12 @@ func main() {
 	if *topk > 0 {
 		p.TopK = *topk
 	}
+	if *prefilterWords >= 0 {
+		p.PrefilterWords = *prefilterWords
+	}
+	if *shortlist >= 0 {
+		p.ShortlistPerQuery = *shortlist
+	}
 	start := time.Now()
 	engine, _, err := core.NewExactEngineFromLibrary(p, lib)
 	fatalIf(err)
@@ -63,6 +78,12 @@ func main() {
 	engine.ReleaseLibraryHVs()
 	fmt.Fprintf(os.Stderr, "omsd: loaded %s: %d references, D=%d, engine up in %v\n",
 		*indexPath, lib.Len(), p.Accel.D, time.Since(start).Round(time.Millisecond))
+	// Report the effective layout (the searcher falls back to
+	// single-tier when PrefilterWords covers every word of a row).
+	if _, cascadeOn := engine.CascadeStats(); cascadeOn {
+		fmt.Fprintf(os.Stderr, "omsd: cascade search: %d prefilter words, shortlist %d\n",
+			p.PrefilterWords, p.ShortlistPerQuery)
+	}
 
 	srv, err := serve.New(engine, serve.Config{
 		MaxBatch: *maxBatch,
@@ -72,29 +93,41 @@ func main() {
 	fatalIf(err)
 
 	d := &daemon{srv: srv, engine: engine, started: time.Now()}
-	httpSrv := &http.Server{Addr: *addr, Handler: d.mux()}
-	// ListenAndServe returns the moment Shutdown begins; the signal
-	// goroutine owns the blocking Shutdown call (which waits for
-	// in-flight handlers) and main must wait for it before stopping
-	// the batcher, or a mid-request drain would fail those searches
-	// with ErrClosed.
-	shutdownDone := make(chan struct{})
-	go func() {
-		defer close(shutdownDone)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		fmt.Fprintln(os.Stderr, "omsd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(ctx)
-	}()
-	fmt.Fprintf(os.Stderr, "omsd: listening on %s\n", *addr)
-	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
-		fatalIf(err)
-	}
-	<-shutdownDone
+	httpSrv := &http.Server{Handler: d.mux()}
+	ln, err := net.Listen("tcp", *addr)
+	fatalIf(err)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "omsd: listening on %s\n", ln.Addr())
+	fatalIf(serveUntilShutdown(httpSrv, ln, stop, 10*time.Second))
 	srv.Close()
+}
+
+// serveUntilShutdown serves httpSrv on ln until stop delivers a
+// signal, then shuts the server down gracefully — waiting up to
+// timeout for in-flight handlers to drain — and reports the Shutdown
+// outcome. It returns nil on a clean shutdown, the serve error when
+// serving fails outright, and the Shutdown error (e.g. the deadline
+// expiring with handlers still running) otherwise. The caller must
+// only stop downstream components (the micro-batcher) after it
+// returns, or a mid-request drain would fail those searches with
+// ErrClosed.
+func serveUntilShutdown(httpSrv *http.Server, ln net.Listener, stop <-chan os.Signal, timeout time.Duration) error {
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "omsd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(ctx)
+	}()
+	// Serve returns ErrServerClosed (possibly wrapped) the moment
+	// Shutdown begins; any other error is a real serving failure and
+	// Shutdown never ran.
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownErr
 }
 
 func fatalIf(err error) {

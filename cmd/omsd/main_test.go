@@ -2,10 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -166,6 +173,96 @@ func TestSearchTSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "query_id\tmatched\tpeptide") {
 		t.Fatalf("bad TSV header %q", lines[0])
+	}
+}
+
+// TestServeUntilShutdownGraceful is the graceful-shutdown regression
+// test: a signal must drain in-flight handlers (not cut them off) and
+// serveUntilShutdown must return nil on a clean stop — the seed
+// compared the Serve error with != instead of errors.Is and discarded
+// the Shutdown outcome entirely.
+func TestServeUntilShutdownGraceful(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "drained")
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serveUntilShutdown(httpSrv, ln, stop, 5*time.Second) }()
+
+	body := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			body <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		body <- string(b)
+	}()
+
+	<-inHandler
+	stop <- syscall.SIGTERM // shutdown begins with the request in flight
+	select {
+	case err := <-served:
+		t.Fatalf("serveUntilShutdown returned %v before the in-flight handler finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if got := <-body; got != "drained" {
+		t.Fatalf("in-flight request got %q, want %q", got, "drained")
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("clean shutdown returned %v, want nil", err)
+	}
+}
+
+// TestServeUntilShutdownTimeout pins that a Shutdown that cannot
+// drain in time surfaces its error instead of being discarded.
+func TestServeUntilShutdownTimeout(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serveUntilShutdown(httpSrv, ln, stop, 20*time.Millisecond) }()
+	go http.Get("http://" + ln.Addr().String() + "/")
+
+	<-inHandler
+	stop <- syscall.SIGTERM
+	if err := <-served; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stuck handler shutdown returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestServeUntilShutdownServeError pins that a real serving failure is
+// returned directly rather than masked as a shutdown.
+func TestServeUntilShutdownServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve on a closed listener fails immediately
+	stop := make(chan os.Signal, 1)
+	defer close(stop)
+	if err := serveUntilShutdown(&http.Server{}, ln, stop, time.Second); err == nil || errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("serve on closed listener returned %v, want a real error", err)
 	}
 }
 

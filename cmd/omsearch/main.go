@@ -3,9 +3,18 @@
 //
 //	omsearch -library lib.mgf -queries q.mgf [-backend ideal|rram] \
 //	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard] \
-//	         [-parallel] [-shardsize 2048]
+//	         [-parallel] [-shardsize 2048] [-prefilter-words 16] \
+//	         [-shortlist 0]
 //	omsearch -index lib.omsidx -queries q.mgf [-fdr 0.01] [-standard] \
-//	         [-parallel]
+//	         [-parallel] [-prefilter-words 16] [-shortlist 0]
+//
+// -prefilter-words selects the two-tier pruned cascade layout: the
+// first N packed words of every reference row are scored as a cheap
+// prefilter, and the remaining words only for rows whose partial
+// distance can still enter the top-k — exact by construction. With
+// -shortlist M the cascade instead completes only the M best
+// prefilter rows per query (approximate, ANN-SoLo/HyperOMS-style);
+// the measured pruning rate is reported on stderr.
 //
 // With -library the encoded library is built from scratch; with
 // -index (built by omsbuild) the encoded, mass-ordered library and
@@ -43,6 +52,8 @@ func main() {
 	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
 	parallel := flag.Bool("parallel", false, "search queries across CPU cores")
 	shardSize := flag.Int("shardsize", 0, "reference rows per search shard (0 = default)")
+	prefilterWords := flag.Int("prefilter-words", -1, "two-tier cascade: packed words per row in the prefilter tier (-1 = index/default setting, 0 = single-tier scan)")
+	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N prefilter rows per query (-1 = index/default setting, 0 = exact pruning bound)")
 	rescore := flag.Float64("rescore", 0, "blend factor for shifted-dot rescoring of the HD shortlist (0 = off, 1 = pure shifted-dot)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -75,6 +86,12 @@ func main() {
 		if *shardSize > 0 {
 			p.ShardSize = *shardSize
 		}
+		if *prefilterWords >= 0 {
+			p.PrefilterWords = *prefilterWords
+		}
+		if *shortlist >= 0 {
+			p.ShortlistPerQuery = *shortlist
+		}
 		engine, _, err = core.NewExactEngineFromLibrary(p, lib)
 		fatalIf(err)
 		// The searcher packed its own copy of the reference words, and
@@ -92,6 +109,12 @@ func main() {
 		p.FDRAlpha = *alpha
 		p.Open = !*standard
 		p.ShardSize = *shardSize
+		if *prefilterWords >= 0 {
+			p.PrefilterWords = *prefilterWords
+		}
+		if *shortlist >= 0 {
+			p.ShortlistPerQuery = *shortlist
+		}
 
 		switch *backend {
 		case "ideal":
@@ -126,6 +149,11 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"omsearch: %d queries, %d library spectra (%d skipped), %d identifications at FDR %.2g\n",
 		len(queries), engine.Library().Len(), engine.Library().Skipped, len(res.Accepted), *alpha)
+	if cs, ok := engine.CascadeStats(); ok {
+		fmt.Fprintf(os.Stderr,
+			"omsearch: cascade pruned %.1f%% of %d prefiltered rows (%d completed)\n",
+			100*cs.PruneRate(), cs.Prefiltered, cs.Completed)
+	}
 }
 
 // writePSMs writes the accepted PSMs as TSV through one buffered

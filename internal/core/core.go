@@ -87,8 +87,26 @@ type Params struct {
 	// ShardSize is the rows-per-shard of the exact sharded search
 	// engine (0 = hdc.DefaultShardSize).
 	ShardSize int
+	// PrefilterWords selects the two-tier pruned cascade layout of the
+	// sharded searcher: the first PrefilterWords packed words of every
+	// row form the contiguous prefilter tier, the rest the completion
+	// tier scored only for rows that survive the pruning bound. 0 (the
+	// default) keeps the single-tier scan. Results stay bit-identical
+	// to the single-tier kernel unless ShortlistPerQuery is set.
+	PrefilterWords int
+	// ShortlistPerQuery switches the cascade to approximate mode:
+	// per query, only the ShortlistPerQuery rows with the best
+	// prefilter-tier partial distance are completed — the
+	// HyperOMS/ANN-SoLo-style recall-for-speed trade. 0 keeps the
+	// exact pruning bound; a positive value requires PrefilterWords.
+	ShortlistPerQuery int
 	// FDRAlpha is the FDR acceptance level (paper: 0.01).
 	FDRAlpha float64
+}
+
+// cascadeConfig maps the cascade knobs onto the searcher's config.
+func (p Params) cascadeConfig() hdc.CascadeConfig {
+	return hdc.CascadeConfig{PrefilterWords: p.PrefilterWords, Shortlist: p.ShortlistPerQuery}
 }
 
 // DefaultParams returns the paper's evaluation configuration.
@@ -344,6 +362,20 @@ func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error)
 // Library returns the engine's library.
 func (e *Engine) Library() *Library { return e.lib }
 
+// CascadeStats reports the pruning counters of a cascade-enabled
+// searcher (prefiltered vs completed rows); ok is false when the
+// searcher has no two-tier cascade layout or does not expose the
+// telemetry.
+func (e *Engine) CascadeStats() (hdc.CascadeStats, bool) {
+	type reporter interface {
+		CascadeStats() (hdc.CascadeStats, bool)
+	}
+	if r, ok := e.searcher.(reporter); ok {
+		return r.CascadeStats()
+	}
+	return hdc.CascadeStats{}, false
+}
+
 // ReleaseLibraryHVs drops the library's hypervector slices. The
 // searcher packed its own copy of every reference word at
 // construction and the search path reads only Entries and the packed
@@ -542,7 +574,7 @@ func BuildExact(p Params, library []*spectrum.Spectrum) (*Engine, *hdc.Encoder, 
 	if err != nil {
 		return nil, nil, err
 	}
-	searcher, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
+	searcher, err := hdc.NewSearcherCascade(lib.HVs, p.ShardSize, p.cascadeConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -576,7 +608,7 @@ func NewExactEngineFromLibrary(p Params, lib *Library) (*Engine, *hdc.Encoder, e
 	if lib == nil || lib.Len() == 0 {
 		return nil, nil, fmt.Errorf("core: empty library")
 	}
-	searcher, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
+	searcher, err := hdc.NewSearcherCascade(lib.HVs, p.ShardSize, p.cascadeConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -623,7 +655,10 @@ func BuildNoisy(p Params, library []*spectrum.Spectrum, spec NoiseSpec) (*Engine
 	if spec.RefStorageBER > 0 {
 		lib.InjectStorageErrors(spec.RefStorageBER, rand.New(rand.NewSource(spec.Seed+1)))
 	}
-	exact, err := hdc.NewSearcherSharded(lib.HVs, p.ShardSize)
+	// The noisy searcher bulk-scores full similarities, so the cascade
+	// layout is transparent to it; the knobs are threaded anyway so
+	// the packed layout matches the exact engine's.
+	exact, err := hdc.NewSearcherCascade(lib.HVs, p.ShardSize, p.cascadeConfig())
 	if err != nil {
 		return nil, err
 	}

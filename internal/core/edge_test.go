@@ -118,6 +118,96 @@ func TestBuildNoisyZeroSpecEqualsExactAssignments(t *testing.T) {
 	}
 }
 
+// TestSingleEntryLibraryEngine pins the degenerate 1-entry library end
+// to end: build, candidate selection, search (single-tier and cascade)
+// and k far larger than the candidate range must all behave, not
+// panic or mis-size results.
+func TestSingleEntryLibraryEngine(t *testing.T) {
+	ds := testDataset(t)
+	for _, cascade := range []bool{false, true} {
+		p := testParams()
+		p.TopK = 7 // far above the 1-entry candidate range
+		if cascade {
+			p.PrefilterWords = 2
+		}
+		engine, _, err := BuildExact(p, ds.Library[:1])
+		if err != nil {
+			t.Fatalf("cascade=%v: %v", cascade, err)
+		}
+		lib := engine.Library()
+		if lib.Len() != 1 || lib.SourcePos(0) != 0 {
+			t.Fatalf("cascade=%v: len=%d srcPos(0)=%d", cascade, lib.Len(), lib.SourcePos(0))
+		}
+		if lo, hi := lib.CandidateRange(lib.Entries[0].Mass, p.Window); hi-lo != 1 {
+			t.Fatalf("cascade=%v: candidate range [%d,%d) over 1-entry library", cascade, lo, hi)
+		}
+		var matched int
+		for _, q := range ds.Queries {
+			psm, ok, err := engine.SearchOne(q)
+			if err != nil {
+				t.Fatalf("cascade=%v: %v", cascade, err)
+			}
+			if ok {
+				matched++
+				if psm.Peptide != lib.Entries[0].Peptide {
+					t.Fatalf("cascade=%v: matched %q, library holds only %q", cascade, psm.Peptide, lib.Entries[0].Peptide)
+				}
+			}
+		}
+		if matched == 0 {
+			t.Fatalf("cascade=%v: no query matched the 1-entry library", cascade)
+		}
+		// Batch scoring over the same degenerate library must agree.
+		psms, oks := engine.SearchPrepared(prepareAll(t, engine, ds.Queries))
+		var batchMatched int
+		for i, ok := range oks {
+			if ok {
+				batchMatched++
+				if psms[i].Peptide != lib.Entries[0].Peptide {
+					t.Fatalf("cascade=%v: batch matched %q", cascade, psms[i].Peptide)
+				}
+			}
+		}
+		if batchMatched != matched {
+			t.Fatalf("cascade=%v: batch matched %d, serial %d", cascade, batchMatched, matched)
+		}
+	}
+}
+
+// prepareAll prepares every query that passes preprocessing.
+func prepareAll(t *testing.T, engine *Engine, queries []*spectrum.Spectrum) []PreparedQuery {
+	t.Helper()
+	var out []PreparedQuery
+	for _, q := range queries {
+		pq, ok, err := engine.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			out = append(out, pq)
+		}
+	}
+	return out
+}
+
+// TestEmptyLibraryRejectedEverywhere pins the 0-entry failure mode at
+// each constructor that could otherwise divide by zero or mis-build.
+func TestEmptyLibraryRejectedEverywhere(t *testing.T) {
+	p := testParams()
+	if _, _, err := BuildExact(p, nil); err == nil {
+		t.Error("BuildExact accepted an empty library")
+	}
+	if _, err := hdc.NewSearcherSharded(nil, 0); err == nil {
+		t.Error("NewSearcherSharded accepted an empty reference set")
+	}
+	if _, err := RestoreLibrary(nil, nil, nil, 0); err == nil {
+		t.Error("RestoreLibrary accepted an empty library")
+	}
+	if _, _, err := NewExactEngineFromLibrary(p, &Library{}); err == nil {
+		t.Error("NewExactEngineFromLibrary accepted an empty library")
+	}
+}
+
 func TestLibrarySkippedAccounting(t *testing.T) {
 	p := testParams()
 	spectra := []*spectrum.Spectrum{

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hdc"
+	"repro/internal/msdata"
+)
+
+// CascadeRow is one operating point of the recall-vs-shortlist sweep:
+// the cascade search with a fixed per-query completion budget,
+// compared against the exact single-tier engine on the same workload.
+type CascadeRow struct {
+	// Shortlist is the per-query completion budget (0 = the exact
+	// pruning bound, the bit-identical reference point).
+	Shortlist int
+	// Recall is the fraction of the exact engine's matched queries
+	// whose top-1 PSM (peptide and score) the cascade reproduces.
+	Recall float64
+	// CompletedFrac is the fraction of prefiltered rows whose
+	// completion tier was scored — the work the cascade could not (or,
+	// under a shortlist, chose not to) prune.
+	CompletedFrac float64
+}
+
+// CascadeSweep measures the HyperOMS/ANN-SoLo-style recall/speed
+// trade of the two-tier cascade: top-1 recall against the exact
+// engine as the shortlist budget grows, alongside the measured
+// completion fraction. Row 0 is exact mode, whose recall is 1 by
+// construction (the pruning bound is lossless).
+func CascadeSweep(opts Options) ([]CascadeRow, error) {
+	ds, err := msdata.Generate(msdata.IPRG2012(opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams()
+	p.Accel.D = engineDimension(opts)
+	p.Accel.NumChunks = p.Accel.D / 32
+	p.Accel.Seed = opts.Seed + 23
+	exact, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		return nil, err
+	}
+	wantPSMs, err := exact.SearchAll(ds.Queries)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]struct {
+		peptide string
+		score   float64
+	}, len(wantPSMs))
+	for _, psm := range wantPSMs {
+		want[psm.QueryID] = struct {
+			peptide string
+			score   float64
+		}{psm.Peptide, psm.Score}
+	}
+
+	prefilter := max(1, hdc.WordsPerHV(p.Accel.D)/8) // 1/8 of the words prefiltered
+	shortlists := []int{0, 1, 2, 4, 8, 16, 32, 64}
+	rows := make([]CascadeRow, 0, len(shortlists))
+	for _, m := range shortlists {
+		cp := p
+		cp.PrefilterWords = prefilter
+		cp.ShortlistPerQuery = m
+		engine, _, err := core.BuildExact(cp, ds.Library)
+		if err != nil {
+			return nil, err
+		}
+		psms, err := engine.SearchAll(ds.Queries)
+		if err != nil {
+			return nil, err
+		}
+		agree := 0
+		for _, psm := range psms {
+			if w, ok := want[psm.QueryID]; ok && w.peptide == psm.Peptide && w.score == psm.Score {
+				agree++
+			}
+		}
+		row := CascadeRow{Shortlist: m}
+		if len(want) > 0 {
+			row.Recall = float64(agree) / float64(len(want))
+		}
+		if cs, ok := engine.CascadeStats(); ok && cs.Prefiltered > 0 {
+			row.CompletedFrac = float64(cs.Completed) / float64(cs.Prefiltered)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCascadeSweep formats the sweep as a text table.
+func RenderCascadeSweep(rows []CascadeRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Cascade recall vs shortlist (top-1 vs exact engine)")
+	fmt.Fprintln(&b, "shortlist\trecall\tcompleted")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Shortlist)
+		if r.Shortlist == 0 {
+			label = "exact"
+		}
+		fmt.Fprintf(&b, "%s\t%.3f\t%.4f\n", label, r.Recall, r.CompletedFrac)
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCascadeSweep pins the sweep's structural guarantees: exact mode
+// has recall 1 (the pruning bound is lossless), recall is
+// non-decreasing-ish in the shortlist budget (monotone up to the
+// tie-break noise a tiny workload allows — we require the largest
+// budget to do at least as well as the smallest), and completion
+// fractions stay within [0, 1].
+func TestCascadeSweep(t *testing.T) {
+	rows, err := CascadeSweep(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("sweep returned %d rows", len(rows))
+	}
+	if rows[0].Shortlist != 0 {
+		t.Fatalf("first row shortlist = %d, want exact mode", rows[0].Shortlist)
+	}
+	if rows[0].Recall != 1 {
+		t.Fatalf("exact cascade recall %.3f, want 1 (the bound is lossless)", rows[0].Recall)
+	}
+	for i, r := range rows {
+		if r.Recall < 0 || r.Recall > 1 || r.CompletedFrac < 0 || r.CompletedFrac > 1 {
+			t.Fatalf("row %d out of range: %+v", i, r)
+		}
+	}
+	first, last := rows[1], rows[len(rows)-1]
+	if last.Recall < first.Recall {
+		t.Fatalf("recall fell with a larger shortlist: %d→%.3f vs %d→%.3f",
+			first.Shortlist, first.Recall, last.Shortlist, last.Recall)
+	}
+	if last.CompletedFrac < first.CompletedFrac {
+		t.Fatalf("completion fraction fell with a larger shortlist: %.4f vs %.4f",
+			first.CompletedFrac, last.CompletedFrac)
+	}
+	out := RenderCascadeSweep(rows)
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "shortlist") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}

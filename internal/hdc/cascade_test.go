@@ -1,0 +1,275 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// nearDup returns a copy of hv with roughly rate of its bits flipped —
+// a planted close match, the workload shape under which the exact
+// cascade bound actually prunes (the k-th-best distance drops below
+// what the tier-A prefix of a random row can reach).
+func nearDup(hv BinaryHV, rate float64, rng *rand.Rand) BinaryHV {
+	c := hv.Clone()
+	c.FlipBits(rate, rng)
+	return c
+}
+
+// cascadeFixture builds a reference set with, per query, a cluster of
+// planted near-duplicates inside [plantLo, plantLo+k), so exact-mode
+// pruning fires and shortlist mode has unambiguous best rows.
+func cascadeFixture(t testing.TB, d, n, nq, k int, seed int64) ([]BinaryHV, []BinaryHV) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]BinaryHV, n)
+	for i := range refs {
+		refs[i] = RandomBinaryHV(d, rng)
+	}
+	queries := make([]BinaryHV, nq)
+	for i := range queries {
+		queries[i] = RandomBinaryHV(d, rng)
+		lo := (i * n) / (2 * nq)
+		for j := 0; j < k && lo+j < n; j++ {
+			refs[lo+j] = nearDup(queries[i], 0.03, rng)
+		}
+	}
+	return refs, queries
+}
+
+// TestCascadeExactParity asserts that the exact cascade is
+// bit-identical to the single-tier kernel on every scan path — TopK
+// (gather and full scan), TopKRange, BatchTopK, BatchTopKRange —
+// across dimensions (including non-multiples of 64), shard sizes, k
+// and PrefilterWords values, on a workload where pruning genuinely
+// fires. This is the acceptance criterion of the two-tier refactor.
+func TestCascadeExactParity(t *testing.T) {
+	for _, d := range []int{256, 320, 1000} {
+		words := WordsPerHV(d)
+		n, nq, k := 600, 9, 3
+		refs, queries := cascadeFixture(t, d, n, nq, k, int64(d))
+		rng := rand.New(rand.NewSource(int64(d) + 1))
+		ranges := make([]RowRange, nq)
+		for i := range ranges {
+			lo := (i * n) / (2 * nq)
+			ranges[i] = RowRange{Lo: max(0, lo-17), Hi: min(n, lo+n/3)}
+		}
+		cands := make([][]int, nq)
+		for i := range cands {
+			switch i % 3 {
+			case 0:
+				cands[i] = nil
+			case 1:
+				cands[i] = rng.Perm(n)[:1+rng.Intn(n-1)]
+			default:
+				cands[i] = []int{ranges[i].Lo, ranges[i].Lo + 1, -4, n + 2, n - 1}
+			}
+		}
+		for _, shardSize := range []int{37, 128, 0} {
+			base, err := NewSearcherSharded(refs, shardSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pw := range []int{1, 2, words / 2, words - 1, words, words + 5} {
+				casc, err := NewSearcherCascade(refs, shardSize, CascadeConfig{PrefilterWords: pw})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTiered := pw > 0 && pw < words
+				if got := casc.Engine().PrefilterWords(); (got > 0) != wantTiered {
+					t.Fatalf("d %d pw %d: PrefilterWords() = %d, want tiered=%v", d, pw, got, wantTiered)
+				}
+				for _, kk := range []int{1, k, 2 * k, n + 10} {
+					for qi, q := range queries {
+						if got, want := casc.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, kk), base.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, kk); !matchesEqual(got, want) {
+							t.Fatalf("d %d shard %d pw %d k %d query %d: TopKRange diverged\ngot  %v\nwant %v",
+								d, shardSize, pw, kk, qi, got, want)
+						}
+						if got, want := casc.TopK(q, cands[qi], kk), base.TopK(q, cands[qi], kk); !matchesEqual(got, want) {
+							t.Fatalf("d %d shard %d pw %d k %d query %d: TopK diverged\ngot  %v\nwant %v",
+								d, shardSize, pw, kk, qi, got, want)
+						}
+					}
+					gotB := casc.BatchTopKRange(queries, ranges, kk)
+					wantB := base.BatchTopKRange(queries, ranges, kk)
+					for qi := range queries {
+						if !matchesEqual(gotB[qi], wantB[qi]) {
+							t.Fatalf("d %d shard %d pw %d k %d query %d: BatchTopKRange diverged\ngot  %v\nwant %v",
+								d, shardSize, pw, kk, qi, gotB[qi], wantB[qi])
+						}
+					}
+				}
+				gotBK := casc.BatchTopK(queries, cands, k)
+				wantBK := base.BatchTopK(queries, cands, k)
+				for qi := range queries {
+					if !matchesEqual(gotBK[qi], wantBK[qi]) {
+						t.Fatalf("d %d shard %d pw %d query %d: BatchTopK diverged", d, shardSize, pw, qi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCascadeExactParityParallel exercises the shared atomic pruning
+// bound: a range long enough for the multi-shard fan-out, with the
+// planted cluster far into the range so the bound must propagate
+// across shard workers without breaking exactness.
+func TestCascadeExactParityParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large reference set")
+	}
+	d, n, k := 512, parallelMinRefs+3000, 4
+	rng := rand.New(rand.NewSource(91))
+	refs := make([]BinaryHV, n)
+	for i := range refs {
+		refs[i] = RandomBinaryHV(d, rng)
+	}
+	q := RandomBinaryHV(d, rng)
+	for j := 0; j < k; j++ {
+		refs[n/2+j*701] = nearDup(q, 0.02, rng)
+	}
+	base, err := NewSearcherSharded(refs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc, err := NewSearcherCascade(refs, 1024, CascadeConfig{PrefilterWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		lo, hi := 100, n-50
+		got := casc.TopKRange(q, lo, hi, k)
+		want := base.TopKRange(q, lo, hi, k)
+		if !matchesEqual(got, want) {
+			t.Fatalf("trial %d: parallel cascade diverged\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+	if cs, ok := casc.CascadeStats(); !ok || cs.Prefiltered == 0 {
+		t.Fatalf("cascade stats = %+v, ok=%v; want counters accumulating", cs, ok)
+	}
+}
+
+// TestCascadeShortlistSemantics pins the approximate-mode contract:
+// a shortlist at least as large as the scanned row count completes
+// everything and therefore equals the exact result, the single-query
+// and batch shortlist paths agree with each other, and the planted
+// near-duplicates — unambiguous tier-A winners — survive even tiny
+// shortlists.
+func TestCascadeShortlistSemantics(t *testing.T) {
+	d, n, nq, k := 512, 500, 6, 3
+	words := WordsPerHV(d)
+	refs, queries := cascadeFixture(t, d, n, nq, k, 7)
+	base, err := NewSearcherSharded(refs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make([]RowRange, nq)
+	for i := range ranges {
+		lo := (i * n) / (2 * nq)
+		ranges[i] = RowRange{Lo: max(0, lo-11), Hi: min(n, lo+n/2)}
+	}
+	for _, shortlist := range []int{k, 16, n, 2 * n} {
+		casc, err := NewSearcherCascade(refs, 64, CascadeConfig{PrefilterWords: words / 4, Shortlist: shortlist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := casc.BatchTopKRange(queries, ranges, k)
+		for qi, q := range queries {
+			single := casc.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, k)
+			if !matchesEqual(single, batch[qi]) {
+				t.Fatalf("shortlist %d query %d: single %v != batch %v", shortlist, qi, single, batch[qi])
+			}
+			if shortlist >= ranges[qi].Len() {
+				want := base.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, k)
+				if !matchesEqual(single, want) {
+					t.Fatalf("shortlist %d >= range %d but diverged from exact:\ngot  %v\nwant %v",
+						shortlist, ranges[qi].Len(), single, want)
+				}
+			}
+			// The planted cluster dominates tier A by construction, so
+			// the exact top-1 must survive any shortlist >= k.
+			want := base.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, 1)
+			if len(single) == 0 || len(want) == 0 || single[0] != want[0] {
+				t.Fatalf("shortlist %d query %d: top-1 %v, want %v", shortlist, qi, single, want)
+			}
+		}
+	}
+}
+
+// TestCascadeStatsCounters pins the pruning telemetry: counters
+// accumulate on cascade scans, completions never exceed prefilters,
+// pruning actually happens on the planted-cluster workload, and a
+// single-tier searcher reports ok=false.
+func TestCascadeStatsCounters(t *testing.T) {
+	d, n, nq, k := 512, 800, 4, 3
+	refs, queries := cascadeFixture(t, d, n, nq, k, 13)
+	casc, err := NewSearcherCascade(refs, 128, CascadeConfig{PrefilterWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make([]RowRange, nq)
+	for i := range ranges {
+		ranges[i] = RowRange{Lo: 0, Hi: n}
+	}
+	casc.BatchTopKRange(queries, ranges, k)
+	cs, ok := casc.CascadeStats()
+	if !ok {
+		t.Fatal("cascade searcher reports no cascade stats")
+	}
+	if cs.Prefiltered != uint64(nq*n) {
+		t.Fatalf("prefiltered %d, want %d", cs.Prefiltered, nq*n)
+	}
+	if cs.Completed > cs.Prefiltered {
+		t.Fatalf("completed %d > prefiltered %d", cs.Completed, cs.Prefiltered)
+	}
+	if cs.PruneRate() <= 0 {
+		t.Fatalf("prune rate %.3f on a planted-cluster workload, want > 0 (stats %+v)", cs.PruneRate(), cs)
+	}
+	if base, _ := NewSearcherSharded(refs, 128); base != nil {
+		if _, ok := base.CascadeStats(); ok {
+			t.Fatal("single-tier searcher claims cascade stats")
+		}
+	}
+}
+
+// TestCascadeConfigValidation pins constructor rejection of
+// malformed cascade configs and degenerate reference sets.
+func TestCascadeConfigValidation(t *testing.T) {
+	refs := randomRefs(128, 10, 3)
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{PrefilterWords: 1, Shortlist: -2}); err == nil {
+		t.Error("negative shortlist accepted")
+	}
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{Shortlist: 5}); err == nil {
+		t.Error("shortlist without a two-tier layout accepted")
+	}
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{PrefilterWords: WordsPerHV(128), Shortlist: 5}); err == nil {
+		t.Error("shortlist with prefilter covering every word accepted")
+	}
+	if _, err := NewShardedSearcher([]BinaryHV{{D: 0}}, 0); err == nil {
+		t.Error("zero-dimension reference accepted")
+	}
+	if _, err := NewShardedSearcher([]BinaryHV{{D: -8, Words: nil}}, 0); err == nil {
+		t.Error("negative-dimension reference accepted")
+	}
+}
+
+// TestCascadePackedRowAssembly pins that PackedRow reassembles the
+// tiered store bit-identically to the source hypervectors.
+func TestCascadePackedRowAssembly(t *testing.T) {
+	refs := randomRefs(320, 41, 19) // 5 words: odd split exercises both tiers
+	casc, err := NewShardedSearcherCascade(refs, 16, CascadeConfig{PrefilterWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range refs {
+		row := casc.PackedRow(i)
+		if len(row) != len(r.Words) {
+			t.Fatalf("row %d: %d words, want %d", i, len(row), len(r.Words))
+		}
+		for w := range row {
+			if row[w] != r.Words[w] {
+				t.Fatalf("row %d word %d: %#x != %#x", i, w, row[w], r.Words[w])
+			}
+		}
+	}
+}

@@ -40,7 +40,14 @@ func NewSearcher(refs []BinaryHV) (*Searcher, error) {
 // NewSearcherSharded builds a searcher with an explicit shard size
 // (rows per shard; <= 0 selects DefaultShardSize).
 func NewSearcherSharded(refs []BinaryHV, shardSize int) (*Searcher, error) {
-	engine, err := NewShardedSearcher(refs, shardSize)
+	return NewSearcherCascade(refs, shardSize, CascadeConfig{})
+}
+
+// NewSearcherCascade builds a searcher with an explicit shard size
+// and cascade layout (see CascadeConfig; the zero value selects the
+// single-tier layout).
+func NewSearcherCascade(refs []BinaryHV, shardSize int, cc CascadeConfig) (*Searcher, error) {
+	engine, err := NewShardedSearcherCascade(refs, shardSize, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +100,12 @@ func (s *Searcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
 // cache-resident row block is swept by all queries covering it.
 func (s *Searcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, k int) [][]Match {
 	return s.engine.BatchTopKRange(queries, ranges, k)
+}
+
+// CascadeStats returns a snapshot of the cascade pruning counters; ok
+// is false when the underlying store is single-tier.
+func (s *Searcher) CascadeStats() (CascadeStats, bool) {
+	return s.engine.CascadeStats()
 }
 
 // worse reports whether a ranks strictly below b (lower similarity, or

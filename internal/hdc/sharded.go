@@ -2,10 +2,12 @@ package hdc
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultShardSize is the reference-row count per shard when the
@@ -19,7 +21,9 @@ const DefaultShardSize = 2048
 // block before advancing, so a block is sized to stay L1-resident
 // across the query sweep (16 KiB block + query words + similarity
 // buffer fit a 32 KiB L1d) and the packed reference store streams
-// from memory once per batch rather than once per query.
+// from memory once per batch rather than once per query. Under a
+// two-tier cascade layout the swept tier is tier A, so blocks are
+// sized by the tier-A row stride.
 const kernelBlockBytes = 16 << 10
 
 // blockRows returns the rows per kernel block for a word width.
@@ -36,6 +40,55 @@ func blockRows(words int) int {
 // per-goroutine overhead exceeds the scan cost.
 const parallelMinRefs = 1 << 13
 
+// CascadeConfig selects the two-tier pruned cascade layout — the
+// software articulation of the paper's cascaded-precision deployment
+// (a cheap low-precision pass prunes the candidate field before the
+// expensive high-precision pass).
+type CascadeConfig struct {
+	// PrefilterWords is the number of leading packed words of every
+	// row stored contiguously as tier A and scored by the prefilter
+	// pass; the remaining words form tier B and are scored only for
+	// rows that survive the prune. <= 0 disables the cascade, and a
+	// value >= the full per-row word count leaves no tier B to prune,
+	// so it too falls back to the single-tier layout.
+	PrefilterWords int
+	// Shortlist switches cascade scans from the exact pruning bound to
+	// approximate mode: per query, only the Shortlist rows with the
+	// best tier-A partial distance (ties by ascending index) are
+	// completed against tier B. 0 keeps the exact bound; a positive
+	// value requires an effective two-tier layout. Negative values are
+	// rejected.
+	Shortlist int
+}
+
+// CascadeStats is a snapshot of the cascade pruning counters,
+// accumulated across every cascade scan since construction.
+type CascadeStats struct {
+	// Prefiltered counts rows whose tier-A prefix was scored by a
+	// cascade scan path.
+	Prefiltered uint64
+	// Completed counts rows whose tier-B remainder was also scored —
+	// the rows the prune failed to eliminate.
+	Completed uint64
+}
+
+// Pruned returns the number of prefiltered rows never completed.
+func (c CascadeStats) Pruned() uint64 {
+	if c.Completed > c.Prefiltered {
+		return 0
+	}
+	return c.Prefiltered - c.Completed
+}
+
+// PruneRate returns Pruned as a fraction of Prefiltered (0 when no
+// rows were prefiltered).
+func (c CascadeStats) PruneRate() float64 {
+	if c.Prefiltered == 0 {
+		return 0
+	}
+	return float64(c.Pruned()) / float64(c.Prefiltered)
+}
+
 // ShardedSearcher is the sharded, batch-oriented exact Hamming search
 // engine — the software analogue of the paper's crossbar-parallel
 // in-memory search (one shard per crossbar tile group) and of the
@@ -45,13 +98,30 @@ const parallelMinRefs = 1 << 13
 // reusable per-worker similarity buffers, and shard-level top-k lists
 // are merged deterministically (similarity descending, index
 // ascending — the same tie-break as the scalar Searcher).
+//
+// With a CascadeConfig the packed store is word-sliced into two tiers
+// per shard: the first PrefilterWords words of every row contiguous
+// (tier A), the rest contiguous (tier B). Scan paths sweep tier A
+// block-major exactly as the single-tier kernel does, maintain the
+// per-query running k-th-best distance, and complete against tier B
+// only the rows whose partial distance can still beat that bound —
+// remaining bits can only add distance, so the prune is exact and the
+// results stay bit-identical to the single-tier kernel. Shortlist
+// mode trades that guarantee for a fixed completion budget per query.
 type ShardedSearcher struct {
 	d         int // hypervector dimension
 	words     int // packed words per hypervector, ceil(d/64)
 	n         int // total references
 	shardSize int // rows per shard (last shard may be shorter)
 	block     int // rows per kernel block (see kernelBlockBytes)
+	wa        int // tier-A words per row (== words when single-tier)
+	wb        int // tier-B words per row (0 when single-tier)
+	shortlist int // approximate completion budget per query (0 = exact)
 	shards    []shard
+
+	// Cascade pruning counters; zero when the layout is single-tier.
+	prefiltered atomic.Uint64
+	completed   atomic.Uint64
 }
 
 // shard is one fixed-size slice of the reference store.
@@ -60,9 +130,13 @@ type shard struct {
 	start int
 	// rows is the number of references in this shard.
 	rows int
-	// packed holds rows*words words, row-major: reference r of the
-	// shard occupies packed[r*words : (r+1)*words].
-	packed []uint64
+	// a holds rows*wa words, row-major: the tier-A prefix of reference
+	// r of the shard occupies a[r*wa : (r+1)*wa]. Under a single-tier
+	// layout it is the whole packed row.
+	a []uint64
+	// b holds rows*wb words, row-major: the tier-B remainder of every
+	// row. Nil under a single-tier layout.
+	b []uint64
 }
 
 // NewShardedSearcher builds the engine over the reference
@@ -72,10 +146,20 @@ type shard struct {
 // store: later in-place mutation of the source hypervectors is not
 // seen by this engine.
 func NewShardedSearcher(refs []BinaryHV, shardSize int) (*ShardedSearcher, error) {
+	return NewShardedSearcherCascade(refs, shardSize, CascadeConfig{})
+}
+
+// NewShardedSearcherCascade builds the engine with an explicit
+// cascade layout (see CascadeConfig; the zero value selects the
+// single-tier layout).
+func NewShardedSearcherCascade(refs []BinaryHV, shardSize int, cc CascadeConfig) (*ShardedSearcher, error) {
 	if len(refs) == 0 {
 		return nil, fmt.Errorf("hdc: empty reference set")
 	}
 	d := refs[0].D
+	if d <= 0 {
+		return nil, fmt.Errorf("hdc: reference hypervectors have non-positive dimension %d", d)
+	}
 	for i, r := range refs {
 		if r.D != d {
 			return nil, fmt.Errorf("hdc: reference %d has D=%d, want %d", i, r.D, d)
@@ -84,21 +168,42 @@ func NewShardedSearcher(refs []BinaryHV, shardSize int) (*ShardedSearcher, error
 	if shardSize <= 0 {
 		shardSize = DefaultShardSize
 	}
+	if cc.Shortlist < 0 {
+		return nil, fmt.Errorf("hdc: negative cascade shortlist %d", cc.Shortlist)
+	}
 	words := WordsPerHV(d)
+	wa, wb := words, 0
+	if cc.PrefilterWords > 0 && cc.PrefilterWords < words {
+		wa, wb = cc.PrefilterWords, words-cc.PrefilterWords
+	}
+	if cc.Shortlist > 0 && wb == 0 {
+		return nil, fmt.Errorf("hdc: cascade shortlist %d requires a two-tier layout (prefilter words %d of %d leave no tier B)",
+			cc.Shortlist, cc.PrefilterWords, words)
+	}
 	s := &ShardedSearcher{
 		d:         d,
 		words:     words,
 		n:         len(refs),
 		shardSize: shardSize,
-		block:     blockRows(words),
+		block:     blockRows(wa),
+		wa:        wa,
+		wb:        wb,
+		shortlist: cc.Shortlist,
 	}
 	for start := 0; start < len(refs); start += shardSize {
 		rows := min(shardSize, len(refs)-start)
-		packed := make([]uint64, rows*s.words)
-		for r := 0; r < rows; r++ {
-			copy(packed[r*s.words:(r+1)*s.words], refs[start+r].Words)
+		sh := shard{start: start, rows: rows, a: make([]uint64, rows*wa)}
+		if wb > 0 {
+			sh.b = make([]uint64, rows*wb)
 		}
-		s.shards = append(s.shards, shard{start: start, rows: rows, packed: packed})
+		for r := 0; r < rows; r++ {
+			w := refs[start+r].Words
+			copy(sh.a[r*wa:(r+1)*wa], w[:wa])
+			if wb > 0 {
+				copy(sh.b[r*wb:(r+1)*wb], w[wa:])
+			}
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s, nil
 }
@@ -114,6 +219,29 @@ func (s *ShardedSearcher) NumShards() int { return len(s.shards) }
 
 // ShardSize returns the configured rows-per-shard.
 func (s *ShardedSearcher) ShardSize() int { return s.shardSize }
+
+// PrefilterWords returns the tier-A word count of the cascade layout,
+// 0 when the store is single-tier.
+func (s *ShardedSearcher) PrefilterWords() int {
+	if s.wb == 0 {
+		return 0
+	}
+	return s.wa
+}
+
+// ShortlistPerQuery returns the approximate-mode completion budget
+// (0 = exact pruning bound).
+func (s *ShardedSearcher) ShortlistPerQuery() int { return s.shortlist }
+
+// CascadeStats returns a snapshot of the pruning counters; ok is
+// false when the store is single-tier (no cascade runs, counters stay
+// zero).
+func (s *ShardedSearcher) CascadeStats() (CascadeStats, bool) {
+	if s.wb == 0 {
+		return CascadeStats{}, false
+	}
+	return CascadeStats{Prefiltered: s.prefiltered.Load(), Completed: s.completed.Load()}, true
+}
 
 // checkQuery panics on a dimensionality mismatch, matching the scalar
 // Searcher's contract.
@@ -138,8 +266,9 @@ func (s *ShardedSearcher) Similarity(q BinaryHV, i int) int {
 }
 
 // PackedRow returns the packed words of reference row i exactly as
-// stored in the engine — a live view into the packed store, not a
-// copy; callers must not modify it. It panics on an out-of-range
+// stored in the engine, reassembled from the tiered store into one
+// freshly allocated full-width row (the tiers are not contiguous, so
+// a live view is no longer possible). It panics on an out-of-range
 // index, matching Similarity's bounds contract. The persistent
 // library index uses it to verify that a loaded store is bit-identical
 // to the freshly packed one.
@@ -148,17 +277,21 @@ func (s *ShardedSearcher) PackedRow(i int) []uint64 {
 		panic(fmt.Sprintf("hdc: reference index %d out of range [0, %d)", i, s.n))
 	}
 	sh := &s.shards[i/s.shardSize]
-	base := (i - sh.start) * s.words
-	return sh.packed[base : base+s.words : base+s.words]
+	row := i - sh.start
+	out := make([]uint64, s.words)
+	copy(out[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
+	if s.wb > 0 {
+		copy(out[s.wa:], sh.b[row*s.wb:(row+1)*s.wb])
+	}
+	return out
 }
 
-// simRow scores one packed row against the query words.
+// simRow scores one packed row against the query words across both
+// tiers.
 func (s *ShardedSearcher) simRow(qw []uint64, sh *shard, row int) int {
-	base := row * s.words
-	seg := sh.packed[base : base+s.words]
-	var dist int
-	for i, w := range seg {
-		dist += bits.OnesCount64(w ^ qw[i])
+	dist := distRow(qw[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
+	if s.wb > 0 {
+		dist += distRow(qw[s.wa:], sh.b[row*s.wb:(row+1)*s.wb])
 	}
 	return s.d - dist
 }
@@ -193,13 +326,61 @@ func scoreRows(qw, packed []uint64, words, rows, d int, sims []int) {
 	}
 }
 
-// scoreShard scores every row of the shard against one query, writing
-// similarities into sims (length sh.rows), in kernel-block strides.
-func (s *ShardedSearcher) scoreShard(qw []uint64, sh *shard, sims []int) {
-	words := s.words
-	for b0 := 0; b0 < sh.rows; b0 += s.block {
-		rows := min(s.block, sh.rows-b0)
-		scoreRows(qw, sh.packed[b0*words:], words, rows, s.d, sims[b0:])
+// distRow is the single-row XOR+popcount distance over one packed
+// word segment (same unroll as scoreRows). It is the tier-B
+// completion kernel and the per-row gather kernel.
+func distRow(qw, row []uint64) int {
+	var d0, d1 int
+	i := 0
+	for ; i+8 <= len(row); i += 8 {
+		x := (*[8]uint64)(row[i:])
+		y := (*[8]uint64)(qw[i:])
+		d0 += bits.OnesCount64(x[0]^y[0]) +
+			bits.OnesCount64(x[1]^y[1]) +
+			bits.OnesCount64(x[2]^y[2]) +
+			bits.OnesCount64(x[3]^y[3])
+		d1 += bits.OnesCount64(x[4]^y[4]) +
+			bits.OnesCount64(x[5]^y[5]) +
+			bits.OnesCount64(x[6]^y[6]) +
+			bits.OnesCount64(x[7]^y[7])
+	}
+	for ; i < len(row); i++ {
+		d0 += bits.OnesCount64(row[i] ^ qw[i])
+	}
+	return d0 + d1
+}
+
+// distRows writes the Hamming distances of rows [0, rows) of a packed
+// block (row stride words) against qw into dist — the tier-A
+// prefilter kernel.
+func distRows(qw, packed []uint64, words, rows int, dist []int) {
+	for r := 0; r < rows; r++ {
+		base := r * words
+		dist[r] = distRow(qw, packed[base:base+words])
+	}
+}
+
+// distRowsAdd accumulates the distances of a second tier on top of
+// dist — the tier-B half of a full-similarity block score.
+func distRowsAdd(qw, packed []uint64, words, rows int, dist []int) {
+	for r := 0; r < rows; r++ {
+		base := r * words
+		dist[r] += distRow(qw, packed[base:base+words])
+	}
+}
+
+// scoreBlockSims writes full Hamming similarities for shard rows
+// [r0, r0+rows) into sims: the single-tier kernel directly, or — under
+// a two-tier layout — one pass per tier with the distances summed.
+func (s *ShardedSearcher) scoreBlockSims(qw []uint64, sh *shard, r0, rows int, sims []int) {
+	if s.wb == 0 {
+		scoreRows(qw, sh.a[r0*s.wa:], s.wa, rows, s.d, sims)
+		return
+	}
+	distRows(qw[:s.wa], sh.a[r0*s.wa:], s.wa, rows, sims)
+	distRowsAdd(qw[s.wa:], sh.b[r0*s.wb:], s.wb, rows, sims)
+	for r := 0; r < rows; r++ {
+		sims[r] = s.d - sims[r]
 	}
 }
 
@@ -215,7 +396,10 @@ func (s *ShardedSearcher) SimilaritiesInto(q BinaryHV, dst []int) []int {
 	dst = dst[:s.n]
 	for i := range s.shards {
 		sh := &s.shards[i]
-		s.scoreShard(q.Words, sh, dst[sh.start:sh.start+sh.rows])
+		for b0 := 0; b0 < sh.rows; b0 += s.block {
+			rows := min(s.block, sh.rows-b0)
+			s.scoreBlockSims(q.Words, sh, b0, rows, dst[sh.start+b0:])
+		}
 	}
 	return dst
 }
@@ -270,7 +454,7 @@ func (s *ShardedSearcher) SimilaritiesRangeInto(q BinaryHV, lo, hi int, dst []in
 		end := min(r.Hi, sh.start+sh.rows)
 		for b := row; b < end; b += s.block {
 			rows := min(s.block, end-b)
-			scoreRows(q.Words, sh.packed[(b-sh.start)*s.words:], s.words, rows, s.d, dst[b-r.Lo:])
+			s.scoreBlockSims(q.Words, sh, b-sh.start, rows, dst[b-r.Lo:])
 		}
 		row = end
 	}
@@ -278,11 +462,13 @@ func (s *ShardedSearcher) SimilaritiesRangeInto(q BinaryHV, lo, hi int, dst []in
 }
 
 // searchScratch is the reusable per-worker state: the similarity
-// buffer the kernel writes into and the top-k heap, so steady-state
-// search performs no per-query allocation beyond the returned matches.
+// buffer the kernel writes into plus the top-k and tier-A shortlist
+// heaps, so steady-state search performs no per-query allocation
+// beyond the returned matches.
 type searchScratch struct {
-	sims []int
-	heap []Match
+	sims  []int
+	heap  []Match
+	pheap []Match
 }
 
 var scratchPool = sync.Pool{New: func() any { return &searchScratch{} }}
@@ -354,6 +540,16 @@ func sortedMatches(h []Match) []Match {
 	return out
 }
 
+// completeRow finishes a shortlisted tier-A partial match (Similarity
+// carries the negated partial distance) into a full-similarity match
+// by scoring the row's tier-B remainder.
+func (s *ShardedSearcher) completeRow(qb []uint64, pm Match) Match {
+	sh := &s.shards[pm.Index/s.shardSize]
+	row := pm.Index - sh.start
+	full := -pm.Similarity + distRow(qb, sh.b[row*s.wb:(row+1)*s.wb])
+	return Match{Index: pm.Index, Similarity: s.d - full}
+}
+
 // TopK returns the k most similar references among the candidate
 // index set (nil = all references), ordered by descending similarity
 // with ties broken by ascending index — bit-identical to the scalar
@@ -376,27 +572,77 @@ func (s *ShardedSearcher) TopK(q BinaryHV, candidates []int, k int) []Match {
 }
 
 // topKScratch is the sequential top-k path over a worker's scratch.
+// A nil candidate set is the full row range; an explicit set takes
+// the per-row gather path.
 func (s *ShardedSearcher) topKScratch(q BinaryHV, candidates []int, k int, sc *searchScratch) []Match {
+	if candidates == nil {
+		return s.topKRangeScratch(q, RowRange{Lo: 0, Hi: s.n}, k, sc)
+	}
+	if s.wb > 0 {
+		return s.topKGatherCascade(q, candidates, k, sc)
+	}
 	h := sc.heap[:0]
-	if candidates != nil {
+	for _, i := range candidates {
+		if i < 0 || i >= s.n {
+			continue
+		}
+		sh := &s.shards[i/s.shardSize]
+		h = offerTopK(h, Match{Index: i, Similarity: s.simRow(q.Words, sh, i-sh.start)}, k)
+	}
+	sc.heap = h
+	return sortedMatches(h)
+}
+
+// topKGatherCascade is the candidate-gather path over a two-tier
+// store: every candidate's tier-A prefix is scored, and tier B only
+// for rows the running bound (or the shortlist) admits. Exact mode is
+// bit-identical to the single-tier gather: a skipped row has partial
+// distance above the current k-th-best total distance, so offerTopK
+// would have rejected it anyway.
+func (s *ShardedSearcher) topKGatherCascade(q BinaryHV, candidates []int, k int, sc *searchScratch) []Match {
+	qa, qb := q.Words[:s.wa], q.Words[s.wa:]
+	var pre, comp uint64
+	h := sc.heap[:0]
+	if s.shortlist > 0 {
+		ph := sc.pheap[:0]
 		for _, i := range candidates {
 			if i < 0 || i >= s.n {
 				continue
 			}
 			sh := &s.shards[i/s.shardSize]
-			h = offerTopK(h, Match{Index: i, Similarity: s.simRow(q.Words, sh, i-sh.start)}, k)
+			row := i - sh.start
+			pre++
+			ph = offerTopK(ph, Match{Index: i, Similarity: -distRow(qa, sh.a[row*s.wa:(row+1)*s.wa])}, s.shortlist)
+		}
+		sc.pheap = ph
+		comp = uint64(len(ph))
+		for _, pm := range sortedMatches(ph) {
+			h = offerTopK(h, s.completeRow(qb, pm), k)
 		}
 	} else {
-		for si := range s.shards {
-			sh := &s.shards[si]
-			sims := sc.simsBuf(sh.rows)
-			s.scoreShard(q.Words, sh, sims)
-			for r, sim := range sims {
-				h = offerTopK(h, Match{Index: sh.start + r, Similarity: sim}, k)
+		bound := math.MaxInt
+		for _, i := range candidates {
+			if i < 0 || i >= s.n {
+				continue
+			}
+			sh := &s.shards[i/s.shardSize]
+			row := i - sh.start
+			pre++
+			da := distRow(qa, sh.a[row*s.wa:(row+1)*s.wa])
+			if da > bound {
+				continue
+			}
+			comp++
+			full := da + distRow(qb, sh.b[row*s.wb:(row+1)*s.wb])
+			h = offerTopK(h, Match{Index: i, Similarity: s.d - full}, k)
+			if len(h) == k {
+				bound = s.d - h[0].Similarity
 			}
 		}
 	}
 	sc.heap = h
+	s.prefiltered.Add(pre)
+	s.completed.Add(comp)
 	return sortedMatches(h)
 }
 
@@ -457,78 +703,15 @@ func (s *ShardedSearcher) BatchTopK(queries []BinaryHV, candidates [][]int, k in
 }
 
 // batchFullScan scores the full-scan queries qIdx against every
-// shard, fanning shards out across CPU cores. Within a shard, each
-// kernelRowBlock of packed rows is swept by all queries while it is
-// cache-resident. Shard-level top-k lists are merged per query by
-// (similarity desc, index asc) — deterministic regardless of shard
-// completion order, and exact because a global top-k member is
-// necessarily in its own shard's top-k.
+// shard. A full scan is the row range [0, Len()), so it shares the
+// block-major range machinery: shards fan out across CPU cores and
+// each cache-resident row block is swept by every query.
 func (s *ShardedSearcher) batchFullScan(queries []BinaryHV, qIdx []int, k int, out [][]Match) {
-	perShard := make([][][]Match, len(s.shards)) // [shard][query position] sorted top-k
-	workers := min(runtime.GOMAXPROCS(0), len(s.shards))
-	next := make(chan int, len(s.shards))
-	for i := range s.shards {
-		next <- i
+	ranges := make([]RowRange, len(queries))
+	for _, f := range qIdx {
+		ranges[f] = RowRange{Lo: 0, Hi: s.n}
 	}
-	close(next)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := scratchPool.Get().(*searchScratch)
-			defer scratchPool.Put(sc)
-			for si := range next {
-				sh := &s.shards[si]
-				heaps := make([][]Match, len(qIdx))
-				sims := sc.simsBuf(s.block)
-				for b0 := 0; b0 < sh.rows; b0 += s.block {
-					rows := min(s.block, sh.rows-b0)
-					block := sh.packed[b0*s.words:]
-					start := sh.start + b0
-					for qi, f := range qIdx {
-						scoreRows(queries[f].Words, block, s.words, rows, s.d, sims)
-						h := heaps[qi]
-						if len(h) < k {
-							for r := 0; r < rows; r++ {
-								h = offerTopK(h, Match{Index: start + r, Similarity: sims[r]}, k)
-							}
-						} else {
-							// Steady state: almost every row scores below
-							// the current worst of the top-k, so reject on
-							// one compare and take the heap path only for
-							// potential entrants (ties resolve inside).
-							worst := h[0].Similarity
-							for r, sim := range sims[:rows] {
-								if sim < worst {
-									continue
-								}
-								h = offerTopK(h, Match{Index: start + r, Similarity: sim}, k)
-								worst = h[0].Similarity
-							}
-						}
-						heaps[qi] = h
-					}
-				}
-				for qi := range heaps {
-					heaps[qi] = sortedMatches(heaps[qi])
-				}
-				perShard[si] = heaps
-			}
-		}()
-	}
-	wg.Wait()
-	for qi, f := range qIdx {
-		var merged []Match
-		for si := range perShard {
-			merged = append(merged, perShard[si][qi]...)
-		}
-		sort.Slice(merged, func(i, j int) bool { return worse(merged[j], merged[i]) })
-		if len(merged) > k {
-			merged = merged[:k]
-		}
-		out[f] = merged
-	}
+	s.batchRangeScan(queries, ranges, qIdx, k, out)
 }
 
 // TopKRange returns the k most similar references among the
@@ -561,6 +744,9 @@ func (s *ShardedSearcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
 // topKRangeScratch is the sequential range top-k path over a worker's
 // scratch: shard by shard, kernel block by kernel block.
 func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *searchScratch) []Match {
+	if s.wb > 0 {
+		return s.topKRangeCascade(q, r, k, sc)
+	}
 	h := sc.heap[:0]
 	sims := sc.simsBuf(s.block)
 	for row := r.Lo; row < r.Hi; {
@@ -568,7 +754,7 @@ func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *se
 		end := min(r.Hi, sh.start+sh.rows)
 		for b := row; b < end; b += s.block {
 			rows := min(s.block, end-b)
-			scoreRows(q.Words, sh.packed[(b-sh.start)*s.words:], s.words, rows, s.d, sims)
+			scoreRows(q.Words, sh.a[(b-sh.start)*s.wa:], s.wa, rows, s.d, sims)
 			for j := 0; j < rows; j++ {
 				h = offerTopK(h, Match{Index: b + j, Similarity: sims[j]}, k)
 			}
@@ -576,6 +762,68 @@ func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *se
 		row = end
 	}
 	sc.heap = h
+	return sortedMatches(h)
+}
+
+// topKRangeCascade is the sequential cascade sweep of a row range:
+// tier A block-major, tier B per surviving row. In exact mode the
+// pruning bound is the running k-th-best total distance (remaining
+// bits can only add distance, so a row with partial distance above it
+// can never enter the heap); shortlist mode completes only the best
+// Shortlist partials.
+func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *searchScratch) []Match {
+	qa, qb := q.Words[:s.wa], q.Words[s.wa:]
+	dists := sc.simsBuf(s.block)
+	var pre, comp uint64
+	h := sc.heap[:0]
+	if s.shortlist > 0 {
+		ph := sc.pheap[:0]
+		for row := r.Lo; row < r.Hi; {
+			sh := &s.shards[row/s.shardSize]
+			end := min(r.Hi, sh.start+sh.rows)
+			for b := row; b < end; b += s.block {
+				rows := min(s.block, end-b)
+				distRows(qa, sh.a[(b-sh.start)*s.wa:], s.wa, rows, dists)
+				pre += uint64(rows)
+				for j := 0; j < rows; j++ {
+					ph = offerTopK(ph, Match{Index: b + j, Similarity: -dists[j]}, s.shortlist)
+				}
+			}
+			row = end
+		}
+		sc.pheap = ph
+		comp = uint64(len(ph))
+		for _, pm := range sortedMatches(ph) {
+			h = offerTopK(h, s.completeRow(qb, pm), k)
+		}
+	} else {
+		bound := math.MaxInt
+		for row := r.Lo; row < r.Hi; {
+			sh := &s.shards[row/s.shardSize]
+			end := min(r.Hi, sh.start+sh.rows)
+			for b := row; b < end; b += s.block {
+				rows := min(s.block, end-b)
+				distRows(qa, sh.a[(b-sh.start)*s.wa:], s.wa, rows, dists)
+				pre += uint64(rows)
+				for j, da := range dists[:rows] {
+					if da > bound {
+						continue
+					}
+					comp++
+					brow := b + j - sh.start
+					full := da + distRow(qb, sh.b[brow*s.wb:(brow+1)*s.wb])
+					h = offerTopK(h, Match{Index: b + j, Similarity: s.d - full}, k)
+					if len(h) == k {
+						bound = s.d - h[0].Similarity
+					}
+				}
+			}
+			row = end
+		}
+	}
+	sc.heap = h
+	s.prefiltered.Add(pre)
+	s.completed.Add(comp)
 	return sortedMatches(h)
 }
 
@@ -633,16 +881,32 @@ func (s *ShardedSearcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, 
 // asc) — deterministic regardless of shard completion order, and
 // exact because a range-global top-k member is necessarily in its own
 // shard's top-k.
+//
+// Under an exact cascade, workers additionally share one atomic
+// pruning bound per query: any full heap's k-th-best distance is a
+// valid upper bound on the final range-global k-th-best distance, so
+// the tightest published bound prunes tier-B completions across
+// shard boundaries without touching the merge logic. Under shortlist
+// mode the per-shard lists hold tier-A partials; the merge keeps the
+// global best Shortlist of them and completes only those.
 func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, active []int, k int, out [][]Match) {
-	// perQuery[j][t] is query active[j]'s sorted top-k within the t-th
-	// shard its range intersects; a contiguous row range intersects a
-	// contiguous shard run, so t = shard index − firstShard[j].
+	// perQuery[j][t] is query active[j]'s sorted per-shard list within
+	// the t-th shard its range intersects; a contiguous row range
+	// intersects a contiguous shard run, so t = shard index −
+	// firstShard[j].
 	perQuery := make([][][]Match, len(active))
 	firstShard := make([]int, len(active))
 	for j, qi := range active {
 		r := ranges[qi]
 		firstShard[j] = r.Lo / s.shardSize
 		perQuery[j] = make([][]Match, (r.Hi-1)/s.shardSize-firstShard[j]+1)
+	}
+	var bounds []atomic.Int64
+	if s.wb > 0 && s.shortlist == 0 {
+		bounds = make([]atomic.Int64, len(active))
+		for j := range bounds {
+			bounds[j].Store(math.MaxInt64)
+		}
 	}
 	workers := min(runtime.GOMAXPROCS(0), len(s.shards))
 	next := make(chan int, len(s.shards))
@@ -658,15 +922,31 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 			sc := scratchPool.Get().(*searchScratch)
 			defer scratchPool.Put(sc)
 			for si := range next {
-				s.scanShardRanges(si, queries, ranges, active, k, perQuery, firstShard, sc)
+				s.scanShardRanges(si, queries, ranges, active, k, perQuery, firstShard, bounds, sc)
 			}
 		}()
 	}
 	wg.Wait()
+	var completedShortlist uint64
 	for j, qi := range active {
 		var merged []Match
 		for _, part := range perQuery[j] {
 			merged = append(merged, part...)
+		}
+		if s.wb > 0 && s.shortlist > 0 {
+			// The per-shard lists hold tier-A partials ranked by
+			// negated partial distance; the global shortlist is the
+			// best Shortlist of their union (identical to a
+			// single-heap sweep of the whole range), completed here.
+			sort.Slice(merged, func(a, b int) bool { return worse(merged[b], merged[a]) })
+			if len(merged) > s.shortlist {
+				merged = merged[:s.shortlist]
+			}
+			qb := queries[qi].Words[s.wa:]
+			for x, pm := range merged {
+				merged[x] = s.completeRow(qb, pm)
+			}
+			completedShortlist += uint64(len(merged))
 		}
 		sort.Slice(merged, func(a, b int) bool { return worse(merged[b], merged[a]) })
 		if len(merged) > k {
@@ -674,12 +954,28 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 		}
 		out[qi] = merged
 	}
+	if completedShortlist > 0 {
+		s.completed.Add(completedShortlist)
+	}
+}
+
+// storeMin lowers the published bound to v when v is smaller. Bounds
+// only ever decrease, so the CAS loop terminates quickly.
+func storeMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // scanShardRanges sweeps one shard's kernel blocks with every query
-// whose range intersects the shard, writing per-shard sorted top-k
-// lists into perQuery.
-func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []RowRange, active []int, k int, perQuery [][][]Match, firstShard []int, sc *searchScratch) {
+// whose range intersects the shard, writing per-shard sorted lists
+// into perQuery (top-k matches, or tier-A shortlist partials under
+// shortlist mode). bounds carries the shared per-query pruning bounds
+// of an exact cascade scan, nil otherwise.
+func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []RowRange, active []int, k int, perQuery [][][]Match, firstShard []int, bounds []atomic.Int64, sc *searchScratch) {
 	sh := &s.shards[si]
 	shLo, shHi := sh.start, sh.start+sh.rows
 	// active is sorted by range start: positions at or past this bound
@@ -703,6 +999,7 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 		return
 	}
 	sims := sc.simsBuf(s.block)
+	var pre, comp uint64
 	for b0 := 0; b0 < sh.rows; b0 += s.block {
 		blockLo := shLo + b0
 		blockHi := blockLo + min(s.block, sh.rows-b0)
@@ -712,29 +1009,81 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 			if r0 >= r1 {
 				continue
 			}
-			scoreRows(queries[active[sq.j]].Words, sh.packed[(r0-shLo)*s.words:], s.words, r1-r0, s.d, sims)
-			h := sq.heap
-			if len(h) < k {
-				for x := 0; x < r1-r0; x++ {
-					h = offerTopK(h, Match{Index: r0 + x, Similarity: sims[x]}, k)
+			qw := queries[active[sq.j]].Words
+			switch {
+			case s.wb == 0:
+				scoreRows(qw, sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, s.d, sims)
+				h := sq.heap
+				if len(h) < k {
+					for x := 0; x < r1-r0; x++ {
+						h = offerTopK(h, Match{Index: r0 + x, Similarity: sims[x]}, k)
+					}
+				} else {
+					// Steady state: almost every row scores below the
+					// current worst of the top-k, so reject on one
+					// compare and take the heap path only for potential
+					// entrants (ties resolve inside).
+					worst := h[0].Similarity
+					for x, sim := range sims[:r1-r0] {
+						if sim < worst {
+							continue
+						}
+						h = offerTopK(h, Match{Index: r0 + x, Similarity: sim}, k)
+						worst = h[0].Similarity
+					}
 				}
-			} else {
-				// Steady state: reject on one compare, heap path only
-				// for potential entrants (as in batchFullScan).
-				worst := h[0].Similarity
-				for x, sim := range sims[:r1-r0] {
-					if sim < worst {
+				sq.heap = h
+			case s.shortlist > 0:
+				distRows(qw[:s.wa], sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, sims)
+				pre += uint64(r1 - r0)
+				h := sq.heap
+				for x, da := range sims[:r1-r0] {
+					h = offerTopK(h, Match{Index: r0 + x, Similarity: -da}, s.shortlist)
+				}
+				sq.heap = h
+			default:
+				distRows(qw[:s.wa], sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, sims)
+				pre += uint64(r1 - r0)
+				qb := qw[s.wa:]
+				h := sq.heap
+				// The pruning bound is the tighter of this heap's
+				// k-th-best distance and the bound other shards have
+				// published for the query; both are valid upper bounds
+				// on the final k-th-best total distance.
+				gb := bounds[sq.j].Load()
+				local := int64(math.MaxInt64)
+				if len(h) == k {
+					local = int64(s.d - h[0].Similarity)
+				}
+				db := min(gb, local)
+				for x, da := range sims[:r1-r0] {
+					if int64(da) > db {
 						continue
 					}
-					h = offerTopK(h, Match{Index: r0 + x, Similarity: sim}, k)
-					worst = h[0].Similarity
+					comp++
+					row := r0 + x - shLo
+					full := da + distRow(qb, sh.b[row*s.wb:(row+1)*s.wb])
+					h = offerTopK(h, Match{Index: r0 + x, Similarity: s.d - full}, k)
+					if len(h) == k {
+						if l := int64(s.d - h[0].Similarity); l < local {
+							local = l
+							db = min(gb, local)
+						}
+					}
+				}
+				sq.heap = h
+				if local < gb {
+					storeMin(&bounds[sq.j], local)
 				}
 			}
-			sq.heap = h
 		}
 	}
 	for t := range qs {
 		sq := &qs[t]
 		perQuery[sq.j][si-firstShard[sq.j]] = sortedMatches(sq.heap)
+	}
+	if s.wb > 0 {
+		s.prefiltered.Add(pre)
+		s.completed.Add(comp)
 	}
 }

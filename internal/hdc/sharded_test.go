@@ -167,6 +167,46 @@ func TestShardedSimilaritiesInto(t *testing.T) {
 	}
 }
 
+// TestSingleReferenceEdges pins the degenerate 1-reference store
+// across layouts: every scan path must return one well-formed match
+// for any k >= 1, and empty or out-of-range windows must stay empty —
+// not panic or mis-size results.
+func TestSingleReferenceEdges(t *testing.T) {
+	refs := randomRefs(192, 1, 51)
+	rng := rand.New(rand.NewSource(52))
+	q := RandomBinaryHV(192, rng)
+	for _, cc := range []CascadeConfig{{}, {PrefilterWords: 1}, {PrefilterWords: 1, Shortlist: 3}} {
+		s, err := NewSearcherCascade(refs, 16, cc)
+		if err != nil {
+			t.Fatalf("%+v: %v", cc, err)
+		}
+		wantSim := HammingSimilarity(q, refs[0])
+		for _, k := range []int{1, 5} {
+			for _, got := range [][]Match{
+				s.TopK(q, nil, k),
+				s.TopK(q, []int{0, -1, 7}, k),
+				s.TopKRange(q, 0, 1, k),
+				s.TopKRange(q, -3, 9, k),
+				s.BatchTopK([]BinaryHV{q}, nil, k)[0],
+				s.BatchTopKRange([]BinaryHV{q}, []RowRange{{Lo: 0, Hi: 1}}, k)[0],
+			} {
+				if len(got) != 1 || got[0] != (Match{Index: 0, Similarity: wantSim}) {
+					t.Fatalf("%+v k=%d: got %v, want the single reference at sim %d", cc, k, got, wantSim)
+				}
+			}
+		}
+		if got := s.TopKRange(q, 1, 1, 3); len(got) != 0 {
+			t.Fatalf("%+v: empty range returned %v", cc, got)
+		}
+		if got := s.TopKRange(q, 5, 9, 3); len(got) != 0 {
+			t.Fatalf("%+v: past-the-end range returned %v", cc, got)
+		}
+		if got := s.BatchTopKRange([]BinaryHV{q, q}, []RowRange{{Lo: 0, Hi: 0}, {Lo: 2, Hi: 1}}, 3); len(got[0]) != 0 || len(got[1]) != 0 {
+			t.Fatalf("%+v: empty batch ranges returned %v", cc, got)
+		}
+	}
+}
+
 // TestShardedQueryDimensionPanics keeps the scalar contract: a
 // mismatched query dimension panics.
 func TestShardedQueryDimensionPanics(t *testing.T) {

@@ -149,6 +149,118 @@ func TestPackedStoreMatchesIndex(t *testing.T) {
 	}
 }
 
+// TestRoundTripCascadeParams pins that the cascade knobs ride the
+// params JSON: an index built with a two-tier cascade configuration
+// reloads with the same knobs, the loaded engine actually runs the
+// cascade (pruning counters move), and its results stay PSM-for-PSM
+// identical to the freshly built cascade engine — and, exact mode
+// being exact, to a single-tier engine over the same library.
+func TestRoundTripCascadeParams(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(1024, 64, 3)
+	p.PrefilterWords = 4
+	built := buildEngine(t, p, ds.Library)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, p, built.Library()); err != nil {
+		t.Fatal(err)
+	}
+	lp, lib, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.PrefilterWords != p.PrefilterWords || lp.ShortlistPerQuery != p.ShortlistPerQuery {
+		t.Fatalf("cascade knobs did not round-trip: saved %d/%d, loaded %d/%d",
+			p.PrefilterWords, p.ShortlistPerQuery, lp.PrefilterWords, lp.ShortlistPerQuery)
+	}
+	loaded, _, err := core.NewExactEngineFromLibrary(lp, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PSM count mismatch: loaded %d, built %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PSM %d mismatch:\nloaded %+v\nbuilt  %+v", i, got[i], want[i])
+		}
+	}
+	if cs, ok := loaded.CascadeStats(); !ok || cs.Prefiltered == 0 {
+		t.Fatalf("loaded engine did not run the cascade: stats %+v ok=%v", cs, ok)
+	}
+	// Loader overrides: -prefilter-words 0 must fall back to the
+	// single-tier layout with identical results.
+	flat := lp
+	flat.PrefilterWords, flat.ShortlistPerQuery = 0, 0
+	flatEngine, _, err := core.NewExactEngineFromLibrary(flat, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := flatEngine.CascadeStats(); ok {
+		t.Fatal("single-tier override still reports cascade stats")
+	}
+	flatPSMs, err := flatEngine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if flatPSMs[i] != want[i] {
+			t.Fatalf("exact cascade diverged from single-tier on PSM %d: %+v vs %+v", i, flatPSMs[i], want[i])
+		}
+	}
+}
+
+// TestRoundTripSingleEntry pins the degenerate 1-entry library through
+// Save/Load and engine reconstruction (the 0-entry case is rejected by
+// Save and BuildLibrary).
+func TestRoundTripSingleEntry(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(512, 0, 3)
+	built := buildEngine(t, p, ds.Library[:1])
+	if built.Library().Len() != 1 {
+		t.Fatalf("library has %d entries, want 1", built.Library().Len())
+	}
+	path := t.TempDir() + "/one.omsidx"
+	if err := SaveFile(path, p, built.Library()); err != nil {
+		t.Fatal(err)
+	}
+	lp, lib, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 1 || lib.SourcePos(0) != 0 {
+		t.Fatalf("loaded %d entries, srcPos(0)=%d", lib.Len(), lib.SourcePos(0))
+	}
+	loaded, _, err := core.NewExactEngineFromLibrary(lp, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PSM count mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PSM %d mismatch on single-entry library", i)
+		}
+	}
+}
+
 // corruptionCase mutates a valid index image and names the failure it
 // should provoke.
 type corruptionCase struct {

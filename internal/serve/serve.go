@@ -199,9 +199,18 @@ func (s *Server) SearchPrepared(ctx context.Context, pq core.PreparedQuery) (fdr
 	}
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the serving counters, including the
+// engine's cascade pruning telemetry when its searcher runs the
+// two-tier layout.
 func (s *Server) Stats() Stats {
-	return s.stats.snapshot(int(s.pending.Load()))
+	st := s.stats.snapshot(int(s.pending.Load()))
+	if cs, ok := s.engine.CascadeStats(); ok {
+		st.CascadeEnabled = true
+		st.CascadePrefiltered = cs.Prefiltered
+		st.CascadeCompleted = cs.Completed
+		st.CascadePruneRate = cs.PruneRate()
+	}
+	return st
 }
 
 // Close stops the dispatcher after flushing every request already

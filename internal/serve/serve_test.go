@@ -90,6 +90,84 @@ func TestSearchMatchesEngine(t *testing.T) {
 	}
 }
 
+// TestCascadeServeConcurrent pins the serving contract over a
+// cascade-enabled engine under -race: concurrent coalesced searches
+// through the two-tier pruned kernel (whose shard workers share
+// atomic per-query pruning bounds) must be PSM-for-PSM identical to
+// serial Engine.SearchOne, and the cascade telemetry must surface in
+// Stats.
+func TestCascadeServeConcurrent(t *testing.T) {
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 1024
+	p.Accel.NumChunks = 64
+	p.PrefilterWords = 2
+	engine, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.Queries
+
+	want := make(map[string]fdr.PSM)
+	wantOK := make(map[string]bool)
+	for _, q := range queries {
+		psm, ok, err := engine.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK[q.ID] = ok
+		if ok {
+			want[q.ID] = psm
+		}
+	}
+
+	srv, err := New(engine, Config{MaxBatch: 8, MaxDelay: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const rounds = 3 // repeat so requests land in varying batch shapes
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := false
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q *spectrum.Spectrum) {
+				defer wg.Done()
+				psm, ok, err := srv.Search(context.Background(), q)
+				mu.Lock()
+				defer mu.Unlock()
+				if failed {
+					return
+				}
+				switch {
+				case err != nil:
+					failed = true
+					t.Errorf("Search(%s): %v", q.ID, err)
+				case ok != wantOK[q.ID]:
+					failed = true
+					t.Errorf("query %s: ok=%v, serial says %v", q.ID, ok, wantOK[q.ID])
+				case ok && psm != want[q.ID]:
+					failed = true
+					t.Errorf("query %s: cascade served %+v, serial %+v", q.ID, psm, want[q.ID])
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if !st.CascadeEnabled || st.CascadePrefiltered == 0 {
+		t.Fatalf("cascade telemetry missing from stats: %+v", st)
+	}
+	if st.CascadeCompleted > st.CascadePrefiltered {
+		t.Fatalf("completed %d > prefiltered %d", st.CascadeCompleted, st.CascadePrefiltered)
+	}
+}
+
 // TestCoalescing pins that concurrent requests actually share batches
 // rather than degenerating to one flush per request.
 func TestCoalescing(t *testing.T) {
@@ -240,6 +318,59 @@ func TestClose(t *testing.T) {
 		t.Fatalf("post-close search got %v, want ErrClosed", err)
 	}
 	srv.Close() // idempotent
+}
+
+// TestBatchHistogramBucketEdges pins the documented bucket contract:
+// a batch of size exactly 2^i lands in the (2^(i-1), 2^i] bucket
+// (reported as Le = 2^i), sizes one above a power of two land in the
+// next bucket, and the bucket count covers MaxBatch so no in-range
+// size overflows — across default, MaxBatch=1 and MaxBatch>MaxQueue
+// configurations.
+func TestBatchHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default64", Config{MaxBatch: 64}},
+		{"single", Config{MaxBatch: 1}},
+		{"nonPow2", Config{MaxBatch: 33}},
+		{"batchAboveQueue", Config{MaxBatch: 128, MaxQueue: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg.withDefaults()
+			var c collector
+			c.init(cfg)
+			top := c.batchHist
+			if maxLe := 1 << (len(top) - 1); maxLe < cfg.MaxBatch {
+				t.Fatalf("top bucket Le=%d cannot hold MaxBatch=%d", maxLe, cfg.MaxBatch)
+			}
+			// Every boundary size the config can produce: exact powers
+			// of two must land at Le = size, one above a power at the
+			// next bucket.
+			for size := 1; size <= cfg.MaxBatch; size++ {
+				var fresh collector
+				fresh.init(cfg)
+				fresh.observeBatch(size)
+				st := fresh.snapshot(0)
+				var le int
+				for _, b := range st.BatchSizes {
+					if b.Count == 1 {
+						le = b.Le
+					}
+				}
+				if le == 0 {
+					t.Fatalf("size %d not counted in any bucket: %+v", size, st.BatchSizes)
+				}
+				if size > le || 2*size <= le {
+					t.Fatalf("size %d landed in bucket Le=%d, want %d in (Le/2, Le]", size, le, size)
+				}
+				if size&(size-1) == 0 && le != size {
+					t.Fatalf("power-of-two size %d landed at Le=%d, want Le=%d", size, le, size)
+				}
+			}
+		})
+	}
 }
 
 // TestStatsHistograms sanity-checks the histogram plumbing.

@@ -43,6 +43,17 @@ type Stats struct {
 	// quantiles (enqueue → batch scored), resolved to the upper bound
 	// of exponential histogram buckets.
 	LatencyP50, LatencyP99 time.Duration
+	// CascadeEnabled reports whether the engine's searcher runs the
+	// two-tier pruned cascade layout; the counters below are zero when
+	// it does not.
+	CascadeEnabled bool
+	// CascadePrefiltered counts reference rows whose prefilter tier
+	// was scored; CascadeCompleted counts the rows whose completion
+	// tier was also scored (the prune survivors).
+	CascadePrefiltered, CascadeCompleted uint64
+	// CascadePruneRate is the fraction of prefiltered rows the cascade
+	// never completed.
+	CascadePruneRate float64
 }
 
 // BucketCount is one histogram bucket: Count observations with value
