@@ -6,12 +6,21 @@
 // milliseconds:
 //
 //	omsbuild -library lib.mgf -out lib.omsidx \
-//	         [-d 8192] [-precision 3] [-shardsize 2048] [-seed 1]
+//	         [-d 8192] [-precision 3] [-shardsize 2048] [-seed 1] \
+//	         [-partitions N]
 //
 // The index records the full engine parameters (encoder seeds, binner,
 // preprocessing) alongside the packed mass-ordered hypervectors, the
 // precursor masses, the sort permutation and the entry metadata, under
 // a CRC-32C checksum.
+//
+// With -partitions N the library is instead split into N
+// mass-contiguous partition index files (<out>.part000 …) plus a JSON
+// manifest at <out> recording the global mass fences, row offsets and
+// per-partition checksums. omsearch -index and omsd -index accept the
+// manifest wherever they accept a single index; partitions are opened
+// memory-mapped, so a partitioned library larger than RAM serves
+// queries with only the touched pages resident.
 package main
 
 import (
@@ -31,6 +40,7 @@ func main() {
 	precision := flag.Int("precision", 3, "ID hypervector precision in bits (1-3)")
 	shardSize := flag.Int("shardsize", 0, "reference rows per search shard (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
+	partitions := flag.Int("partitions", 0, "split the index into N mass-contiguous partitions plus a manifest (0 = single file)")
 	flag.Parse()
 
 	if *libPath == "" {
@@ -53,6 +63,19 @@ func main() {
 	engine, _, err := core.BuildExact(p, library)
 	fatalIf(err)
 	lib := engine.Library()
+	if *partitions > 0 {
+		fatalIf(libindex.SavePartitioned(*out, p, lib, *partitions))
+		m, err := libindex.LoadManifest(*out)
+		fatalIf(err)
+		var total int64
+		for _, part := range m.Partitions {
+			total += part.Bytes
+		}
+		fmt.Fprintf(os.Stderr,
+			"omsbuild: %s: %d references encoded (%d skipped), D=%d, %d partitions, %.1f MiB\n",
+			*out, lib.Len(), lib.Skipped, *d, len(m.Partitions), float64(total)/(1<<20))
+		return
+	}
 	fatalIf(libindex.SaveFile(*out, p, lib))
 
 	info, err := os.Stat(*out)

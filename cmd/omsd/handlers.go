@@ -26,13 +26,6 @@ const maxBodyBytes = 64 << 20
 // of traffic to coalesce, but far below the default MaxQueue.
 const maxConcurrentSearches = 256
 
-// daemon holds the serving state behind the HTTP handlers.
-type daemon struct {
-	srv     *serve.Server
-	engine  *core.Engine
-	started time.Time
-}
-
 // mux routes the daemon's endpoints.
 func (d *daemon) mux() http.Handler {
 	mux := http.NewServeMux()
@@ -110,8 +103,20 @@ func (d *daemon) handleSearch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := range next {
 				q := queries[i]
-				psm, ok, err := d.srv.Search(r.Context(), q)
-				res := searchResult{QueryID: q.ID, Matched: ok}
+				res := searchResult{QueryID: q.ID}
+				// Each search pins the serving generation it was admitted
+				// to: a SIGHUP swap mid-body never mixes indexes within
+				// one search, and the old index stays mapped until its
+				// last search returns.
+				sv := d.acquire()
+				if sv == nil {
+					res.Error = serve.ErrClosed.Error()
+					results[i] = res
+					continue
+				}
+				psm, ok, err := sv.srv.Search(r.Context(), q)
+				sv.release()
+				res.Matched = ok
 				switch {
 				case err != nil:
 					res.Error = err.Error()
@@ -221,12 +226,19 @@ func writeTSV(w io.Writer, results []searchResult) error {
 
 // handleHealthz reports liveness and library identity.
 func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	lib := d.engine.Library()
+	sv := d.acquire()
+	if sv == nil {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer sv.release()
 	writeJSON(w, map[string]any{
-		"status":         "ok",
-		"references":     lib.Len(),
-		"skipped":        lib.Skipped,
-		"uptime_seconds": int64(time.Since(d.started).Seconds()),
+		"status":            "ok",
+		"references":        sv.engine.NumRefs(),
+		"skipped":           sv.engine.Skipped(),
+		"partitions":        sv.partitions,
+		"index_age_seconds": int64(time.Since(sv.loaded).Seconds()),
+		"uptime_seconds":    int64(time.Since(d.started).Seconds()),
 	})
 }
 
@@ -253,12 +265,34 @@ type statsView struct {
 	CascadePrefiltered uint64  `json:"cascade_prefiltered"`
 	CascadeCompleted   uint64  `json:"cascade_completed"`
 	CascadePruneRate   float64 `json:"cascade_prune_rate"`
+
+	// Partitions is present for a partitioned index: one entry per
+	// partition with its global row span, mass fences and pruning
+	// counters.
+	Partitions []partitionView `json:"partitions,omitempty"`
+}
+
+// partitionView maps core.PartitionStat onto stable wire names.
+type partitionView struct {
+	StartRow    int     `json:"start_row"`
+	Refs        int     `json:"refs"`
+	MinMass     float64 `json:"min_mass"`
+	MaxMass     float64 `json:"max_mass"`
+	Prefiltered uint64  `json:"cascade_prefiltered"`
+	Completed   uint64  `json:"cascade_completed"`
+	PruneRate   float64 `json:"cascade_prune_rate"`
 }
 
 // handleStats renders the serving counters.
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := d.srv.Stats()
-	writeJSON(w, statsView{
+	sv := d.acquire()
+	if sv == nil {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer sv.release()
+	st := sv.srv.Stats()
+	view := statsView{
 		Requests:      st.Requests,
 		Completed:     st.Completed,
 		Matched:       st.Matched,
@@ -278,7 +312,21 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		CascadePrefiltered: st.CascadePrefiltered,
 		CascadeCompleted:   st.CascadeCompleted,
 		CascadePruneRate:   st.CascadePruneRate,
-	})
+	}
+	if pe, ok := sv.engine.(interface{ PartitionStats() []core.PartitionStat }); ok {
+		for _, ps := range pe.PartitionStats() {
+			view.Partitions = append(view.Partitions, partitionView{
+				StartRow:    ps.StartRow,
+				Refs:        ps.Refs,
+				MinMass:     ps.MinMass,
+				MaxMass:     ps.MaxMass,
+				Prefiltered: ps.Cascade.Prefiltered,
+				Completed:   ps.Cascade.Completed,
+				PruneRate:   ps.Cascade.PruneRate(),
+			})
+		}
+	}
+	writeJSON(w, view)
 }
 
 // writeJSON writes v as a JSON response.

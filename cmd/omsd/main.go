@@ -1,16 +1,31 @@
 // Command omsd is the resident open-modification-search daemon: it
-// loads a persistent library index (built by omsbuild) at startup —
-// milliseconds instead of re-encoding the library — and serves
-// continuous query traffic over HTTP, coalescing concurrent requests
-// into block-major batched sweeps of the packed reference store:
+// opens a persistent library index (built by omsbuild) at startup —
+// memory-mapped, so startup is metadata-bound even for libraries far
+// bigger than RAM — and serves continuous query traffic over HTTP,
+// coalescing concurrent requests into block-major batched sweeps of
+// the packed reference store:
 //
 //	omsd -index lib.omsidx [-addr :8993] [-maxbatch 64] \
 //	     [-maxdelay 1ms] [-maxqueue 4096] [-standard] [-topk 5] \
 //	     [-prefilter-words 16] [-shortlist 0]
 //
+// -index accepts either a single index file or a partition manifest
+// written by omsbuild -partitions; a partitioned library routes each
+// query's precursor window through the manifest's mass fences, fans
+// the batched search out across partitions, and merges per-partition
+// top-k exactly — bit-identical to serving the single-file index.
+//
+// SIGHUP hot-reloads the index: the daemon rebuilds the engine from
+// the (possibly rewritten) index path and swaps it under live traffic.
+// Every in-flight search completes against exactly the generation that
+// admitted it — never a mix — and the old mapping is released only
+// after its last search returns. A failed reload leaves the current
+// index serving.
+//
 // -prefilter-words selects the two-tier pruned cascade search layout
 // (exact; -shortlist M switches it to approximate best-M completion);
-// GET /stats reports the measured pruning rate.
+// GET /stats reports the measured pruning rate, per partition for a
+// partitioned index.
 //
 // Endpoints:
 //
@@ -19,7 +34,8 @@
 //	               responds with PSM JSON, or TSV with ?format=tsv
 //	GET  /healthz  liveness + library identity
 //	GET  /stats    serving counters: queue depth, batch size
-//	               histogram, latency quantiles, cascade pruning rate
+//	               histogram, latency quantiles, cascade pruning rate,
+//	               per-partition rows/fences/pruning
 package main
 
 import (
@@ -33,14 +49,10 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
-
-	"repro/internal/core"
-	"repro/internal/libindex"
-	"repro/internal/serve"
 )
 
 func main() {
-	indexPath := flag.String("index", "", "library index path (required; build with omsbuild)")
+	indexPath := flag.String("index", "", "library index or partition manifest path (required; build with omsbuild)")
 	addr := flag.String("addr", ":8993", "HTTP listen address")
 	maxBatch := flag.Int("maxbatch", 64, "flush a batch at this many coalesced requests")
 	maxDelay := flag.Duration("maxdelay", time.Millisecond, "flush a non-empty batch after this delay")
@@ -55,52 +67,49 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	p, lib, err := libindex.LoadFile(*indexPath)
-	fatalIf(err)
-	// Query-time settings may deviate from the build; encoder identity
-	// (D, seeds, binner, preprocessing) must not and stays as loaded.
-	p.Open = !*standard
-	if *topk > 0 {
-		p.TopK = *topk
+	cfg := servingConfig{
+		indexPath:      *indexPath,
+		maxBatch:       *maxBatch,
+		maxDelay:       *maxDelay,
+		maxQueue:       *maxQueue,
+		standard:       *standard,
+		topk:           *topk,
+		prefilterWords: *prefilterWords,
+		shortlist:      *shortlist,
 	}
-	if *prefilterWords >= 0 {
-		p.PrefilterWords = *prefilterWords
-	}
-	if *shortlist >= 0 {
-		p.ShortlistPerQuery = *shortlist
-	}
+	d := newDaemon(func() (*serving, error) { return buildServing(cfg) })
 	start := time.Now()
-	engine, _, err := core.NewExactEngineFromLibrary(p, lib)
+	sv, err := d.reload()
 	fatalIf(err)
-	// The searcher packed its own copy of the reference words; drop
-	// the loaded originals so the resident set is one packed store,
-	// not two.
-	engine.ReleaseLibraryHVs()
-	fmt.Fprintf(os.Stderr, "omsd: loaded %s: %d references, D=%d, engine up in %v\n",
-		*indexPath, lib.Len(), p.Accel.D, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "omsd: loaded %s, engine up in %v\n", sv.desc, time.Since(start).Round(time.Millisecond))
 	// Report the effective layout (the searcher falls back to
 	// single-tier when PrefilterWords covers every word of a row).
-	if _, cascadeOn := engine.CascadeStats(); cascadeOn {
+	if _, cascadeOn := sv.engine.CascadeStats(); cascadeOn {
 		fmt.Fprintf(os.Stderr, "omsd: cascade search: %d prefilter words, shortlist %d\n",
-			p.PrefilterWords, p.ShortlistPerQuery)
+			sv.prefilterWords, sv.shortlist)
 	}
 
-	srv, err := serve.New(engine, serve.Config{
-		MaxBatch: *maxBatch,
-		MaxDelay: *maxDelay,
-		MaxQueue: *maxQueue,
-	})
-	fatalIf(err)
-
-	d := &daemon{srv: srv, engine: engine, started: time.Now()}
 	httpSrv := &http.Server{Handler: d.mux()}
 	ln, err := net.Listen("tcp", *addr)
 	fatalIf(err)
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			reloadStart := time.Now()
+			nsv, err := d.reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "omsd: SIGHUP reload failed, keeping current index: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "omsd: SIGHUP reloaded %s in %v\n", nsv.desc, time.Since(reloadStart).Round(time.Millisecond))
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "omsd: listening on %s\n", ln.Addr())
 	fatalIf(serveUntilShutdown(httpSrv, ln, stop, 10*time.Second))
-	srv.Close()
+	d.shutdown()
 }
 
 // serveUntilShutdown serves httpSrv on ln until stop delivers a

@@ -22,8 +22,9 @@ import (
 	"repro/internal/spectrum"
 )
 
-// testDaemon builds a daemon over a small exact engine.
-func testDaemon(t *testing.T) (*daemon, *msdata.Dataset) {
+// testDaemon builds a daemon over a small exact engine, wired through
+// the same reload machinery main uses.
+func testDaemon(t *testing.T) (*daemon, *core.Engine, *msdata.Dataset) {
 	t.Helper()
 	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
 	if err != nil {
@@ -36,16 +37,22 @@ func testDaemon(t *testing.T) (*daemon, *msdata.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.New(engine, serve.Config{MaxBatch: 16, MaxDelay: time.Millisecond})
-	if err != nil {
+	d := newDaemon(func() (*serving, error) {
+		srv, err := serve.New(engine, serve.Config{MaxBatch: 16, MaxDelay: time.Millisecond})
+		if err != nil {
+			return nil, err
+		}
+		return &serving{srv: srv, engine: engine, loaded: time.Now()}, nil
+	})
+	if _, err := d.reload(); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.Close)
-	return &daemon{srv: srv, engine: engine, started: time.Now()}, ds
+	t.Cleanup(d.shutdown)
+	return d, engine, ds
 }
 
 func TestHealthz(t *testing.T) {
-	d, _ := testDaemon(t)
+	d, _, _ := testDaemon(t)
 	rec := httptest.NewRecorder()
 	d.mux().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -63,7 +70,7 @@ func TestHealthz(t *testing.T) {
 // TestSearchMGF posts the query set as MGF and pins that responses
 // agree with direct engine search.
 func TestSearchMGF(t *testing.T) {
-	d, ds := testDaemon(t)
+	d, engine, ds := testDaemon(t)
 	var buf bytes.Buffer
 	if err := spectrum.WriteMGF(&buf, ds.Queries); err != nil {
 		t.Fatal(err)
@@ -95,7 +102,7 @@ func TestSearchMGF(t *testing.T) {
 		t.Fatal("no query matched")
 	}
 	for _, q := range ds.Queries {
-		psm, ok, err := d.engine.SearchOne(q)
+		psm, ok, err := engine.SearchOne(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +129,7 @@ func TestSearchMGF(t *testing.T) {
 
 // TestSearchJSON posts one spectrum as a JSON peak list.
 func TestSearchJSON(t *testing.T) {
-	d, ds := testDaemon(t)
+	d, engine, ds := testDaemon(t)
 	q := ds.Queries[0]
 	js := jsonSpectrum{ID: q.ID, PrecursorMZ: q.PrecursorMZ, Charge: q.Charge}
 	for _, p := range q.Peaks {
@@ -146,7 +153,7 @@ func TestSearchJSON(t *testing.T) {
 	if len(resp.Results) != 1 || resp.Results[0].QueryID != q.ID {
 		t.Fatalf("unexpected results %+v", resp.Results)
 	}
-	psm, ok, err := d.engine.SearchOne(q)
+	psm, ok, err := engine.SearchOne(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +164,7 @@ func TestSearchJSON(t *testing.T) {
 
 // TestSearchTSV exercises the TSV response shape.
 func TestSearchTSV(t *testing.T) {
-	d, ds := testDaemon(t)
+	d, _, ds := testDaemon(t)
 	var buf bytes.Buffer
 	if err := spectrum.WriteMGF(&buf, ds.Queries[:3]); err != nil {
 		t.Fatal(err)
@@ -268,7 +275,7 @@ func TestServeUntilShutdownServeError(t *testing.T) {
 
 // TestSearchBadBodies pins 400s for malformed input.
 func TestSearchBadBodies(t *testing.T) {
-	d, _ := testDaemon(t)
+	d, _, _ := testDaemon(t)
 	cases := []struct {
 		name, ctype, body string
 	}{

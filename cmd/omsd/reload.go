@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/libindex"
+	"repro/internal/serve"
+)
+
+// servingConfig is everything needed to (re)build the serving state
+// from the index path — captured once from the flags so a SIGHUP
+// reload constructs the new engine with the same query-time settings.
+type servingConfig struct {
+	indexPath      string
+	maxBatch       int
+	maxDelay       time.Duration
+	maxQueue       int
+	standard       bool
+	topk           int
+	prefilterWords int
+	shortlist      int
+}
+
+// serving is one generation of the daemon's serving state: an opened
+// index (single-file or partitioned manifest), the engine over it, and
+// the micro-batcher. Generations are reference-counted: the current
+// pointer holds one reference and every in-flight search holds one
+// more, so after a hot swap the old generation drains naturally — its
+// batcher closes and its index unmaps only when the last search using
+// it has returned. A search therefore always completes against exactly
+// the generation it was admitted to: never a mix of old and new index,
+// and never a mapping unmapped under a live scan.
+type serving struct {
+	srv        *serve.Server
+	engine     core.SearchEngine
+	closeIndex func() error
+	desc       string
+	partitions int
+	// prefilterWords/shortlist are the effective cascade settings the
+	// engine was built with (index params after flag overrides) — the
+	// startup log must report these, not the -1 "index setting" flag
+	// sentinels.
+	prefilterWords int
+	shortlist      int
+	loaded         time.Time
+
+	refs atomic.Int64
+}
+
+// release drops one reference, tearing the generation down when the
+// last holder lets go.
+func (sv *serving) release() {
+	if sv.refs.Add(-1) == 0 {
+		sv.srv.Close()
+		if sv.closeIndex != nil {
+			sv.closeIndex()
+		}
+	}
+}
+
+// buildServing opens the index path (sniffing single index file vs
+// partition manifest), wires the engine and starts a micro-batcher
+// over it.
+func buildServing(cfg servingConfig) (*serving, error) {
+	override := func(p core.Params) core.Params {
+		p.Open = !cfg.standard
+		if cfg.topk > 0 {
+			p.TopK = cfg.topk
+		}
+		if cfg.prefilterWords >= 0 {
+			p.PrefilterWords = cfg.prefilterWords
+		}
+		if cfg.shortlist >= 0 {
+			p.ShortlistPerQuery = cfg.shortlist
+		}
+		return p
+	}
+	kind, err := libindex.DetectKind(cfg.indexPath)
+	if err != nil {
+		return nil, err
+	}
+	sv := &serving{loaded: time.Now()}
+	record := func(p core.Params) core.Params {
+		sv.prefilterWords = p.PrefilterWords
+		sv.shortlist = p.ShortlistPerQuery
+		return p
+	}
+	switch kind {
+	case libindex.KindManifest:
+		pi, err := libindex.OpenManifest(cfg.indexPath)
+		if err != nil {
+			return nil, err
+		}
+		engine, _, err := core.NewPartitionedExactEngine(record(override(pi.Params)), pi.Libraries(), pi.Blocks())
+		if err != nil {
+			pi.Close()
+			return nil, err
+		}
+		sv.engine = engine
+		sv.closeIndex = pi.Close
+		sv.partitions = engine.NumPartitions()
+		sv.desc = fmt.Sprintf("%s: %d references in %d partitions, D=%d",
+			cfg.indexPath, engine.NumRefs(), engine.NumPartitions(), pi.Params.Accel.D)
+	default:
+		ix, err := libindex.OpenFile(cfg.indexPath)
+		if err != nil {
+			return nil, err
+		}
+		engine, _, err := core.NewExactEngineFromPacked(record(override(ix.Params)), ix.Lib, ix.Words())
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		// The searcher reads the packed block; the per-entry hypervector
+		// views are dead weight in a resident process.
+		engine.ReleaseLibraryHVs()
+		sv.engine = engine
+		sv.closeIndex = ix.Close
+		sv.desc = fmt.Sprintf("%s: %d references, D=%d, mmap=%t",
+			cfg.indexPath, engine.NumRefs(), ix.Params.Accel.D, ix.Mapped())
+	}
+	srv, err := serve.New(sv.engine, serve.Config{
+		MaxBatch: cfg.maxBatch,
+		MaxDelay: cfg.maxDelay,
+		MaxQueue: cfg.maxQueue,
+	})
+	if err != nil {
+		sv.closeIndex()
+		return nil, err
+	}
+	sv.srv = srv
+	return sv, nil
+}
+
+// daemon holds the swappable serving state behind the HTTP handlers.
+type daemon struct {
+	mu      sync.RWMutex
+	cur     *serving
+	build   func() (*serving, error)
+	started time.Time
+}
+
+// newDaemon wires a daemon around a serving builder; call reload once
+// to load the initial generation.
+func newDaemon(build func() (*serving, error)) *daemon {
+	return &daemon{build: build, started: time.Now()}
+}
+
+// acquire returns the current serving generation with a reference
+// held, or nil after shutdown. Callers must release exactly once.
+func (d *daemon) acquire() *serving {
+	d.mu.RLock()
+	sv := d.cur
+	if sv != nil {
+		sv.refs.Add(1)
+	}
+	d.mu.RUnlock()
+	return sv
+}
+
+// reload builds a fresh serving generation from the index path and
+// swaps it in atomically; on error the current generation keeps
+// serving untouched. Safe under live traffic: in-flight searches
+// finish against whichever generation admitted them.
+func (d *daemon) reload() (*serving, error) {
+	nsv, err := d.build()
+	if err != nil {
+		return nil, err
+	}
+	nsv.refs.Store(1) // the daemon's own reference
+	d.mu.Lock()
+	old := d.cur
+	d.cur = nsv
+	d.mu.Unlock()
+	if old != nil {
+		old.release()
+	}
+	return nsv, nil
+}
+
+// shutdown retires the current generation; once in-flight searches
+// drain, its batcher closes and its index unmaps.
+func (d *daemon) shutdown() {
+	d.mu.Lock()
+	old := d.cur
+	d.cur = nil
+	d.mu.Unlock()
+	if old != nil {
+		old.release()
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/msdata"
+	"repro/internal/serve"
+	"repro/internal/spectrum"
+)
+
+// TestReloadSwapConsistency is the hot-reload race test (run under
+// -race in CI): searches hammer the daemon while SIGHUP-style reloads
+// swap between two distinguishable engine generations. Every search
+// must return a result consistent with exactly one generation — the
+// complete answer of either the old or the new index, never a mix, and
+// never an error from the swap itself — and the retired generation's
+// teardown must not fire while its last searches are in flight.
+func TestReloadSwapConsistency(t *testing.T) {
+	ds, err := msdata.Generate(msdata.IPRG2012(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 1024
+	p.Accel.NumChunks = 64
+
+	// Generation A serves the library as-is; generation B serves the
+	// same spectra with marked peptides, so every PSM names the
+	// generation that produced it.
+	libB := make([]*spectrum.Spectrum, len(ds.Library))
+	for i, s := range ds.Library {
+		c := *s
+		c.Peptide = c.Peptide + "@B"
+		libB[i] = &c
+	}
+	engineA, _, err := core.BuildExact(p, ds.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineB, _, err := core.BuildExact(p, libB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type expectation struct {
+		ok   bool
+		a, b fdr.PSM
+	}
+	want := make(map[string]expectation)
+	for _, q := range ds.Queries {
+		pa, oka, err := engineA.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, okb, err := engineB.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oka != okb {
+			t.Fatalf("query %s matches in one generation only", q.ID)
+		}
+		want[q.ID] = expectation{ok: oka, a: pa, b: pb}
+	}
+
+	var gen atomic.Int64
+	d := newDaemon(func() (*serving, error) {
+		engine := core.SearchEngine(engineA)
+		if gen.Add(1)%2 == 0 {
+			engine = engineB
+		}
+		srv, err := serve.New(engine, serve.Config{MaxBatch: 8, MaxDelay: 200 * time.Microsecond})
+		if err != nil {
+			return nil, err
+		}
+		return &serving{srv: srv, engine: engine, loaded: time.Now()}, nil
+	})
+	if _, err := d.reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var reloads sync.WaitGroup
+	reloads.Add(1)
+	go func() {
+		defer reloads.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.reload(); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				q := ds.Queries[(w+round)%len(ds.Queries)]
+				sv := d.acquire()
+				if sv == nil {
+					t.Error("acquire returned nil while the daemon is live")
+					return
+				}
+				psm, ok, err := sv.srv.Search(context.Background(), q)
+				sv.release()
+				if err != nil {
+					t.Errorf("search %s across swap: %v", q.ID, err)
+					return
+				}
+				exp := want[q.ID]
+				if ok != exp.ok {
+					t.Errorf("query %s ok=%v, both generations say %v", q.ID, ok, exp.ok)
+					return
+				}
+				if ok && psm != exp.a && psm != exp.b {
+					t.Errorf("query %s returned %+v, consistent with neither generation (%+v | %+v)",
+						q.ID, psm, exp.a, exp.b)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reloads.Wait()
+	d.shutdown()
+	if sv := d.acquire(); sv != nil {
+		t.Fatal("acquire returned a generation after shutdown")
+	}
+}

@@ -20,7 +20,13 @@
 // -index (built by omsbuild) the encoded, mass-ordered library and
 // its engine parameters are loaded from the persistent index in
 // milliseconds — the encoder-identity flags (-d, -precision, -seed)
-// come from the index and are ignored. Either way each query's
+// come from the index and are ignored. -index accepts either a single
+// index file (opened memory-mapped where supported: the packed words
+// become zero-copy searcher rows and fault in lazily) or a partition
+// manifest written by omsbuild -partitions, which routes each query's
+// precursor window to the overlapping mass-fenced partitions and
+// merges their top-k exactly — output is bit-identical to the
+// single-file index over the same library. Either way each query's
 // precursor window is a contiguous row range streamed through the
 // sharded engine's blocked XOR+popcount kernel; with -parallel the
 // whole query set is scored by one block-major batch sweep of the
@@ -37,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fdr"
+	"repro/internal/hdc"
 	"repro/internal/libindex"
 	"repro/internal/spectrum"
 )
@@ -67,7 +74,7 @@ func main() {
 	fatalIf(err)
 
 	var (
-		engine  *core.Engine
+		engine  searchRunner
 		library []*spectrum.Spectrum
 	)
 	if *indexPath != "" {
@@ -77,27 +84,38 @@ func main() {
 		if *rescore > 0 {
 			fatalIf(fmt.Errorf("-rescore needs the original library spectra: use -library"))
 		}
-		p, lib, lerr := libindex.LoadFile(*indexPath)
-		fatalIf(lerr)
 		// Query-time settings come from flags; encoder identity stays
 		// as the index was built.
-		p.FDRAlpha = *alpha
-		p.Open = !*standard
-		if *shardSize > 0 {
-			p.ShardSize = *shardSize
+		override := func(p core.Params) core.Params {
+			p.FDRAlpha = *alpha
+			p.Open = !*standard
+			if *shardSize > 0 {
+				p.ShardSize = *shardSize
+			}
+			if *prefilterWords >= 0 {
+				p.PrefilterWords = *prefilterWords
+			}
+			if *shortlist >= 0 {
+				p.ShortlistPerQuery = *shortlist
+			}
+			return p
 		}
-		if *prefilterWords >= 0 {
-			p.PrefilterWords = *prefilterWords
+		kind, kerr := libindex.DetectKind(*indexPath)
+		fatalIf(kerr)
+		switch kind {
+		case libindex.KindManifest:
+			pi, perr := libindex.OpenManifest(*indexPath)
+			fatalIf(perr)
+			engine, _, err = core.NewPartitionedExactEngine(override(pi.Params), pi.Libraries(), pi.Blocks())
+			fatalIf(err)
+		default:
+			ix, oerr := libindex.OpenFile(*indexPath)
+			fatalIf(oerr)
+			engine, _, err = core.NewExactEngineFromPacked(override(ix.Params), ix.Lib, ix.Words())
+			fatalIf(err)
 		}
-		if *shortlist >= 0 {
-			p.ShortlistPerQuery = *shortlist
-		}
-		engine, _, err = core.NewExactEngineFromLibrary(p, lib)
-		fatalIf(err)
-		// The searcher packed its own copy of the reference words, and
-		// the -index path forbids the flows that read Library.HVs
-		// (rescore, rram): drop the loaded originals.
-		engine.ReleaseLibraryHVs()
+		// The index mappings stay open for the process lifetime; the
+		// searcher rows are views over them.
 	} else {
 		library, err = spectrum.ReadSpectraFile(*libPath)
 		fatalIf(err)
@@ -135,7 +153,7 @@ func main() {
 	var res fdr.Result
 	switch {
 	case *rescore > 0:
-		rs, rerr := core.NewRescorer(engine, library, *rescore)
+		rs, rerr := core.NewRescorer(engine.(*core.Engine), library, *rescore)
 		fatalIf(rerr)
 		res, err = rs.Run(queries)
 	case *parallel:
@@ -148,12 +166,32 @@ func main() {
 	fatalIf(writePSMs(os.Stdout, res))
 	fmt.Fprintf(os.Stderr,
 		"omsearch: %d queries, %d library spectra (%d skipped), %d identifications at FDR %.2g\n",
-		len(queries), engine.Library().Len(), engine.Library().Skipped, len(res.Accepted), *alpha)
+		len(queries), engine.NumRefs(), engine.Skipped(), len(res.Accepted), *alpha)
 	if cs, ok := engine.CascadeStats(); ok {
 		fmt.Fprintf(os.Stderr,
 			"omsearch: cascade pruned %.1f%% of %d prefiltered rows (%d completed)\n",
 			100*cs.PruneRate(), cs.Prefiltered, cs.Completed)
 	}
+	if pe, ok := engine.(*core.PartitionedEngine); ok {
+		for i, st := range pe.PartitionStats() {
+			line := fmt.Sprintf("omsearch: partition %d: rows [%d,%d) masses [%.2f,%.2f]",
+				i, st.StartRow, st.StartRow+st.Refs, st.MinMass, st.MaxMass)
+			if st.CascadeEnabled {
+				line += fmt.Sprintf(", pruned %.1f%% of %d", 100*st.Cascade.PruneRate(), st.Cascade.Prefiltered)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+}
+
+// searchRunner is the engine surface omsearch drives: the single-store
+// exact/noisy engine or the partitioned engine behind -index.
+type searchRunner interface {
+	Run(queries []*spectrum.Spectrum) (fdr.Result, error)
+	RunParallel(queries []*spectrum.Spectrum) (fdr.Result, error)
+	NumRefs() int
+	Skipped() int
+	CascadeStats() (hdc.CascadeStats, bool)
 }
 
 // writePSMs writes the accepted PSMs as TSV through one buffered

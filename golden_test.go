@@ -1,0 +1,129 @@
+package repro
+
+// The golden end-to-end fixture: a tiny checked-in MGF library and
+// query set (testdata/golden/) driven through the omsbuild → omsearch
+// pipeline in-process — build the encoded library, persist it as both
+// a single index file and a 3-partition manifest, open both back
+// (mmap-backed), search, and render omsearch's TSV. The single-file
+// and partitioned outputs must match byte for byte, and both must
+// match the checked-in expected.tsv (regenerate deliberately with
+// -update-golden after an intentional scoring change).
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/libindex"
+	"repro/internal/spectrum"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden/expected.tsv from the current engine output")
+
+// goldenParams pins the engine configuration the fixture was built
+// with; changing any encoder-identity field invalidates expected.tsv.
+func goldenParams() core.Params {
+	p := core.DefaultParams()
+	p.Accel.D = 2048
+	p.Accel.NumChunks = 64
+	p.Accel.IDPrecision = 3
+	p.Accel.Seed = 1
+	return p
+}
+
+// renderGoldenTSV reproduces cmd/omsearch's writePSMs output format
+// exactly — header line plus one row per accepted PSM.
+func renderGoldenTSV(res fdr.Result) string {
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "query_id\tpeptide\tscore\tmass_shift")
+	for _, psm := range res.Accepted {
+		fmt.Fprintf(&buf, "%s\t%s\t%.4f\t%+.4f\n", psm.QueryID, psm.Peptide, psm.Score, psm.MassShift)
+	}
+	return buf.String()
+}
+
+func TestGoldenEndToEnd(t *testing.T) {
+	library, err := spectrum.ReadSpectraFile("testdata/golden/library.mgf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := spectrum.ReadSpectraFile("testdata/golden/queries.mgf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := goldenParams()
+	engine, _, err := core.BuildExact(p, library)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	singlePath := filepath.Join(dir, "golden.omsidx")
+	manifestPath := filepath.Join(dir, "golden.manifest")
+	if err := libindex.SaveFile(singlePath, p, engine.Library()); err != nil {
+		t.Fatal(err)
+	}
+	if err := libindex.SavePartitioned(manifestPath, p, engine.Library(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-file path, exactly as omsearch -index takes it.
+	ix, err := libindex.OpenFile(singlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	singleEngine, _, err := core.NewExactEngineFromPacked(ix.Params, ix.Lib, ix.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRes, err := singleEngine.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTSV := renderGoldenTSV(singleRes)
+
+	// Partitioned path over the manifest.
+	pi, err := libindex.OpenManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pi.Close()
+	partEngine, _, err := core.NewPartitionedExactEngine(pi.Params, pi.Libraries(), pi.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	partRes, err := partEngine.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partTSV := renderGoldenTSV(partRes)
+
+	if singleTSV != partTSV {
+		t.Fatalf("partitioned TSV differs from single-file TSV:\n--- single ---\n%s--- partitioned ---\n%s", singleTSV, partTSV)
+	}
+	if len(singleRes.Accepted) == 0 {
+		t.Fatal("golden run accepted no PSMs; fixture is degenerate")
+	}
+
+	goldenPath := "testdata/golden/expected.tsv"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(singleTSV), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d accepted PSMs)", goldenPath, len(singleRes.Accepted))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if singleTSV != string(want) {
+		t.Fatalf("TSV output drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, singleTSV, want)
+	}
+}

@@ -1,0 +1,105 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdc"
+	"repro/internal/libindex"
+)
+
+// BenchmarkPartitionedTopKRange compares one batched top-k sweep over
+// a single-file mmap-backed engine against the same sweep fanned out
+// across a 4-partition manifest — the cost of mass-fence routing and
+// the exact per-query merge on top of the identical kernel work. Both
+// engines are opened from real on-disk indexes, as omsd would. ~30%
+// precursor-window occupancy at 100k references.
+func BenchmarkPartitionedTopKRange(b *testing.B) {
+	const n, d, nq, k = 100_000, 2048, 256, 5
+	rng := rand.New(rand.NewSource(11))
+	entries := make([]core.LibraryEntry, n)
+	hvs := make([]hdc.BinaryHV, n)
+	for i := range entries {
+		entries[i] = core.LibraryEntry{
+			ID:      fmt.Sprintf("ref-%d", i),
+			Peptide: fmt.Sprintf("PEP%d", i),
+			IsDecoy: i%4 == 3,
+			Mass:    500 + float64(i)*0.02,
+		}
+		hvs[i] = hdc.RandomBinaryHV(d, rng)
+	}
+	lib, err := core.RestoreLibrary(entries, hvs, rng.Perm(n), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = d
+	p.Accel.NumChunks = 64
+	p.TopK = k
+
+	queries := make([]core.PreparedQuery, nq)
+	for qi := range queries {
+		r := rng.Intn(n)
+		hv := hvs[r].Clone()
+		for f := 0; f < 1+qi%29; f++ {
+			i := rng.Intn(d)
+			hv.SetBit(i, hv.Bit(i) < 0)
+		}
+		mass := entries[r].Mass + -140 + rng.Float64()*620
+		lo, hi := lib.CandidateRange(mass, p.Window)
+		queries[qi] = core.PreparedQuery{QueryID: fmt.Sprintf("q-%d", qi), HV: hv, Mass: mass, Lo: lo, Hi: hi}
+	}
+
+	dir := b.TempDir()
+	singlePath := filepath.Join(dir, "bench.omsidx")
+	manifestPath := filepath.Join(dir, "bench.manifest")
+	if err := libindex.SaveFile(singlePath, p, lib); err != nil {
+		b.Fatal(err)
+	}
+	if err := libindex.SavePartitioned(manifestPath, p, lib, 4); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := libindex.OpenFile(singlePath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	single, _, err := core.NewExactEngineFromPacked(ix.Params, ix.Lib, ix.Words())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pi, err := libindex.OpenManifest(manifestPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pi.Close()
+	part, _, err := core.NewPartitionedExactEngine(pi.Params, pi.Libraries(), pi.Blocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The partitioned sweep must be bit-identical before it is timed.
+	sp, so := single.SearchPrepared(queries)
+	pp, po := part.SearchPrepared(queries)
+	for i := range queries {
+		if so[i] != po[i] || (so[i] && sp[i] != pp[i]) {
+			b.Fatalf("query %d: partitioned %+v ok=%v, single %+v ok=%v", i, pp[i], po[i], sp[i], so[i])
+		}
+	}
+
+	b.Run("single-file", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			single.SearchPrepared(queries)
+		}
+		b.ReportMetric(float64(nq), "queries/op")
+	})
+	b.Run("partitioned-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			part.SearchPrepared(queries)
+		}
+		b.ReportMetric(float64(nq), "queries/op")
+	})
+}

@@ -1,0 +1,419 @@
+// Package conformance is the single cross-path search oracle: one
+// table-driven suite asserting that every search path in the system —
+// candidate-gather TopK, streamed TopKRange, the block-major batch
+// paths, the two-tier cascade with and without a shortlist, the
+// partitioned mmap-backed engine, and the request-coalescing serving
+// layer — returns bit-identical top-k lists over randomized
+// D/shard/k/PrefilterWords/partition-count workloads with planted
+// near-matches. It replaces the earlier per-path parity tests: a new
+// scan path earns its keep by joining this table, not by shipping its
+// own ad-hoc comparison.
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fdr"
+	"repro/internal/hdc"
+	"repro/internal/libindex"
+	"repro/internal/serve"
+	"repro/internal/spectrum"
+)
+
+// workload is one randomized configuration of the conformance matrix.
+type workload struct {
+	name      string
+	d         int
+	shard     int
+	k         int
+	prefilter int // cascade tier-A words (0 = single tier)
+	shortlist int // approximate completion budget (0 = exact)
+	nRefs     int
+	nQueries  int
+	parts     []int // partition counts to cross-check (exact modes only)
+	seed      int64
+}
+
+var workloads = []workload{
+	{name: "flat", d: 512, shard: 64, k: 5, nRefs: 600, nQueries: 40, parts: []int{1, 2, 3, 7}, seed: 1},
+	{name: "cascade-exact", d: 1024, shard: 100, k: 3, prefilter: 4, nRefs: 900, nQueries: 40, parts: []int{2, 3}, seed: 2},
+	{name: "tail-mask", d: 1000, shard: 0, k: 7, prefilter: 3, nRefs: 500, nQueries: 30, parts: []int{1, 3, 7}, seed: 3},
+	{name: "tiny-k-over", d: 256, shard: 16, k: 10, nRefs: 64, nQueries: 20, parts: []int{1, 7}, seed: 4},
+	{name: "shortlist", d: 512, shard: 32, k: 5, prefilter: 2, shortlist: 25, nRefs: 600, nQueries: 30, seed: 5},
+	// prefilter = words-1 leaves a one-word completion tier; prefilter
+	// = words must fall back to the single-tier layout with identical
+	// results (the degenerate-cascade contract).
+	{name: "cascade-wide-prefilter", d: 512, shard: 48, k: 4, prefilter: 7, nRefs: 500, nQueries: 30, parts: []int{2}, seed: 6},
+	{name: "cascade-degenerate-fallback", d: 512, shard: 64, k: 5, prefilter: 8, nRefs: 400, nQueries: 20, parts: []int{1, 2}, seed: 7},
+}
+
+// fixture is one workload's generated library and query set.
+type fixture struct {
+	p       core.Params
+	lib     *core.Library
+	refs    []hdc.BinaryHV // mass-rank order, the oracle's view
+	queries []core.PreparedQuery
+}
+
+// buildFixture generates the synthetic mass-sorted library (equal-mass
+// tie runs included) and a query set dominated by planted near-matches
+// — clones of library rows with a few bits flipped, placed at masses
+// inside the open window — plus random and out-of-window queries.
+func buildFixture(t *testing.T, w workload) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(w.seed))
+	entries := make([]core.LibraryEntry, w.nRefs)
+	refs := make([]hdc.BinaryHV, w.nRefs)
+	for i := range entries {
+		entries[i] = core.LibraryEntry{
+			ID:      fmt.Sprintf("ref-%d", i),
+			Peptide: fmt.Sprintf("PEP%d", i),
+			IsDecoy: i%4 == 3,
+			// Runs of three share a mass, so ties cross shard and
+			// partition boundaries.
+			Mass: 500 + float64(i/3)*0.91,
+		}
+		refs[i] = hdc.RandomBinaryHV(w.d, rng)
+	}
+	lib, err := core.RestoreLibrary(entries, refs, rng.Perm(w.nRefs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = w.d
+	p.Accel.NumChunks = max(w.d/32, 32)
+	p.ShardSize = w.shard
+	p.TopK = w.k
+	p.PrefilterWords = w.prefilter
+	p.ShortlistPerQuery = w.shortlist
+
+	queries := make([]core.PreparedQuery, w.nQueries)
+	for qi := range queries {
+		var hv hdc.BinaryHV
+		var mass float64
+		switch {
+		case qi%5 == 4: // random hypervector, random in-window mass
+			hv = hdc.RandomBinaryHV(w.d, rng)
+			mass = 500 + rng.Float64()*float64(w.nRefs)
+		case qi%7 == 6: // out-of-window: empty candidate range
+			hv = hdc.RandomBinaryHV(w.d, rng)
+			mass = 99999
+		default: // planted near-match: a ref with a few flipped bits
+			r := rng.Intn(w.nRefs)
+			hv = refs[r].Clone()
+			for f := 0; f < 1+qi%17; f++ {
+				i := rng.Intn(w.d)
+				hv.SetBit(i, hv.Bit(i) < 0)
+			}
+			mass = entries[r].Mass + -140 + rng.Float64()*620 // window [-150, 500]
+		}
+		lo, hi := lib.CandidateRange(mass, p.Window)
+		queries[qi] = core.PreparedQuery{
+			QueryID: fmt.Sprintf("q-%d", qi),
+			HV:      hv,
+			Mass:    mass,
+			Lo:      lo,
+			Hi:      hi,
+		}
+	}
+	return &fixture{p: p, lib: lib, refs: refs, queries: queries}
+}
+
+// hamming is the oracle's independent distance: explicit XOR+popcount
+// over a word span, no shared kernel code.
+func hamming(a, b []uint64) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}
+
+// rankBefore is the system-wide result order: similarity descending,
+// ties by ascending index.
+func rankBefore(a, b hdc.Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity > b.Similarity
+	}
+	return a.Index < b.Index
+}
+
+// rangeIndices expands [lo, hi) clamped to [0, n) — empty (nil) for
+// inverted or fully out-of-bounds ranges, matching RowRange.Clamp.
+func rangeIndices(lo, hi, n int) []int {
+	lo = max(lo, 0)
+	hi = min(hi, n)
+	var out []int
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// oracleOver is the independent flat-scan reference over an explicit
+// valid-index set: score, sort, take k.
+func (fx *fixture) oracleOver(hv hdc.BinaryHV, indices []int, k int) []hdc.Match {
+	var all []hdc.Match
+	for _, i := range indices {
+		all = append(all, hdc.Match{Index: i, Similarity: fx.p.Accel.D - hamming(hv.Words, fx.refs[i].Words)})
+	}
+	sort.Slice(all, func(a, b int) bool { return rankBefore(all[a], all[b]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// oracleShortlistOver is the independent reference for shortlist mode
+// over an explicit valid-index set: rank rows by tier-A partial
+// distance (ties by ascending index), complete only the best M, then
+// rank those fully.
+func (fx *fixture) oracleShortlistOver(hv hdc.BinaryHV, indices []int, k, prefilterWords, m int) []hdc.Match {
+	type partial struct {
+		idx, da int
+	}
+	var ps []partial
+	for _, i := range indices {
+		ps = append(ps, partial{idx: i, da: hamming(hv.Words[:prefilterWords], fx.refs[i].Words[:prefilterWords])})
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].da != ps[b].da {
+			return ps[a].da < ps[b].da
+		}
+		return ps[a].idx < ps[b].idx
+	})
+	if len(ps) > m {
+		ps = ps[:m]
+	}
+	var all []hdc.Match
+	for _, pp := range ps {
+		all = append(all, hdc.Match{Index: pp.idx, Similarity: fx.p.Accel.D - hamming(hv.Words, fx.refs[pp.idx].Words)})
+	}
+	sort.Slice(all, func(a, b int) bool { return rankBefore(all[a], all[b]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// oracleFor routes a valid-index set through the workload's mode.
+func (fx *fixture) oracleFor(w workload, hv hdc.BinaryHV, indices []int) []hdc.Match {
+	if w.shortlist > 0 {
+		return fx.oracleShortlistOver(hv, indices, w.k, w.prefilter, w.shortlist)
+	}
+	return fx.oracleOver(hv, indices, w.k)
+}
+
+// wantPSM derives the expected PSM from an oracle list, mirroring the
+// engines' score normalization and metadata lookup.
+func (fx *fixture) wantPSM(q core.PreparedQuery, top []hdc.Match) (fdr.PSM, bool) {
+	if len(top) == 0 {
+		return fdr.PSM{}, false
+	}
+	e := fx.lib.Entries[top[0].Index]
+	return fdr.PSM{
+		QueryID:   q.QueryID,
+		Peptide:   e.Peptide,
+		Score:     float64(top[0].Similarity) / float64(fx.p.Accel.D),
+		IsDecoy:   e.IsDecoy,
+		MassShift: q.Mass - e.Mass,
+	}, true
+}
+
+// assertMatches fails unless got reproduces want bit for bit.
+func assertMatches(t *testing.T, path string, qi int, got, want []hdc.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: query %d returned %d matches, oracle has %d\ngot  %v\nwant %v",
+			path, qi, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: query %d match %d = %+v, oracle says %+v\ngot  %v\nwant %v",
+				path, qi, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// candidateSlice materializes a query's row range for the gather paths.
+func candidateSlice(q core.PreparedQuery) []int {
+	out := []int{}
+	for i := q.Lo; i < q.Hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// stubEncoder satisfies core.Encoder for engines driven exclusively
+// through prepared queries.
+type stubEncoder struct{}
+
+func (stubEncoder) EncodeVector(v spectrum.Vector) (hdc.BinaryHV, error) {
+	return hdc.BinaryHV{}, fmt.Errorf("conformance: encoder must not be reached")
+}
+
+// TestConformance is the matrix: for every workload, every search path
+// must reproduce the oracle's top-k bit for bit (or, in shortlist
+// mode, the shortlist oracle's).
+func TestConformance(t *testing.T) {
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			fx := buildFixture(t, w)
+			n := fx.lib.Len()
+			oracle := make([][]hdc.Match, len(fx.queries))
+			for qi, q := range fx.queries {
+				oracle[qi] = fx.oracleFor(w, q.HV, rangeIndices(q.Lo, q.Hi, n))
+			}
+
+			cc := hdc.CascadeConfig{PrefilterWords: w.prefilter, Shortlist: w.shortlist}
+			searcher, err := hdc.NewShardedSearcherCascade(fx.lib.HVs, w.shard, cc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Searcher-level paths.
+			for qi, q := range fx.queries {
+				assertMatches(t, "gather TopK", qi, searcher.TopK(q.HV, candidateSlice(q), w.k), oracle[qi])
+				assertMatches(t, "TopKRange", qi, searcher.TopKRange(q.HV, q.Lo, q.Hi, w.k), oracle[qi])
+			}
+			hvs := make([]hdc.BinaryHV, len(fx.queries))
+			ranges := make([]hdc.RowRange, len(fx.queries))
+			cands := make([][]int, len(fx.queries))
+			for qi, q := range fx.queries {
+				hvs[qi] = q.HV
+				ranges[qi] = hdc.RowRange{Lo: q.Lo, Hi: q.Hi}
+				cands[qi] = candidateSlice(q)
+			}
+			for qi, got := range searcher.BatchTopK(hvs, cands, w.k) {
+				assertMatches(t, "BatchTopK", qi, got, oracle[qi])
+			}
+			for qi, got := range searcher.BatchTopKRange(hvs, ranges, w.k) {
+				assertMatches(t, "BatchTopKRange", qi, got, oracle[qi])
+			}
+
+			// Edge geometry (coverage inherited from the deleted per-path
+			// parity tests): out-of-bounds and inverted ranges must clamp,
+			// and candidate slices carrying out-of-range entries must skip
+			// them — identically to the oracle over the valid rows.
+			edgeHV := fx.queries[0].HV
+			edgeRanges := []hdc.RowRange{
+				{Lo: -10, Hi: n + 10},
+				{Lo: n / 2, Hi: n / 3}, // inverted: empty
+				{Lo: 7, Hi: 7},         // empty
+				{Lo: -5, Hi: 3},
+				{Lo: n - 1, Hi: n + 50},
+			}
+			for ri, r := range edgeRanges {
+				want := fx.oracleFor(w, edgeHV, rangeIndices(r.Lo, r.Hi, n))
+				assertMatches(t, fmt.Sprintf("TopKRange edge %d", ri), 0,
+					searcher.TopKRange(edgeHV, r.Lo, r.Hi, w.k), want)
+				got := searcher.BatchTopKRange([]hdc.BinaryHV{edgeHV}, []hdc.RowRange{r}, w.k)
+				assertMatches(t, fmt.Sprintf("BatchTopKRange edge %d", ri), 0, got[0], want)
+			}
+			edgeCands := [][]int{
+				{-5, 0, n - 1, n, n + 3, 1}, // out-of-range entries skipped
+				{},                          // empty, non-nil (nil = all refs)
+				{3, 3, 3},                   // duplicates
+			}
+			for ci, cand := range edgeCands {
+				// The engine scores duplicate candidates repeatedly (they
+				// occupy multiple top-k slots); the oracle mirrors that by
+				// keeping duplicates in the valid set.
+				var valid []int
+				for _, i := range cand {
+					if i >= 0 && i < n {
+						valid = append(valid, i)
+					}
+				}
+				want := fx.oracleFor(w, edgeHV, valid)
+				assertMatches(t, fmt.Sprintf("gather TopK edge %d", ci), 0,
+					searcher.TopK(edgeHV, cand, w.k), want)
+			}
+
+			// Engine-level paths over the same packed store.
+			engine, err := core.NewEngine(fx.p, fx.lib, stubEncoder{}, searcher)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range fx.queries {
+				assertMatches(t, "Engine.TopKPrepared", qi, engine.TopKPrepared(q), oracle[qi])
+			}
+			psms, oks := engine.SearchPrepared(fx.queries)
+			for qi, q := range fx.queries {
+				wantPSM, wantOK := fx.wantPSM(q, oracle[qi])
+				if oks[qi] != wantOK || (wantOK && psms[qi] != wantPSM) {
+					t.Fatalf("Engine.SearchPrepared: query %d = %+v ok=%v, oracle %+v ok=%v",
+						qi, psms[qi], oks[qi], wantPSM, wantOK)
+				}
+			}
+
+			// Served/coalesced path: concurrent submissions through the
+			// micro-batcher must match the oracle regardless of batching.
+			srv, err := serve.New(engine, serve.Config{MaxBatch: 7, MaxDelay: 300 * time.Microsecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for qi, q := range fx.queries {
+				wg.Add(1)
+				go func(qi int, q core.PreparedQuery) {
+					defer wg.Done()
+					psm, ok, err := srv.SearchPrepared(context.Background(), q)
+					if err != nil {
+						t.Errorf("served: query %d: %v", qi, err)
+						return
+					}
+					wantPSM, wantOK := fx.wantPSM(q, oracle[qi])
+					if ok != wantOK || (wantOK && psm != wantPSM) {
+						t.Errorf("served: query %d = %+v ok=%v, oracle %+v ok=%v", qi, psm, ok, wantPSM, wantOK)
+					}
+				}(qi, q)
+			}
+			wg.Wait()
+			srv.Close()
+
+			// Partitioned engine over the real on-disk manifest: exact
+			// modes must be bit-identical to the oracle for every
+			// partition count (shortlist mode applies its budget per
+			// partition — a different approximation by design, so it
+			// stays out of the cross-partition contract).
+			for _, parts := range w.parts {
+				t.Run(fmt.Sprintf("partitions-%d", parts), func(t *testing.T) {
+					manifest := filepath.Join(t.TempDir(), "lib.manifest")
+					if err := libindex.SavePartitioned(manifest, fx.p, fx.lib, parts); err != nil {
+						t.Fatal(err)
+					}
+					pi, err := libindex.OpenManifest(manifest)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer pi.Close()
+					pe, _, err := core.NewPartitionedExactEngine(pi.Params, pi.Libraries(), pi.Blocks())
+					if err != nil {
+						t.Fatal(err)
+					}
+					for qi, q := range fx.queries {
+						assertMatches(t, "PartitionedEngine.TopKPrepared", qi, pe.TopKPrepared(q), oracle[qi])
+					}
+					ppsms, poks := pe.SearchPrepared(fx.queries)
+					for qi, q := range fx.queries {
+						wantPSM, wantOK := fx.wantPSM(q, oracle[qi])
+						if poks[qi] != wantOK || (wantOK && ppsms[qi] != wantPSM) {
+							t.Fatalf("PartitionedEngine.SearchPrepared: query %d = %+v ok=%v, oracle %+v ok=%v",
+								qi, ppsms[qi], poks[qi], wantPSM, wantOK)
+						}
+					}
+				})
+			}
+		})
+	}
+}

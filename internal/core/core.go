@@ -63,6 +63,35 @@ type RangeSearcher interface {
 	BatchTopKRange(queries []hdc.BinaryHV, ranges []hdc.RowRange, k int) [][]hdc.Match
 }
 
+// SearchEngine is the query-serving surface shared by the single-store
+// Engine and the PartitionedEngine: prepare a spectrum into an encoded
+// query with a resolved global candidate row range, score prepared
+// queries through one batched sweep, and report the cascade pruning
+// telemetry plus library identity. The serving layer (internal/serve,
+// cmd/omsd) and the CLIs program against it, so a partitioned
+// mmap-backed index drops in wherever a resident single-file engine
+// ran.
+type SearchEngine interface {
+	// Prepare preprocesses and encodes one query and resolves its
+	// candidate row range; ok is false when the query is rejected by
+	// preprocessing or no library mass lies in its precursor window.
+	Prepare(q *spectrum.Spectrum) (PreparedQuery, bool, error)
+	// SearchPrepared scores prepared queries through one batched
+	// sweep; ok[i] is false when query i produced no match.
+	SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool)
+	// TopKPrepared returns the full top-k match list of one prepared
+	// query, indices in global (mass-rank) row space.
+	TopKPrepared(pq PreparedQuery) []hdc.Match
+	// CascadeStats reports the aggregate cascade pruning counters; ok
+	// is false when no underlying searcher runs a two-tier layout.
+	CascadeStats() (hdc.CascadeStats, bool)
+	// NumRefs returns the number of encoded references served.
+	NumRefs() int
+	// Skipped returns the count of reference spectra rejected by
+	// preprocessing at build time.
+	Skipped() int
+}
+
 // Params configures an OMS engine.
 type Params struct {
 	// Accel is the HD/hardware operating point (dimension, precision,
@@ -362,6 +391,13 @@ func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error)
 // Library returns the engine's library.
 func (e *Engine) Library() *Library { return e.lib }
 
+// NumRefs returns the number of encoded references served.
+func (e *Engine) NumRefs() int { return e.lib.Len() }
+
+// Skipped returns the count of reference spectra rejected by
+// preprocessing when the library was built.
+func (e *Engine) Skipped() int { return e.lib.Skipped }
+
 // CascadeStats reports the pruning counters of a cascade-enabled
 // searcher (prefiltered vs completed rows); ok is false when the
 // searcher has no two-tier cascade layout or does not expose the
@@ -507,13 +543,28 @@ func (e *Engine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
 	return psms, oks
 }
 
+// TopKPrepared returns the full top-k match list of one prepared
+// query — the list SearchOne's PSM is the head of, with indices in
+// mass-rank row space. It is the single-engine leg of the cross-path
+// conformance contract: every search path (gather, range, batch,
+// cascade, partitioned, served) must reproduce this list bit for bit.
+func (e *Engine) TopKPrepared(pq PreparedQuery) []hdc.Match {
+	return e.topKRange(pq.HV, pq.Lo, pq.Hi)
+}
+
 // window returns the precursor window for a query mass: the open
 // window, or the narrow standard-search window around the mass.
 func (e *Engine) window(queryMass float64) units.MassWindow {
-	if e.params.Open {
-		return e.params.Window
+	return e.params.queryWindow(queryMass)
+}
+
+// queryWindow returns the precursor window for a query mass under
+// these params — shared by the single-store and partitioned engines.
+func (p Params) queryWindow(queryMass float64) units.MassWindow {
+	if p.Open {
+		return p.Window
 	}
-	return units.StandardWindow(queryMass, e.params.StandardTol)
+	return units.StandardWindow(queryMass, p.StandardTol)
 }
 
 // topKRange searches the candidate row range [lo, hi): range-native
@@ -611,6 +662,41 @@ func NewExactEngineFromLibrary(p Params, lib *Library) (*Engine, *hdc.Encoder, e
 	searcher, err := hdc.NewSearcherCascade(lib.HVs, p.ShardSize, p.cascadeConfig())
 	if err != nil {
 		return nil, nil, err
+	}
+	engine, err := NewEngine(p, lib, enc, searcher)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, enc, nil
+}
+
+// NewExactEngineFromPacked wires the exact engine over an
+// already-encoded library whose hypervectors are views into one
+// contiguous packed word block — the zero-copy path of a memory-mapped
+// library index (libindex.OpenFile). The sharded searcher aliases the
+// block instead of copying it (hdc.NewShardedSearcherFromPacked), so
+// under a single-tier layout engine construction touches no word pages
+// at all, and under a cascade layout only the tier-A prefixes are
+// copied to the heap while tier B faults in lazily from the mapping.
+// The block must stay alive (and mapped) for the engine's lifetime.
+func NewExactEngineFromPacked(p Params, lib *Library, block []uint64) (*Engine, *hdc.Encoder, error) {
+	ids, levels, err := accel.NewEncoderComponents(p.Accel)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := hdc.NewEncoder(ids, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lib == nil || lib.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: empty library")
+	}
+	searcher, err := hdc.NewShardedSearcherFromPacked(block, p.Accel.D, p.ShardSize, p.cascadeConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	if searcher.Len() != lib.Len() {
+		return nil, nil, fmt.Errorf("core: packed block holds %d rows but library has %d entries", searcher.Len(), lib.Len())
 	}
 	engine, err := NewEngine(p, lib, enc, searcher)
 	if err != nil {

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/fdr"
+	"repro/internal/hdc"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+// partition is one mass-contiguous slice of a partitioned library:
+// its own library and packed searcher, plus the global row offset and
+// mass fences the router consults.
+type partition struct {
+	lib      *Library
+	searcher *hdc.ShardedSearcher
+	// start is the global row index of the partition's first entry;
+	// local searcher row r is global row start+r.
+	start int
+	// minMass, maxMass are the partition's mass fences (first and last
+	// entry mass — entries are mass-sorted).
+	minMass, maxMass float64
+}
+
+// PartitionedEngine serves OMS queries over a partitioned library —
+// N mass-contiguous partitions, each with its own packed searcher
+// (typically zero-copy views over a memory-mapped index partition, see
+// libindex.OpenManifest). A query's precursor window is routed to the
+// overlapping partitions via the mass fences, BatchTopKRange fans out
+// across partitions in parallel, and the per-partition top-k lists are
+// merged exactly: a global top-k member is necessarily in the top-k of
+// the partition holding it, so merging by (similarity descending,
+// global index ascending) reproduces, bit for bit, what a single-file
+// engine over the concatenated library returns. That exactness claim
+// holds for single-tier and exact-cascade layouts; shortlist mode
+// (Params.ShortlistPerQuery) applies its completion budget per
+// partition, a different — strictly wider — approximation than one
+// global shortlist, so shortlisted results are not comparable across
+// partition counts.
+type PartitionedEngine struct {
+	params  Params
+	enc     Encoder
+	parts   []partition
+	total   int
+	skipped int
+	normD   float64
+}
+
+// NewPartitionedExactEngine wires the exact engine over a partitioned
+// library: libs are the per-partition libraries in ascending mass
+// order, and blocks — when non-nil — the contiguous packed word blocks
+// their hypervectors are views over (libindex.PartitionedIndex.Blocks),
+// aliased into each partition's searcher without copying. A nil blocks
+// slice (or a nil element) falls back to packing that partition from
+// its library's hypervectors. The query encoder is rebuilt
+// deterministically from p.Accel, exactly as NewExactEngineFromLibrary
+// does.
+func NewPartitionedExactEngine(p Params, libs []*Library, blocks [][]uint64) (*PartitionedEngine, *hdc.Encoder, error) {
+	if len(libs) == 0 {
+		return nil, nil, fmt.Errorf("core: no partitions")
+	}
+	if blocks != nil && len(blocks) != len(libs) {
+		return nil, nil, fmt.Errorf("core: %d partitions with %d packed blocks", len(libs), len(blocks))
+	}
+	ids, levels, err := accel.NewEncoderComponents(p.Accel)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := hdc.NewEncoder(ids, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.TopK < 1 {
+		p.TopK = 1
+	}
+	pe := &PartitionedEngine{params: p, enc: enc, normD: float64(p.Accel.D)}
+	for i, lib := range libs {
+		if lib == nil || lib.Len() == 0 {
+			return nil, nil, fmt.Errorf("core: partition %d is empty", i)
+		}
+		if len(lib.HVs) != lib.Len() {
+			return nil, nil, fmt.Errorf("core: partition %d has %d entries but %d hypervectors", i, lib.Len(), len(lib.HVs))
+		}
+		if d := lib.HVs[0].D; d != p.Accel.D {
+			return nil, nil, fmt.Errorf("core: partition %d has dimension D=%d, configured D=%d", i, d, p.Accel.D)
+		}
+		minMass := lib.Entries[0].Mass
+		maxMass := lib.Entries[lib.Len()-1].Mass
+		if i > 0 && minMass < pe.parts[i-1].maxMass {
+			return nil, nil, fmt.Errorf("core: partition %d starts at mass %g, below partition %d's last mass %g (partitions must be in ascending mass order)",
+				i, minMass, i-1, pe.parts[i-1].maxMass)
+		}
+		var searcher *hdc.ShardedSearcher
+		if blocks != nil && blocks[i] != nil {
+			searcher, err = hdc.NewShardedSearcherFromPacked(blocks[i], p.Accel.D, p.ShardSize, p.cascadeConfig())
+			if err == nil && searcher.Len() != lib.Len() {
+				err = fmt.Errorf("core: partition %d block holds %d rows but library has %d entries", i, searcher.Len(), lib.Len())
+			}
+		} else {
+			searcher, err = hdc.NewShardedSearcherCascade(lib.HVs, p.ShardSize, p.cascadeConfig())
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		pe.parts = append(pe.parts, partition{
+			lib:      lib,
+			searcher: searcher,
+			start:    pe.total,
+			minMass:  minMass,
+			maxMass:  maxMass,
+		})
+		pe.total += lib.Len()
+		pe.skipped += lib.Skipped
+	}
+	return pe, enc, nil
+}
+
+// NumPartitions returns the partition count.
+func (pe *PartitionedEngine) NumPartitions() int { return len(pe.parts) }
+
+// NumRefs returns the total reference count across partitions.
+func (pe *PartitionedEngine) NumRefs() int { return pe.total }
+
+// Skipped returns the build-time skipped-spectra count (summed over
+// partitions; the partition writer stores the library-wide count in
+// partition 0).
+func (pe *PartitionedEngine) Skipped() int { return pe.skipped }
+
+// CascadeStats sums the cascade pruning counters across partitions; ok
+// is false when no partition runs a two-tier layout.
+func (pe *PartitionedEngine) CascadeStats() (hdc.CascadeStats, bool) {
+	var sum hdc.CascadeStats
+	any := false
+	for i := range pe.parts {
+		if cs, ok := pe.parts[i].searcher.CascadeStats(); ok {
+			sum.Prefiltered += cs.Prefiltered
+			sum.Completed += cs.Completed
+			any = true
+		}
+	}
+	return sum, any
+}
+
+// PartitionStat is one partition's identity and pruning telemetry.
+type PartitionStat struct {
+	// StartRow is the partition's first global row, Refs its size.
+	StartRow, Refs int
+	// MinMass, MaxMass are the partition's mass fences.
+	MinMass, MaxMass float64
+	// CascadeEnabled reports whether the partition's searcher runs the
+	// two-tier layout; Cascade holds its pruning counters when so.
+	CascadeEnabled bool
+	Cascade        hdc.CascadeStats
+}
+
+// PartitionStats snapshots per-partition identity and cascade pruning
+// counters — the serving layer's /stats surface for partitioned
+// indexes.
+func (pe *PartitionedEngine) PartitionStats() []PartitionStat {
+	out := make([]PartitionStat, len(pe.parts))
+	for i := range pe.parts {
+		p := &pe.parts[i]
+		st := PartitionStat{StartRow: p.start, Refs: p.lib.Len(), MinMass: p.minMass, MaxMass: p.maxMass}
+		st.Cascade, st.CascadeEnabled = p.searcher.CascadeStats()
+		out[i] = st
+	}
+	return out
+}
+
+// candidateRange resolves a query's precursor window to a global row
+// range by routing it through the partition mass fences: partitions
+// whose fences cannot overlap the window are skipped without a binary
+// search. Partitions tile the mass-sorted library, so the union of the
+// per-partition candidate ranges is one contiguous global range —
+// exactly what Library.CandidateRange returns over the concatenated
+// library.
+func (pe *PartitionedEngine) candidateRange(queryMass float64, w units.MassWindow) (lo, hi int) {
+	mLo := queryMass - w.Upper
+	mHi := queryMass - w.Lower
+	found := false
+	for i := range pe.parts {
+		p := &pe.parts[i]
+		if p.maxMass < mLo || p.minMass > mHi {
+			continue
+		}
+		plo, phi := p.lib.CandidateRange(queryMass, w)
+		if plo >= phi {
+			continue
+		}
+		if !found {
+			lo = p.start + plo
+			found = true
+		}
+		hi = p.start + phi
+	}
+	if !found {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// Prepare preprocesses and encodes one query and resolves its global
+// candidate row range — the partitioned mirror of Engine.Prepare, with
+// identical skip conditions.
+func (pe *PartitionedEngine) Prepare(q *spectrum.Spectrum) (PreparedQuery, bool, error) {
+	pre, err := pe.params.Preprocess.Preprocess(q)
+	if err != nil {
+		return PreparedQuery{}, false, nil // uninformative spectrum: skip
+	}
+	hv, err := pe.enc.EncodeVector(pe.params.Binner.Vectorize(pre))
+	if err != nil {
+		return PreparedQuery{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
+	}
+	mass := q.PrecursorMass()
+	lo, hi := pe.candidateRange(mass, pe.params.queryWindow(mass))
+	if lo >= hi {
+		return PreparedQuery{}, false, nil
+	}
+	return PreparedQuery{QueryID: q.ID, HV: hv, Mass: mass, Lo: lo, Hi: hi}, true, nil
+}
+
+// clip intersects a global row range with the partition, returning the
+// local range (empty when they do not overlap).
+func (p *partition) clip(lo, hi int) (int, int) {
+	l := max(lo, p.start) - p.start
+	h := min(hi, p.start+p.lib.Len()) - p.start
+	return l, h
+}
+
+// rankBefore reports whether a outranks b: higher similarity, ties by
+// ascending global index — the merge comparator that makes the
+// partitioned merge bit-identical to a single-store scan.
+func rankBefore(a, b hdc.Match) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity > b.Similarity
+	}
+	return a.Index < b.Index
+}
+
+// mergeTopK merges per-partition top-k lists (already offset to global
+// indices) into the exact global top-k.
+func mergeTopK(merged []hdc.Match, k int) []hdc.Match {
+	sort.Slice(merged, func(i, j int) bool { return rankBefore(merged[i], merged[j]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// TopKPrepared returns the full top-k match list of one prepared
+// query: each overlapping partition's range is scored with its own
+// searcher and the per-partition lists merge exactly (see the type
+// comment). Indices are global rows.
+func (pe *PartitionedEngine) TopKPrepared(pq PreparedQuery) []hdc.Match {
+	k := pe.params.TopK
+	var merged []hdc.Match
+	for i := range pe.parts {
+		p := &pe.parts[i]
+		lo, hi := p.clip(pq.Lo, pq.Hi)
+		if lo >= hi {
+			continue
+		}
+		for _, m := range p.searcher.TopKRange(pq.HV, lo, hi, k) {
+			m.Index += p.start
+			merged = append(merged, m)
+		}
+	}
+	return mergeTopK(merged, k)
+}
+
+// batchTopKPrepared scores a prepared batch: queries fan out across
+// partitions in parallel — each partition runs one block-major
+// BatchTopKRange sweep over the queries whose windows reach it — and
+// the per-partition lists merge exactly per query.
+func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery) [][]hdc.Match {
+	k := pe.params.TopK
+	type partBatch struct {
+		qIdx   []int
+		hvs    []hdc.BinaryHV
+		ranges []hdc.RowRange
+		tops   [][]hdc.Match
+	}
+	batches := make([]partBatch, len(pe.parts))
+	for i := range pe.parts {
+		p := &pe.parts[i]
+		b := &batches[i]
+		for qi, pq := range qs {
+			if pq.Lo >= pq.Hi {
+				continue
+			}
+			lo, hi := p.clip(pq.Lo, pq.Hi)
+			if lo >= hi {
+				continue
+			}
+			b.qIdx = append(b.qIdx, qi)
+			b.hvs = append(b.hvs, pq.HV)
+			b.ranges = append(b.ranges, hdc.RowRange{Lo: lo, Hi: hi})
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range pe.parts {
+		if len(batches[i].qIdx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batches[i].tops = pe.parts[i].searcher.BatchTopKRange(batches[i].hvs, batches[i].ranges, k)
+		}(i)
+	}
+	wg.Wait()
+	out := make([][]hdc.Match, len(qs))
+	for i := range pe.parts {
+		start := pe.parts[i].start
+		b := &batches[i]
+		for j, qi := range b.qIdx {
+			for _, m := range b.tops[j] {
+				m.Index += start
+				out[qi] = append(out[qi], m)
+			}
+		}
+	}
+	for qi := range out {
+		if out[qi] != nil {
+			out[qi] = mergeTopK(out[qi], k)
+		}
+	}
+	return out
+}
+
+// psmFor converts the best match of a prepared query into its PSM,
+// resolving the global row to its partition's entry.
+func (pe *PartitionedEngine) psmFor(pq PreparedQuery, best hdc.Match) fdr.PSM {
+	entry := pe.entryAt(best.Index)
+	return fdr.PSM{
+		QueryID:   pq.QueryID,
+		Peptide:   entry.Peptide,
+		Score:     float64(best.Similarity) / pe.normD,
+		IsDecoy:   entry.IsDecoy,
+		MassShift: pq.Mass - entry.Mass,
+	}
+}
+
+// entryAt returns the library entry at a global row.
+func (pe *PartitionedEngine) entryAt(global int) LibraryEntry {
+	i := sort.Search(len(pe.parts), func(i int) bool { return pe.parts[i].start > global }) - 1
+	p := &pe.parts[i]
+	return p.lib.Entries[global-p.start]
+}
+
+// SearchPrepared scores prepared queries through one partitioned batch
+// sweep; ok[i] is false when query i's range produced no match. With
+// the exact searcher, results are bit-identical to the single-store
+// Engine.SearchPrepared over the concatenated library.
+func (pe *PartitionedEngine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
+	psms := make([]fdr.PSM, len(qs))
+	oks := make([]bool, len(qs))
+	if len(qs) == 0 {
+		return psms, oks
+	}
+	for i, top := range pe.batchTopKPrepared(qs) {
+		if len(top) == 0 {
+			continue
+		}
+		psms[i] = pe.psmFor(qs[i], top[0])
+		oks[i] = true
+	}
+	return psms, oks
+}
+
+// SearchOne runs one query and returns its best-match PSM; ok is false
+// exactly as in Engine.SearchOne.
+func (pe *PartitionedEngine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
+	pq, ok, err := pe.Prepare(q)
+	if err != nil || !ok {
+		return fdr.PSM{}, false, err
+	}
+	top := pe.TopKPrepared(pq)
+	if len(top) == 0 {
+		return fdr.PSM{}, false, nil
+	}
+	return pe.psmFor(pq, top[0]), true, nil
+}
+
+// SearchAll runs every query serially and returns the PSM list.
+func (pe *PartitionedEngine) SearchAll(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
+	psms := make([]fdr.PSM, 0, len(queries))
+	for _, q := range queries {
+		psm, ok, err := pe.SearchOne(q)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			psms = append(psms, psm)
+		}
+	}
+	return psms, nil
+}
+
+// SearchAllParallel fans preparation out per query, then scores every
+// searchable query through one partitioned batch sweep. The exact
+// searcher makes the results identical to SearchAll.
+func (pe *PartitionedEngine) SearchAllParallel(queries []*spectrum.Spectrum) ([]fdr.PSM, error) {
+	type prep struct {
+		pq  PreparedQuery
+		ok  bool
+		err error
+	}
+	preps := make([]prep, len(queries))
+	parallelFor(len(queries), func(i int) {
+		pq, ok, err := pe.Prepare(queries[i])
+		preps[i] = prep{pq: pq, ok: ok, err: err}
+	})
+	var batch []PreparedQuery
+	for i := range preps {
+		if preps[i].err != nil {
+			return nil, preps[i].err
+		}
+		if preps[i].ok {
+			batch = append(batch, preps[i].pq)
+		}
+	}
+	if len(batch) == 0 {
+		return []fdr.PSM{}, nil
+	}
+	batchPSMs, oks := pe.SearchPrepared(batch)
+	psms := make([]fdr.PSM, 0, len(batch))
+	for j, ok := range oks {
+		if ok {
+			psms = append(psms, batchPSMs[j])
+		}
+	}
+	return psms, nil
+}
+
+// Run searches all queries serially and applies the FDR filter.
+func (pe *PartitionedEngine) Run(queries []*spectrum.Spectrum) (fdr.Result, error) {
+	psms, err := pe.SearchAll(queries)
+	if err != nil {
+		return fdr.Result{}, err
+	}
+	return fdr.Filter(psms, pe.params.FDRAlpha)
+}
+
+// RunParallel is Run using the parallel batch path.
+func (pe *PartitionedEngine) RunParallel(queries []*spectrum.Spectrum) (fdr.Result, error) {
+	psms, err := pe.SearchAllParallel(queries)
+	if err != nil {
+		return fdr.Result{}, err
+	}
+	return fdr.Filter(psms, pe.params.FDRAlpha)
+}

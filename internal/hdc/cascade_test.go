@@ -36,80 +36,6 @@ func cascadeFixture(t testing.TB, d, n, nq, k int, seed int64) ([]BinaryHV, []Bi
 	return refs, queries
 }
 
-// TestCascadeExactParity asserts that the exact cascade is
-// bit-identical to the single-tier kernel on every scan path — TopK
-// (gather and full scan), TopKRange, BatchTopK, BatchTopKRange —
-// across dimensions (including non-multiples of 64), shard sizes, k
-// and PrefilterWords values, on a workload where pruning genuinely
-// fires. This is the acceptance criterion of the two-tier refactor.
-func TestCascadeExactParity(t *testing.T) {
-	for _, d := range []int{256, 320, 1000} {
-		words := WordsPerHV(d)
-		n, nq, k := 600, 9, 3
-		refs, queries := cascadeFixture(t, d, n, nq, k, int64(d))
-		rng := rand.New(rand.NewSource(int64(d) + 1))
-		ranges := make([]RowRange, nq)
-		for i := range ranges {
-			lo := (i * n) / (2 * nq)
-			ranges[i] = RowRange{Lo: max(0, lo-17), Hi: min(n, lo+n/3)}
-		}
-		cands := make([][]int, nq)
-		for i := range cands {
-			switch i % 3 {
-			case 0:
-				cands[i] = nil
-			case 1:
-				cands[i] = rng.Perm(n)[:1+rng.Intn(n-1)]
-			default:
-				cands[i] = []int{ranges[i].Lo, ranges[i].Lo + 1, -4, n + 2, n - 1}
-			}
-		}
-		for _, shardSize := range []int{37, 128, 0} {
-			base, err := NewSearcherSharded(refs, shardSize)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, pw := range []int{1, 2, words / 2, words - 1, words, words + 5} {
-				casc, err := NewSearcherCascade(refs, shardSize, CascadeConfig{PrefilterWords: pw})
-				if err != nil {
-					t.Fatal(err)
-				}
-				wantTiered := pw > 0 && pw < words
-				if got := casc.Engine().PrefilterWords(); (got > 0) != wantTiered {
-					t.Fatalf("d %d pw %d: PrefilterWords() = %d, want tiered=%v", d, pw, got, wantTiered)
-				}
-				for _, kk := range []int{1, k, 2 * k, n + 10} {
-					for qi, q := range queries {
-						if got, want := casc.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, kk), base.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, kk); !matchesEqual(got, want) {
-							t.Fatalf("d %d shard %d pw %d k %d query %d: TopKRange diverged\ngot  %v\nwant %v",
-								d, shardSize, pw, kk, qi, got, want)
-						}
-						if got, want := casc.TopK(q, cands[qi], kk), base.TopK(q, cands[qi], kk); !matchesEqual(got, want) {
-							t.Fatalf("d %d shard %d pw %d k %d query %d: TopK diverged\ngot  %v\nwant %v",
-								d, shardSize, pw, kk, qi, got, want)
-						}
-					}
-					gotB := casc.BatchTopKRange(queries, ranges, kk)
-					wantB := base.BatchTopKRange(queries, ranges, kk)
-					for qi := range queries {
-						if !matchesEqual(gotB[qi], wantB[qi]) {
-							t.Fatalf("d %d shard %d pw %d k %d query %d: BatchTopKRange diverged\ngot  %v\nwant %v",
-								d, shardSize, pw, kk, qi, gotB[qi], wantB[qi])
-						}
-					}
-				}
-				gotBK := casc.BatchTopK(queries, cands, k)
-				wantBK := base.BatchTopK(queries, cands, k)
-				for qi := range queries {
-					if !matchesEqual(gotBK[qi], wantBK[qi]) {
-						t.Fatalf("d %d shard %d pw %d query %d: BatchTopK diverged", d, shardSize, pw, qi)
-					}
-				}
-			}
-		}
-	}
-}
-
 // TestCascadeExactParityParallel exercises the shared atomic pruning
 // bound: a range long enough for the multi-shard fan-out, with the
 // planted cluster far into the range so the bound must propagate

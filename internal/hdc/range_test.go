@@ -24,107 +24,6 @@ func gatherRange(lo, hi, n int) []int {
 	return out
 }
 
-// TestTopKRangeParityWithGather asserts TopKRange is bit-identical to
-// the gather path (TopK over the materialized slice) and to the seed
-// naive scan, across shard sizes, window widths, ties, empty and
-// out-of-bounds ranges — the acceptance criterion of the range
-// kernel.
-func TestTopKRangeParityWithGather(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		d := 64 + rng.Intn(200)
-		n := 50 + rng.Intn(400)
-		refs := randomRefs(d, n, seed+200)
-		// Duplicate references so ties occur at range boundaries.
-		for i := 0; i+5 < n; i += 5 {
-			refs[i+1] = refs[i].Clone()
-		}
-		q := RandomBinaryHV(d, rng)
-		ranges := [][2]int{
-			{0, n},                         // full scan as a range
-			{0, 1},                         // single row
-			{n - 1, n},                     // last row
-			{n / 3, n / 2},                 // interior window
-			{7, 7},                         // empty
-			{n / 2, n / 3},                 // inverted (empty)
-			{-10, n + 10},                  // out of bounds both sides
-			{-5, 3},                        // clamped low
-			{n - 3, n + 50},                // clamped high
-			{rng.Intn(n), rng.Intn(2 * n)}, // random
-		}
-		for _, shardSize := range []int{1, 7, 64, 0} {
-			s, err := NewSearcherSharded(refs, shardSize)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, k := range []int{1, 5, n + 10} {
-				for ri, r := range ranges {
-					cand := gatherRange(r[0], r[1], n)
-					want := s.TopK(q, cand, k)
-					got := s.TopKRange(q, r[0], r[1], k)
-					if !matchesEqual(got, want) {
-						t.Fatalf("seed %d shard %d k %d range %d %v:\ngot  %v\nwant %v",
-							seed, shardSize, k, ri, r, got, want)
-					}
-					if naive := naiveTopK(refs, d, q, cand, k); !matchesEqual(got, naive) {
-						t.Fatalf("seed %d shard %d k %d range %d %v: diverges from naive",
-							seed, shardSize, k, ri, r)
-					}
-				}
-			}
-		}
-	}
-}
-
-// TestBatchTopKRangeParity asserts the block-major batch range scan
-// matches per-query gather results for batches of overlapping,
-// disjoint, empty and unsorted ranges.
-func TestBatchTopKRangeParity(t *testing.T) {
-	for seed := int64(1); seed <= 3; seed++ {
-		rng := rand.New(rand.NewSource(seed + 10))
-		d := 64 + rng.Intn(200)
-		n := 100 + rng.Intn(500)
-		refs := randomRefs(d, n, seed+300)
-		for i := 0; i+4 < n; i += 4 {
-			refs[i+2] = refs[i].Clone()
-		}
-		nq := 12
-		queries := make([]BinaryHV, nq)
-		ranges := make([]RowRange, nq)
-		for i := range queries {
-			queries[i] = RandomBinaryHV(d, rng)
-			switch i % 4 {
-			case 0: // sliding overlapping windows (the mass-sorted shape)
-				lo := (i * n) / (2 * nq)
-				ranges[i] = RowRange{Lo: lo, Hi: lo + n/3}
-			case 1: // random window, possibly past the end
-				lo := rng.Intn(n)
-				ranges[i] = RowRange{Lo: lo, Hi: lo + rng.Intn(n)}
-			case 2: // empty
-				ranges[i] = RowRange{Lo: n / 2, Hi: n / 2}
-			default: // full plus out-of-bounds slack
-				ranges[i] = RowRange{Lo: -3, Hi: n + 3}
-			}
-		}
-		for _, shardSize := range []int{3, 64, 0} {
-			s, err := NewSearcherSharded(refs, shardSize)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, k := range []int{1, 5} {
-				got := s.BatchTopKRange(queries, ranges, k)
-				for i := range queries {
-					want := s.TopK(queries[i], gatherRange(ranges[i].Lo, ranges[i].Hi, n), k)
-					if !matchesEqual(got[i], want) {
-						t.Fatalf("seed %d shard %d k %d query %d range %+v:\ngot  %v\nwant %v",
-							seed, shardSize, k, i, ranges[i], got[i], want)
-					}
-				}
-			}
-		}
-	}
-}
-
 // TestTopKRangeParallelPath exercises the multi-shard fan-out branch
 // (range length above parallelMinRefs) against the gather path.
 func TestTopKRangeParallelPath(t *testing.T) {

@@ -130,13 +130,26 @@ type shard struct {
 	start int
 	// rows is the number of references in this shard.
 	rows int
-	// a holds rows*wa words, row-major: the tier-A prefix of reference
-	// r of the shard occupies a[r*wa : (r+1)*wa]. Under a single-tier
-	// layout it is the whole packed row.
+	// a holds rows*wa words, row-major with stride wa: the tier-A
+	// prefix of reference r of the shard occupies a[r*wa : (r+1)*wa].
+	// Under a single-tier layout it is the whole packed row — and may
+	// alias a caller-owned block (NewShardedSearcherFromPacked) rather
+	// than a private copy.
 	a []uint64
-	// b holds rows*wb words, row-major: the tier-B remainder of every
-	// row. Nil under a single-tier layout.
-	b []uint64
+	// b holds the tier-B remainder of every row with row stride bs:
+	// reference r's tier-B words occupy b[r*bs : r*bs+wb]. Nil under a
+	// single-tier layout. bs == wb when the tier was packed into a
+	// private copy; bs == the full per-row word count when b aliases a
+	// caller-owned full-width block (the mmap-backed layout, where tier
+	// B stays in the mapping and faults in lazily).
+	b  []uint64
+	bs int
+}
+
+// tierB returns reference row's tier-B words within the shard.
+func (s *ShardedSearcher) tierB(sh *shard, row int) []uint64 {
+	base := row * sh.bs
+	return sh.b[base : base+s.wb]
 }
 
 // NewShardedSearcher builds the engine over the reference
@@ -195,6 +208,7 @@ func NewShardedSearcherCascade(refs []BinaryHV, shardSize int, cc CascadeConfig)
 		sh := shard{start: start, rows: rows, a: make([]uint64, rows*wa)}
 		if wb > 0 {
 			sh.b = make([]uint64, rows*wb)
+			sh.bs = wb
 		}
 		for r := 0; r < rows; r++ {
 			w := refs[start+r].Words
@@ -202,6 +216,72 @@ func NewShardedSearcherCascade(refs []BinaryHV, shardSize int, cc CascadeConfig)
 			if wb > 0 {
 				copy(sh.b[r*wb:(r+1)*wb], w[wa:])
 			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// NewShardedSearcherFromPacked builds the engine directly over a
+// contiguous packed word block — len(block) = n × WordsPerHV(d) words,
+// row-major in reference order, tail bits beyond d zero (the layout of
+// BinaryHV.Words concatenated, and of the words section of a library
+// index file). Unlike the copying constructors, the block is aliased,
+// not copied: under a single-tier layout every shard's rows are
+// zero-copy views into it, and under a cascade layout only the small
+// tier-A prefixes are repacked into private contiguous rows (the hot
+// prefilter tier, heap-resident by design) while tier B remains a
+// strided view over the block. With a memory-mapped block
+// (libindex.OpenFile) construction therefore touches only tier-A
+// pages; tier-B pages fault in lazily as the pruning bound admits
+// completions. The caller must keep the block alive — and, for a
+// mapped block, mapped — for the searcher's lifetime, and must not
+// mutate it.
+func NewShardedSearcherFromPacked(block []uint64, d, shardSize int, cc CascadeConfig) (*ShardedSearcher, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("hdc: non-positive dimension %d", d)
+	}
+	words := WordsPerHV(d)
+	if len(block) == 0 || len(block)%words != 0 {
+		return nil, fmt.Errorf("hdc: packed block of %d words is not a multiple of %d words per row", len(block), words)
+	}
+	n := len(block) / words
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	if cc.Shortlist < 0 {
+		return nil, fmt.Errorf("hdc: negative cascade shortlist %d", cc.Shortlist)
+	}
+	wa, wb := words, 0
+	if cc.PrefilterWords > 0 && cc.PrefilterWords < words {
+		wa, wb = cc.PrefilterWords, words-cc.PrefilterWords
+	}
+	if cc.Shortlist > 0 && wb == 0 {
+		return nil, fmt.Errorf("hdc: cascade shortlist %d requires a two-tier layout (prefilter words %d of %d leave no tier B)",
+			cc.Shortlist, cc.PrefilterWords, words)
+	}
+	s := &ShardedSearcher{
+		d:         d,
+		words:     words,
+		n:         n,
+		shardSize: shardSize,
+		block:     blockRows(wa),
+		wa:        wa,
+		wb:        wb,
+		shortlist: cc.Shortlist,
+	}
+	for start := 0; start < n; start += shardSize {
+		rows := min(shardSize, n-start)
+		sh := shard{start: start, rows: rows}
+		if wb == 0 {
+			sh.a = block[start*words : (start+rows)*words : (start+rows)*words]
+		} else {
+			sh.a = make([]uint64, rows*wa)
+			for r := 0; r < rows; r++ {
+				copy(sh.a[r*wa:(r+1)*wa], block[(start+r)*words:(start+r)*words+wa])
+			}
+			sh.b = block[start*words+wa : (start+rows)*words : (start+rows)*words]
+			sh.bs = words
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -281,7 +361,7 @@ func (s *ShardedSearcher) PackedRow(i int) []uint64 {
 	out := make([]uint64, s.words)
 	copy(out[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
 	if s.wb > 0 {
-		copy(out[s.wa:], sh.b[row*s.wb:(row+1)*s.wb])
+		copy(out[s.wa:], s.tierB(sh, row))
 	}
 	return out
 }
@@ -291,7 +371,7 @@ func (s *ShardedSearcher) PackedRow(i int) []uint64 {
 func (s *ShardedSearcher) simRow(qw []uint64, sh *shard, row int) int {
 	dist := distRow(qw[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
 	if s.wb > 0 {
-		dist += distRow(qw[s.wa:], sh.b[row*s.wb:(row+1)*s.wb])
+		dist += distRow(qw[s.wa:], s.tierB(sh, row))
 	}
 	return s.d - dist
 }
@@ -361,11 +441,13 @@ func distRows(qw, packed []uint64, words, rows int, dist []int) {
 }
 
 // distRowsAdd accumulates the distances of a second tier on top of
-// dist — the tier-B half of a full-similarity block score.
-func distRowsAdd(qw, packed []uint64, words, rows int, dist []int) {
+// dist — the tier-B half of a full-similarity block score. stride is
+// the row stride within packed, width the words scored per row
+// (stride > width walks a tier-B view over a full-width block).
+func distRowsAdd(qw, packed []uint64, stride, width, rows int, dist []int) {
 	for r := 0; r < rows; r++ {
-		base := r * words
-		dist[r] += distRow(qw, packed[base:base+words])
+		base := r * stride
+		dist[r] += distRow(qw, packed[base:base+width])
 	}
 }
 
@@ -378,7 +460,7 @@ func (s *ShardedSearcher) scoreBlockSims(qw []uint64, sh *shard, r0, rows int, s
 		return
 	}
 	distRows(qw[:s.wa], sh.a[r0*s.wa:], s.wa, rows, sims)
-	distRowsAdd(qw[s.wa:], sh.b[r0*s.wb:], s.wb, rows, sims)
+	distRowsAdd(qw[s.wa:], sh.b[r0*sh.bs:], sh.bs, s.wb, rows, sims)
 	for r := 0; r < rows; r++ {
 		sims[r] = s.d - sims[r]
 	}
@@ -546,7 +628,7 @@ func sortedMatches(h []Match) []Match {
 func (s *ShardedSearcher) completeRow(qb []uint64, pm Match) Match {
 	sh := &s.shards[pm.Index/s.shardSize]
 	row := pm.Index - sh.start
-	full := -pm.Similarity + distRow(qb, sh.b[row*s.wb:(row+1)*s.wb])
+	full := -pm.Similarity + distRow(qb, s.tierB(sh, row))
 	return Match{Index: pm.Index, Similarity: s.d - full}
 }
 
@@ -633,7 +715,7 @@ func (s *ShardedSearcher) topKGatherCascade(q BinaryHV, candidates []int, k int,
 				continue
 			}
 			comp++
-			full := da + distRow(qb, sh.b[row*s.wb:(row+1)*s.wb])
+			full := da + distRow(qb, s.tierB(sh, row))
 			h = offerTopK(h, Match{Index: i, Similarity: s.d - full}, k)
 			if len(h) == k {
 				bound = s.d - h[0].Similarity
@@ -811,7 +893,7 @@ func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *se
 					}
 					comp++
 					brow := b + j - sh.start
-					full := da + distRow(qb, sh.b[brow*s.wb:(brow+1)*s.wb])
+					full := da + distRow(qb, s.tierB(sh, brow))
 					h = offerTopK(h, Match{Index: b + j, Similarity: s.d - full}, k)
 					if len(h) == k {
 						bound = s.d - h[0].Similarity
@@ -1062,7 +1144,7 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 					}
 					comp++
 					row := r0 + x - shLo
-					full := da + distRow(qb, sh.b[row*s.wb:(row+1)*s.wb])
+					full := da + distRow(qb, s.tierB(sh, row))
 					h = offerTopK(h, Match{Index: r0 + x, Similarity: s.d - full}, k)
 					if len(h) == k {
 						if l := int64(s.d - h[0].Similarity); l < local {

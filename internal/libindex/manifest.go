@@ -1,0 +1,454 @@
+package libindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ManifestFormat identifies a partition manifest JSON document.
+const ManifestFormat = "oms-library-manifest"
+
+// ManifestVersion is the current manifest document version.
+const ManifestVersion = 1
+
+// PartitionInfo describes one partition file of a partitioned library
+// index. Partitions tile the mass-sorted library: partition i holds
+// global rows [StartRow, StartRow+Refs) and its masses span
+// [MinMass, MaxMass] — the mass fences a query's precursor window is
+// routed by.
+type PartitionInfo struct {
+	// File is the partition index file name, relative to the manifest's
+	// directory.
+	File string `json:"file"`
+	// Refs is the number of references in the partition.
+	Refs int `json:"refs"`
+	// StartRow is the partition's first global row (= mass rank in the
+	// concatenated library).
+	StartRow int `json:"start_row"`
+	// MinMass and MaxMass are the partition's precursor-mass fences
+	// (the first and last entry's mass; partitions are mass-contiguous
+	// and non-overlapping up to equal-mass boundary ties).
+	MinMass float64 `json:"min_mass"`
+	MaxMass float64 `json:"max_mass"`
+	// Bytes is the partition file's size, cross-checked cheaply on
+	// every OpenManifest; CRC32C is the whole-file checksum recorded at
+	// build time, cross-checked by the explicit VerifyPartitions pass
+	// (it also distinguishes an internally consistent file from a
+	// different build generation).
+	Bytes  int64  `json:"bytes"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// Manifest is the partitioned-index manifest document: global library
+// identity plus the mass-fenced partition table.
+type Manifest struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// D is the hypervector dimension shared by every partition.
+	D int `json:"d"`
+	// TotalRefs is the reference count of the concatenated library.
+	TotalRefs int `json:"total_refs"`
+	// Skipped counts spectra rejected by preprocessing at build time.
+	Skipped int `json:"skipped"`
+	// Params is the JSON-encoded core.Params the library was built
+	// with, identical to the params section of every partition file.
+	Params json.RawMessage `json:"params"`
+	// Partitions lists the partition files in ascending mass order.
+	Partitions []PartitionInfo `json:"partitions"`
+}
+
+// PartitionFileName returns the conventional partition file name for a
+// manifest path: "<base>.part%03d".
+func PartitionFileName(manifestPath string, i int) string {
+	return fmt.Sprintf("%s.part%03d", manifestPath, i)
+}
+
+// SavePartitioned splits a built library into parts mass-contiguous
+// partition index files plus a manifest at manifestPath. Partition i
+// is written to PartitionFileName(manifestPath, i) as an ordinary
+// single-file index over its slice of the mass-sorted library (each
+// partition is loadable on its own), and the manifest records the
+// global mass fences, row offsets and per-file checksums that let a
+// partitioned engine route precursor windows and verify integrity.
+// parts is clamped to the library size; parts <= 1 still produces a
+// manifest (with one partition) so callers can exercise the
+// partitioned path uniformly.
+//
+// Each partition file stores a rank-compressed local permutation (the
+// relative build order of its own rows); the global build-order
+// permutation is not recoverable from the partition files. The
+// library-wide skipped count is carried by the manifest and, so the
+// partition files' sum matches the single-file value, stored in
+// partition 0's file.
+func SavePartitioned(manifestPath string, p core.Params, lib *core.Library, parts int) error {
+	if lib == nil || lib.Len() == 0 {
+		return fmt.Errorf("libindex: refusing to save empty library")
+	}
+	n := lib.Len()
+	if parts < 1 {
+		return fmt.Errorf("libindex: partition count %d < 1", parts)
+	}
+	if parts > n {
+		parts = n
+	}
+	paramsJSON, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("libindex: encoding params: %w", err)
+	}
+	srcPos := lib.SourcePositions()
+	if len(srcPos) != n {
+		return fmt.Errorf("libindex: library has %d entries but %d source positions (SortByMass never ran?)", n, len(srcPos))
+	}
+
+	m := Manifest{
+		Format:    ManifestFormat,
+		Version:   ManifestVersion,
+		D:         lib.HVs[0].D,
+		TotalRefs: n,
+		Skipped:   lib.Skipped,
+		Params:    paramsJSON,
+	}
+	for i := 0; i < parts; i++ {
+		lo, hi := i*n/parts, (i+1)*n/parts
+		skipped := 0
+		if i == 0 {
+			skipped = lib.Skipped
+		}
+		sub, err := core.RestoreLibrary(
+			lib.Entries[lo:hi:hi],
+			lib.HVs[lo:hi:hi],
+			localizePositions(srcPos[lo:hi]),
+			skipped,
+		)
+		if err != nil {
+			return fmt.Errorf("libindex: assembling partition %d: %w", i, err)
+		}
+		path := PartitionFileName(manifestPath, i)
+		crc, size, err := savePartitionFile(path, p, sub)
+		if err != nil {
+			return fmt.Errorf("libindex: writing partition %d: %w", i, err)
+		}
+		m.Partitions = append(m.Partitions, PartitionInfo{
+			File:     filepath.Base(path),
+			Refs:     hi - lo,
+			StartRow: lo,
+			MinMass:  lib.Entries[lo].Mass,
+			MaxMass:  lib.Entries[hi-1].Mass,
+			Bytes:    size,
+			CRC32C:   crc,
+		})
+	}
+	doc, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("libindex: encoding manifest: %w", err)
+	}
+	doc = append(doc, '\n')
+	tmp := manifestPath + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, manifestPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// localizePositions rank-compresses a slice of global build positions
+// into a local permutation of [0, len): element i becomes the rank of
+// global[i] within the slice, preserving relative build order.
+func localizePositions(global []int) []int {
+	idx := make([]int, len(global))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return global[idx[a]] < global[idx[b]] })
+	local := make([]int, len(global))
+	for rank, i := range idx {
+		local[i] = rank
+	}
+	return local
+}
+
+// savePartitionFile writes one partition index atomically, returning
+// the CRC-32C and size of the full file image (computed while writing
+// — the manifest's integrity record).
+func savePartitionFile(path string, p core.Params, lib *core.Library) (uint32, int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, err
+	}
+	crc := crc32.New(castagnoli)
+	cw := io.MultiWriter(f, crc)
+	if err := Save(cw, p, lib); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	return crc.Sum32(), st.Size(), nil
+}
+
+// PartitionedIndex is an opened partitioned library: the manifest, the
+// decoded shared params, and one Index handle per partition in mass
+// order. Partitions are opened through OpenFile, so on unix each one
+// is a lazy memory mapping — opening a library far bigger than RAM is
+// metadata-bound, and only the partitions (indeed only the pages) a
+// query load actually touches become resident.
+type PartitionedIndex struct {
+	// Manifest is the manifest document as read from disk.
+	Manifest Manifest
+	// Params are the shared engine parameters from the manifest.
+	Params core.Params
+	// Parts are the opened partitions, ascending mass order.
+	Parts []*Index
+
+	path string
+}
+
+// Path returns the manifest path the index was opened from.
+func (pi *PartitionedIndex) Path() string { return pi.path }
+
+// Libraries returns the per-partition libraries in mass order — with
+// Blocks, the inputs of core.NewPartitionedExactEngine.
+func (pi *PartitionedIndex) Libraries() []*core.Library {
+	libs := make([]*core.Library, len(pi.Parts))
+	for i, part := range pi.Parts {
+		libs[i] = part.Lib
+	}
+	return libs
+}
+
+// Blocks returns the per-partition contiguous packed word blocks in
+// mass order (views over the mappings when the partitions are
+// mmap-backed).
+func (pi *PartitionedIndex) Blocks() [][]uint64 {
+	blocks := make([][]uint64, len(pi.Parts))
+	for i, part := range pi.Parts {
+		blocks[i] = part.Words()
+	}
+	return blocks
+}
+
+// Close releases every partition mapping. Engines built over the
+// index are invalid afterwards; idempotent.
+func (pi *PartitionedIndex) Close() error {
+	var first error
+	for _, part := range pi.Parts {
+		if err := part.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// VerifyPartitions checksums every partition file image against both
+// its own CRC trailer (Index.Verify) and the CRC-32C the manifest
+// recorded at build time — the explicit integrity pass OpenManifest
+// deliberately skips (it would fault in every page of every mapping).
+// The manifest cross-check additionally catches a partition file that
+// is internally consistent but from a different build than the
+// manifest describes.
+func (pi *PartitionedIndex) VerifyPartitions() error {
+	dir := filepath.Dir(pi.path)
+	for i, part := range pi.Parts {
+		info := pi.Manifest.Partitions[i]
+		if err := part.Verify(); err != nil {
+			return fmt.Errorf("libindex: partition %d (%s): %w", i, info.File, err)
+		}
+		var got uint32
+		if part.mapped != nil {
+			got = crc32.Checksum(part.mapped, castagnoli)
+		} else {
+			img, err := os.ReadFile(filepath.Join(dir, info.File))
+			if err != nil {
+				return fmt.Errorf("libindex: partition %d: %w", i, err)
+			}
+			got = crc32.Checksum(img, castagnoli)
+		}
+		if got != info.CRC32C {
+			return fmt.Errorf("libindex: partition %d (%s): file CRC %08x disagrees with manifest CRC %08x (file replaced since the manifest was written?)",
+				i, info.File, got, info.CRC32C)
+		}
+	}
+	return nil
+}
+
+// LoadManifest reads and structurally validates a manifest document
+// without opening any partition file.
+func LoadManifest(path string) (Manifest, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return Manifest{}, fmt.Errorf("libindex: decoding manifest %s: %w", path, err)
+	}
+	if m.Format != ManifestFormat {
+		return Manifest{}, fmt.Errorf("libindex: %s is not a library manifest (format %q)", path, m.Format)
+	}
+	if m.Version != ManifestVersion {
+		return Manifest{}, fmt.Errorf("libindex: unsupported manifest version %d (this build reads version %d)", m.Version, ManifestVersion)
+	}
+	if len(m.Partitions) == 0 {
+		return Manifest{}, fmt.Errorf("libindex: manifest %s lists no partitions", path)
+	}
+	total := 0
+	for i, part := range m.Partitions {
+		if part.File == "" || part.File != filepath.Base(part.File) {
+			return Manifest{}, fmt.Errorf("libindex: partition %d file %q is not a bare file name", i, part.File)
+		}
+		if part.Refs <= 0 {
+			return Manifest{}, fmt.Errorf("libindex: partition %d has %d refs", i, part.Refs)
+		}
+		if part.StartRow != total {
+			return Manifest{}, fmt.Errorf("libindex: partition %d starts at row %d, want %d (partitions must tile the library)", i, part.StartRow, total)
+		}
+		if part.MinMass > part.MaxMass {
+			return Manifest{}, fmt.Errorf("libindex: partition %d has inverted mass fences [%g, %g]", i, part.MinMass, part.MaxMass)
+		}
+		if i > 0 && part.MinMass < m.Partitions[i-1].MaxMass {
+			return Manifest{}, fmt.Errorf("libindex: partition %d fence %g below partition %d fence %g (mass order broken)",
+				i, part.MinMass, i-1, m.Partitions[i-1].MaxMass)
+		}
+		total += part.Refs
+	}
+	if total != m.TotalRefs {
+		return Manifest{}, fmt.Errorf("libindex: manifest claims %d total refs but partitions sum to %d", m.TotalRefs, total)
+	}
+	return m, nil
+}
+
+// OpenManifest opens a partitioned library index: the manifest is
+// validated, every partition file is opened via OpenFile (mmap-backed
+// where supported) and cross-checked against the manifest's fences,
+// row offsets and sizes. Like OpenFile, the bulk word payloads are not
+// checksummed here — call VerifyPartitions for the full integrity
+// pass.
+func OpenManifest(path string) (*PartitionedIndex, error) {
+	m, err := LoadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	var p core.Params
+	if err := json.Unmarshal(m.Params, &p); err != nil {
+		return nil, fmt.Errorf("libindex: decoding manifest params: %w", err)
+	}
+	if p.Accel.D != m.D {
+		return nil, fmt.Errorf("libindex: manifest params dimension D=%d disagrees with manifest dimension %d", p.Accel.D, m.D)
+	}
+	// Canonical form of the manifest's params for the per-partition
+	// build-generation check below.
+	manifestParams, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("libindex: re-encoding manifest params: %w", err)
+	}
+	dir := filepath.Dir(path)
+	pi := &PartitionedIndex{Manifest: m, Params: p, path: path}
+	for i, info := range m.Partitions {
+		partPath := filepath.Join(dir, info.File)
+		if st, err := os.Stat(partPath); err != nil {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d: %w", i, err)
+		} else if st.Size() != info.Bytes {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d (%s) is %d bytes, manifest records %d", i, info.File, st.Size(), info.Bytes)
+		}
+		part, err := OpenFile(partPath)
+		if err != nil {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d: %w", i, err)
+		}
+		pi.Parts = append(pi.Parts, part)
+		lib := part.Lib
+		if part.Params.Accel.D != m.D {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d has D=%d, manifest says %d", i, part.Params.Accel.D, m.D)
+		}
+		// The full params — encoder identity above all (seed, precision,
+		// chunks, binner, preprocessing) — must agree with the manifest,
+		// or a partition file from a different build generation would
+		// open cleanly and silently mis-score every query against
+		// hypervectors its encoder never produced.
+		partParams, err := json.Marshal(part.Params)
+		if err != nil {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d: re-encoding params: %w", i, err)
+		}
+		if string(partParams) != string(manifestParams) {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d (%s) was built with different params than the manifest (mixed build generations?)", i, info.File)
+		}
+		if lib.Len() != info.Refs {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d has %d refs, manifest records %d", i, lib.Len(), info.Refs)
+		}
+		if lo, hi := lib.Entries[0].Mass, lib.Entries[lib.Len()-1].Mass; lo != info.MinMass || hi != info.MaxMass {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d spans masses [%g, %g], manifest fences are [%g, %g]",
+				i, lo, hi, info.MinMass, info.MaxMass)
+		}
+	}
+	return pi, nil
+}
+
+// Kind distinguishes the two on-disk index layouts an -index flag can
+// point at.
+type Kind int
+
+const (
+	// KindIndex is a single binary index file ("OMSIDX" magic).
+	KindIndex Kind = iota
+	// KindManifest is a partitioned-index JSON manifest.
+	KindManifest
+)
+
+// DetectKind sniffs whether path is a single index file or a partition
+// manifest, so CLIs can accept either behind one flag.
+func DetectKind(path string) (Kind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var head [64]byte
+	k, err := f.Read(head[:])
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	if k >= len(magic) && [6]byte(head[:6]) == magic {
+		return KindIndex, nil
+	}
+	if s := strings.TrimLeft(string(head[:k]), " \t\r\n"); strings.HasPrefix(s, "{") {
+		return KindManifest, nil
+	}
+	return 0, fmt.Errorf("libindex: %s is neither an OMS index nor a partition manifest", path)
+}

@@ -1,0 +1,34 @@
+package libindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdc"
+)
+
+// syntheticLibrary assembles a valid mass-sorted library of n random
+// hypervectors directly — no preprocessing or encoding — for tests and
+// benchmarks whose subject is the index machinery, not the encoder.
+func syntheticLibrary(tb testing.TB, n, d int) (core.Params, *core.Library) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	entries := make([]core.LibraryEntry, n)
+	hvs := make([]hdc.BinaryHV, n)
+	for i := range entries {
+		entries[i] = core.LibraryEntry{
+			ID:      fmt.Sprintf("ref-%d", i),
+			Peptide: fmt.Sprintf("PEPTIDE%d", i),
+			IsDecoy: i%3 == 0,
+			Mass:    500 + float64(i)*0.37,
+		}
+		hvs[i] = hdc.RandomBinaryHV(d, rng)
+	}
+	lib, err := core.RestoreLibrary(entries, hvs, rng.Perm(n), 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return testParams(d, 0, 3), lib
+}

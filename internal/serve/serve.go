@@ -96,7 +96,7 @@ type request struct {
 
 // Server coalesces concurrent searches into batched engine sweeps.
 type Server struct {
-	engine *core.Engine
+	engine core.SearchEngine
 	cfg    Config
 
 	in   chan *request
@@ -110,9 +110,11 @@ type Server struct {
 	stats     collector
 }
 
-// New starts the micro-batcher over an engine. The returned server
-// must be Closed to stop its dispatcher goroutine.
-func New(engine *core.Engine, cfg Config) (*Server, error) {
+// New starts the micro-batcher over an engine — the single-store
+// exact engine or the partitioned engine over a mmap-backed manifest;
+// anything satisfying core.SearchEngine. The returned server must be
+// Closed to stop its dispatcher goroutine.
+func New(engine core.SearchEngine, cfg Config) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("serve: nil engine")
 	}
@@ -130,7 +132,7 @@ func New(engine *core.Engine, cfg Config) (*Server, error) {
 }
 
 // Engine returns the underlying engine.
-func (s *Server) Engine() *core.Engine { return s.engine }
+func (s *Server) Engine() core.SearchEngine { return s.engine }
 
 // Search prepares one query in the caller's goroutine (preprocessing,
 // encoding and candidate-range selection parallelize naturally across

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -397,5 +398,71 @@ func TestStatsHistograms(t *testing.T) {
 	}
 	if st.LatencyP50 <= 0 || st.LatencyP99 < st.LatencyP50 {
 		t.Fatalf("implausible latency quantiles p50=%v p99=%v", st.LatencyP50, st.LatencyP99)
+	}
+}
+
+// TestCloseRacesEnqueue drains the queue-vs-Close race: many
+// goroutines submit searches while Close runs concurrently. Every
+// request must resolve exactly one way — a real result, ErrClosed, or
+// ErrQueueFull — with no hangs, no panics, and every request admitted
+// before the drain completing with a correct result; and Close must
+// return with the dispatcher fully stopped no matter how the race
+// lands. Run under -race in CI.
+func TestCloseRacesEnqueue(t *testing.T) {
+	engine, queries := testEngine(t)
+	want := make(map[string]fdr.PSM)
+	wantOK := make(map[string]bool)
+	for _, q := range queries {
+		psm, ok, err := engine.SearchOne(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK[q.ID] = ok
+		if ok {
+			want[q.ID] = psm
+		}
+	}
+	for round := 0; round < 8; round++ {
+		srv, err := New(engine, Config{MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		results := make([]error, len(queries)*2)
+		for g := 0; g < 2; g++ {
+			for qi, q := range queries {
+				wg.Add(1)
+				go func(slot int, q *spectrum.Spectrum) {
+					defer wg.Done()
+					psm, ok, err := srv.Search(context.Background(), q)
+					results[slot] = err
+					if err == nil {
+						// A delivered result must be the engine's, drained
+						// batches included.
+						if ok != wantOK[q.ID] || (ok && psm != want[q.ID]) {
+							t.Errorf("round %d: query %s served %+v ok=%v, want %+v ok=%v",
+								round, q.ID, psm, ok, want[q.ID], wantOK[q.ID])
+						}
+					}
+				}(g*len(queries)+qi, q)
+			}
+		}
+		// Close concurrently with the submissions — sometimes before
+		// the batcher has flushed anything, sometimes mid-drain.
+		if round%2 == 0 {
+			runtime.Gosched()
+		}
+		srv.Close()
+		wg.Wait()
+		for slot, err := range results {
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("round %d: slot %d resolved with unexpected error %v", round, slot, err)
+			}
+		}
+		// Idempotent double-close must not deadlock or panic.
+		srv.Close()
 	}
 }
