@@ -265,7 +265,9 @@ func TestServeUntilShutdownServeError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ln.Close() // Serve on a closed listener fails immediately
+	if err := ln.Close(); err != nil { // Serve on a closed listener fails immediately
+		t.Fatal(err)
+	}
 	stop := make(chan os.Signal, 1)
 	defer close(stop)
 	if err := serveUntilShutdown(&http.Server{}, ln, stop, time.Second); err == nil || errors.Is(err, http.ErrServerClosed) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,12 +53,16 @@ type serving struct {
 }
 
 // release drops one reference, tearing the generation down when the
-// last holder lets go.
+// last holder lets go. Teardown has no caller left to return an error
+// to — the last searcher is already gone — so an unmap failure is
+// reported to the operator log rather than silently dropped.
 func (sv *serving) release() {
 	if sv.refs.Add(-1) == 0 {
 		sv.srv.Close()
 		if sv.closeIndex != nil {
-			sv.closeIndex()
+			if err := sv.closeIndex(); err != nil {
+				fmt.Fprintf(os.Stderr, "omsd: closing retired index generation (%s): %v\n", sv.desc, err)
+			}
 		}
 	}
 }

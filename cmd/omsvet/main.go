@@ -1,0 +1,135 @@
+// Command omsvet runs the repo's invariant analyzers — the mechanical
+// enforcement of the correctness rules the mmap-backed index, the
+// cascade's shared atomic bound, and the hot-reload generation
+// pinning depend on (DESIGN.md §9):
+//
+//	mmapwrite   no write/append to, or struct escape of, slices derived
+//	            from the mmap-backed packed word block
+//	atomicfield a field accessed through sync/atomic anywhere must be
+//	            accessed atomically everywhere
+//	genpin      every acquired serving generation is released on all
+//	            paths (defer, or provably before every exit)
+//	closeerr    Close/Shutdown/Sync/Munmap errors must not be silently
+//	            discarded outside deferred cleanup and error paths
+//
+// Standalone (loads and typechecks from source, no toolchain cache):
+//
+//	go run ./cmd/omsvet ./...
+//	omsvet [-test=false] [packages...]
+//
+// As a go vet tool (uses the go command's export data and caching):
+//
+//	go build -o bin/omsvet ./cmd/omsvet
+//	go vet -vettool=$PWD/bin/omsvet ./...
+//
+// A finding is suppressed — visibly, auditable by grep — with an
+// end-of-line directive naming the analyzer and a justification:
+//
+//	sh.a = block[lo:hi] //oms:allow(mmapwrite) searcher owns the alias
+//
+// The directive covers its own line and the next; an unknown analyzer
+// name in a directive is itself a finding. Exit status: 0 clean,
+// nonzero on findings or load errors.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/closeerr"
+	"repro/internal/analysis/genpin"
+	"repro/internal/analysis/mmapwrite"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		closeerr.Analyzer,
+		genpin.Analyzer,
+		mmapwrite.Analyzer,
+	}
+}
+
+func main() {
+	// The go vet protocol probes the tool identity first (the response
+	// keys vet's result cache, so it must change when the binary does),
+	// then asks for the tool's registered flags.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("omsvet version %s\n", selfHash())
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// A single *.cfg argument is a unitchecker invocation from go vet.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(analysis.RunUnitchecker(os.Args[1], analyzers(), os.Stderr))
+	}
+
+	tests := flag.Bool("test", true, "analyze _test.go files (in-package and external test variants)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(patterns, *tests, os.Stdout))
+}
+
+// runStandalone loads the patterns from source and reports findings to
+// w, one file:line:col line each.
+func runStandalone(patterns []string, tests bool, w io.Writer) int {
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.Load(patterns, tests)
+	if err != nil {
+		fmt.Fprintf(w, "omsvet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	// A file shared by a package and its `go list -test` variant (or by
+	// several test binaries) is analyzed more than once; report each
+	// finding a single time.
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(loader.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analyzers())
+		if err != nil {
+			fmt.Fprintf(w, "omsvet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			line := fmt.Sprintf("%s: %s: %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			fmt.Fprintln(w, line)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// selfHash digests the tool's own binary, giving go vet a version
+// string that tracks every rebuild.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,125 @@
+// Package atomicfield enforces the shared-bound access protocol: a
+// struct field that is accessed through sync/atomic anywhere in a
+// package must be accessed atomically everywhere in that package.
+//
+// The hazard is the cascade's shared batch bound and the serving
+// generation's reference count — values raced across shard workers and
+// request goroutines where one plain load or store silently reverts
+// the code to `-race` luck. The analyzer collects every field whose
+// address is passed to a sync/atomic function (atomic.AddInt64(&s.f),
+// CompareAndSwap, Load, Store, Swap) and then reports every other
+// access to the same field object that is not itself under
+// sync/atomic.
+//
+// One access form is exempt: initializing the field in a composite
+// literal (S{f: 1}). Construction happens before the value is
+// published, and requiring atomic.Store in literals would outlaw the
+// idiomatic zero-to-published pattern. A plain `s.f = 0` reset, by
+// contrast, is reported — use Store, or a constructor literal.
+//
+// Fields of the typed atomics (atomic.Int64, atomic.Uint64, …) need no
+// analyzer: their raw word is unexported, so non-atomic access does
+// not compile. New code should prefer them; this analyzer exists for
+// the address-taken style and for the transition between the two.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "report non-atomic access to struct fields that are accessed via sync/atomic elsewhere",
+	Run:  run,
+}
+
+func init() { analysis.RegisterName(Analyzer.Name) }
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: the set of field objects used atomically, and the
+	// selector expressions that constitute those atomic uses.
+	atomicFields := map[types.Object]ast.Node{} // field -> one atomic use (for the report)
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldObject(pass, sel); field != nil {
+					atomicFields[field] = call
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic. A
+	// composite-literal initialization (S{f: 1}) never forms a
+	// SelectorExpr, so the sanctioned pre-publication write is exempt
+	// by construction.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			field := fieldObject(pass, sel)
+			if field == nil {
+				return true
+			}
+			if _, tracked := atomicFields[field]; !tracked {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"non-atomic access to field %s, which is accessed with sync/atomic elsewhere in this package (use sync/atomic, or //oms:allow(atomicfield) with the happens-before argument)",
+				field.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (the address-taken style; typed-atomic methods are safe by
+// construction and not tracked).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldObject resolves sel to a struct field object, or nil.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package atomicfieldtest plants mixed atomic/plain field accesses for
+// the atomicfield analyzer. Fields n and hits are bound to sync/atomic
+// by the accesses in bump; every plain access to them elsewhere is a
+// violation. Field cold is never touched atomically and stays free;
+// composite-literal initialization is the sanctioned pre-publication
+// write.
+package atomicfieldtest
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+	cold int64
+}
+
+func newCounter() *counter {
+	return &counter{n: 1} // pre-publication init: exempt by construction
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `non-atomic access to field n`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `non-atomic access to field hits`
+	c.cold = 0 // cold has no atomic uses: exempt
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n) // atomic access: exempt
+}
+
+func (c *counter) swap() int64 {
+	return atomic.SwapInt64(&c.hits, 0) // atomic access: exempt
+}
+
+func (c *counter) allowed() int64 {
+	return c.n //oms:allow(atomicfield) fixture: single-threaded teardown
+}

@@ -1,0 +1,138 @@
+// Package closeerr flags silently discarded errors from resource
+// teardown calls — Close, Shutdown, Sync, Munmap and this repo's
+// closeIndex/munmapFile — on the paths where that error is the only
+// failure signal left.
+//
+// The index write path is the motivating hazard: SaveFile's atomicity
+// argument is "rename only after a successful Sync and Close", so a
+// dropped Close error can publish a torn index as good. The analyzer
+// therefore reports a teardown call whose error result is discarded as
+// a bare statement, with three deliberate exemptions:
+//
+//   - `defer f.Close()`: deferred cleanup where the function's primary
+//     result already dominates; the write-path pattern (checked Close
+//     before rename) is non-deferred by construction.
+//   - explicit discard `_ = f.Close()`: a reviewed decision, visible
+//     in the diff.
+//   - error-path cleanup: a discarded Close followed, in the same
+//     block, by a return that propagates a different error — the
+//     original failure outranks the cleanup failure.
+package closeerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the closeerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "closeerr",
+	Doc:  "report discarded errors from Close/Shutdown/Sync/Munmap teardown calls",
+	Run:  run,
+}
+
+func init() { analysis.RegisterName(Analyzer.Name) }
+
+// teardownNames are the callee names (lowercased) whose error result
+// carries a durability or resource-release failure.
+var teardownNames = map[string]bool{
+	"close":      true,
+	"shutdown":   true,
+	"sync":       true,
+	"munmap":     true,
+	"munmapfile": true,
+	"closeindex": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			body, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range body.List {
+				expr, ok := stmt.(*ast.ExprStmt)
+				if !ok {
+					continue
+				}
+				call, ok := expr.X.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name := calleeName(call)
+				if !teardownNames[strings.ToLower(name)] {
+					continue
+				}
+				if !returnsError(pass, call) {
+					continue
+				}
+				if propagatesOtherError(pass, body.List[i+1:]) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"error from %s is discarded; check it (or `_ = %s()` if the discard is deliberate)",
+					name, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the called function or method name: Close in
+// f.Close(), munmapFile in munmapFile(data), closeIndex in a call
+// through a func-typed field.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// returnsError reports whether the call's (only or last) result is an
+// error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// propagatesOtherError reports whether a later statement in the same
+// block returns a non-nil error-typed expression — the error-path
+// cleanup shape, where the discarded teardown error is outranked by
+// the failure already being propagated.
+func propagatesOtherError(pass *analysis.Pass, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		ret, ok := stmt.(*ast.ReturnStmt)
+		if !ok {
+			continue
+		}
+		for _, res := range ret.Results {
+			if ident, ok := ast.Unparen(res).(*ast.Ident); ok && ident.Name == "nil" {
+				continue
+			}
+			if tv, ok := pass.TypesInfo.Types[res]; ok && isErrorType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package closeerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closeerr"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/closeerrtest", closeerr.Analyzer)
+}

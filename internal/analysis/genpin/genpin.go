@@ -1,0 +1,465 @@
+// Package genpin enforces generation pinning: a refcounted serving
+// generation obtained from an acquire call must be released on every
+// path through the acquiring function.
+//
+// This is the omsd hot-reload contract (cmd/omsd/reload.go): each
+// search pins the generation that admitted it with acquire(), and the
+// old index is unmapped only when the last pin is released — a leaked
+// reference keeps a retired mapping (and its batcher) alive forever,
+// while the converse bug, a path that returns before releasing,
+// silently pins one generation per failed request until the daemon
+// OOMs. The compiler sees neither; this analyzer does, lostcancel
+// style.
+//
+// An "acquire" is any call to a function or method named acquire (any
+// case) whose result type carries a release method (any case). For
+// each `v := x.acquire()` the analyzer accepts the function when:
+//
+//   - some `defer v.release()` exists (covers every exit), or
+//   - v escapes the function — returned, stored into a struct or
+//     global, sent on a channel, captured by a closure, or passed to
+//     another call — transferring release responsibility, or
+//   - a conservative walk of the statements after the acquire finds a
+//     release before every exit (return, branch, panic, Fatal/Exit
+//     call). Branches guarded by `if v == nil` are exempt: a nil
+//     acquire result means shutdown, and there is nothing to release.
+//
+// Otherwise the exit that can be reached while the pin is still held
+// is reported.
+package genpin
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the genpin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "genpin",
+	Doc:  "report acquired refcounted generations not released on all paths",
+	Run:  run,
+}
+
+func init() { analysis.RegisterName(Analyzer.Name) }
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody finds acquires in one function body (not descending into
+// nested function literals — those are their own scope, visited by
+// run's walk) and verifies each.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isAcquireCall(pass, call) {
+			return
+		}
+		obj := pass.TypesInfo.Defs[ident]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[ident]
+		}
+		if obj == nil {
+			return
+		}
+		checkAcquire(pass, body, assign, obj)
+	})
+}
+
+// isAcquireCall matches a call to something named acquire returning a
+// single value that has a release method.
+func isAcquireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if !strings.EqualFold(calleeName(call), "acquire") {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ast.Expr(call)]
+	if !ok {
+		return false
+	}
+	return releaseMethod(tv.Type) != ""
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// releaseMethod returns the name of t's release method ("release" or
+// "Release"), or "".
+func releaseMethod(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for _, ms := range []*types.MethodSet{types.NewMethodSet(t), types.NewMethodSet(types.NewPointer(t))} {
+		for i := 0; i < ms.Len(); i++ {
+			if name := ms.At(i).Obj().Name(); strings.EqualFold(name, "release") {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// checkAcquire verifies one acquire: obj must be released on every
+// path from the acquire statement to a function exit.
+func checkAcquire(pass *analysis.Pass, body *ast.BlockStmt, acquire *ast.AssignStmt, obj types.Object) {
+	c := &checker{pass: pass, obj: obj}
+	// A deferred release covers every exit at once.
+	if c.hasDeferredRelease(body) {
+		return
+	}
+	// An escaping pin transfers release responsibility elsewhere.
+	if c.escapes(body) {
+		return
+	}
+	// Conservative path walk from the statement after the acquire.
+	stmts := followingStatements(body, acquire)
+	if stmts == nil {
+		return
+	}
+	released := c.scanList(stmts, false)
+	if !released && !c.reported {
+		pass.Reportf(acquire.Pos(),
+			"%s acquired here is not released on every path (add `defer %s.release()` or release before each return)",
+			obj.Name(), obj.Name())
+	}
+}
+
+// checker carries one acquire's state through the walk.
+type checker struct {
+	pass     *analysis.Pass
+	obj      types.Object
+	reported bool
+}
+
+// followingStatements returns the statements of the block containing
+// stmt, starting just after it, or nil when stmt is not an immediate
+// child of body's statement tree (acquire inside an if-init etc. —
+// conservatively skipped).
+func followingStatements(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var found []ast.Stmt
+	walkShallow(body, func(n ast.Node) {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return
+		}
+		for i, s := range block.List {
+			if s == target {
+				found = block.List[i+1:]
+			}
+		}
+	})
+	return found
+}
+
+// hasDeferredRelease reports whether body contains `defer v.release()`
+// for the tracked object.
+func (c *checker) hasDeferredRelease(body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if ok && c.isReleaseCall(d.Call) {
+			found = true
+		}
+	})
+	return found
+}
+
+// isReleaseCall matches `v.release()` / `v.Release()` on the tracked
+// object.
+func (c *checker) isReleaseCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.EqualFold(sel.Sel.Name, "release") {
+		return false
+	}
+	ident, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && c.isObj(ident)
+}
+
+func (c *checker) isObj(ident *ast.Ident) bool {
+	return c.pass.TypesInfo.Uses[ident] == c.obj || c.pass.TypesInfo.Defs[ident] == c.obj
+}
+
+// escapes reports whether the pinned value leaves the function: as a
+// return value, a call argument, a composite-literal element, the
+// right side of a store into a selector/index/global, a channel send,
+// or a closure capture. Method calls *on* the value (v.release(),
+// v.srv.Search(...)) are uses, not escapes.
+func (c *checker) escapes(body *ast.BlockStmt) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if c.mentions(res) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if ident, ok := ast.Unparen(arg).(*ast.Ident); ok && c.isObj(ident) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if ident, ok := ast.Unparen(elt).(*ast.Ident); ok && c.isObj(ident) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				ident, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || !c.isObj(ident) || i >= len(x.Lhs) {
+					continue
+				}
+				switch ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if ident, ok := ast.Unparen(x.Value).(*ast.Ident); ok && c.isObj(ident) {
+				escaped = true
+			}
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(n ast.Node) bool {
+				if ident, ok := n.(*ast.Ident); ok && c.isObj(ident) {
+					escaped = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return escaped
+}
+
+func (c *checker) mentions(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && c.isObj(ident) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// scanList walks a statement list in order, tracking whether the pin
+// has been released, and reports any exit reachable with the pin still
+// held. It returns the released state at the end of the list.
+func (c *checker) scanList(stmts []ast.Stmt, released bool) bool {
+	for _, stmt := range stmts {
+		released = c.scanStmt(stmt, released)
+	}
+	return released
+}
+
+func (c *checker) scanStmt(stmt ast.Stmt, released bool) bool {
+	switch x := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if c.isReleaseCall(call) {
+				return true
+			}
+			if !released && isTerminalCall(c.pass, call) {
+				c.report(stmt)
+			}
+		}
+	case *ast.ReturnStmt:
+		if !released {
+			c.report(stmt)
+		}
+	case *ast.BranchStmt:
+		// break/continue/goto leave the region the pin was scoped to.
+		if !released && x.Tok != token.FALLTHROUGH {
+			c.report(stmt)
+		}
+	case *ast.BlockStmt:
+		return c.scanList(x.List, released)
+	case *ast.IfStmt:
+		switch nilCheck(c, x.Cond) {
+		case condNil:
+			// Inside `if v == nil` the pin does not exist; exits there
+			// are fine and a release there is impossible.
+			if x.Else != nil {
+				return c.scanStmt(x.Else, released)
+			}
+			return released
+		case condNotNil:
+			// `if v != nil { ... }`: the branch is the only place the
+			// pin is live, so its release decides.
+			thenReleased := c.scanList(x.Body.List, released)
+			if x.Else != nil {
+				c.scanStmt(x.Else, released)
+			}
+			return thenReleased
+		default:
+			thenReleased := c.scanList(x.Body.List, released)
+			elseReleased := released
+			if x.Else != nil {
+				elseReleased = c.scanStmt(x.Else, released)
+			}
+			return thenReleased && elseReleased
+		}
+	case *ast.ForStmt:
+		c.scanList(x.Body.List, released)
+		return released
+	case *ast.RangeStmt:
+		c.scanList(x.Body.List, released)
+		return released
+	case *ast.SwitchStmt:
+		return c.scanClauses(x.Body, released)
+	case *ast.TypeSwitchStmt:
+		return c.scanClauses(x.Body, released)
+	case *ast.SelectStmt:
+		all := true
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if !c.scanList(cc.Body, released) {
+					all = false
+				}
+			}
+		}
+		return released || all
+	case *ast.LabeledStmt:
+		return c.scanStmt(x.Stmt, released)
+	}
+	return released
+}
+
+// scanClauses folds a switch body: released after the switch only if
+// every clause (including an existing default) releases.
+func (c *checker) scanClauses(body *ast.BlockStmt, released bool) bool {
+	all := true
+	hasDefault := false
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !c.scanList(cc.Body, released) {
+			all = false
+		}
+	}
+	return released || (all && hasDefault)
+}
+
+func (c *checker) report(at ast.Stmt) {
+	c.reported = true
+	c.pass.Reportf(at.Pos(),
+		"this statement can be reached with the %s generation still pinned (release it first, or use defer)",
+		c.obj.Name())
+}
+
+type condKind int
+
+const (
+	condOther  condKind = iota
+	condNil             // v == nil
+	condNotNil          // v != nil
+)
+
+// nilCheck classifies an if condition against the tracked object.
+func nilCheck(c *checker, cond ast.Expr) condKind {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return condOther
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	var other ast.Expr
+	if ident, ok := x.(*ast.Ident); ok && c.isObj(ident) {
+		other = y
+	} else if ident, ok := y.(*ast.Ident); ok && c.isObj(ident) {
+		other = x
+	} else {
+		return condOther
+	}
+	if ident, ok := other.(*ast.Ident); !ok || ident.Name != "nil" {
+		return condOther
+	}
+	switch bin.Op {
+	case token.EQL:
+		return condNil
+	case token.NEQ:
+		return condNotNil
+	}
+	return condOther
+}
+
+// isTerminalCall matches calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit and testing's Fatal/Fatalf/FailNow/Skip*.
+func isTerminalCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		name := fn.Name()
+		switch {
+		case strings.HasPrefix(name, "Fatal"), name == "FailNow", name == "Goexit", name == "Exit",
+			name == "Skip", name == "Skipf", name == "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// walkShallow visits nodes without descending into nested function
+// literals.
+func walkShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

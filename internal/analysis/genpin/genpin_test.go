@@ -1,0 +1,12 @@
+package genpin_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/genpin"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/genpintest", genpin.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Package genpintest plants generation-pinning leaks for the genpin
+// analyzer, modeled on the omsd daemon: acquire() returns a refcounted
+// generation whose release() must run on every path. The accepted
+// shapes — defer, release-before-every-exit, nil-check branches,
+// escapes that transfer responsibility — must stay silent.
+package genpintest
+
+import "errors"
+
+type gen struct{ refs int }
+
+func (g *gen) release() {}
+
+type daemon struct{ cur *gen }
+
+func (d *daemon) acquire() *gen { return d.cur }
+
+var errFixture = errors.New("fixture")
+
+func leakOnEarlyReturn(d *daemon, fail bool) error {
+	g := d.acquire()
+	if fail {
+		return errFixture // want `this statement can be reached with the g generation still pinned`
+	}
+	g.release()
+	return nil
+}
+
+func neverReleased(d *daemon) {
+	g := d.acquire() // want `g acquired here is not released on every path`
+	_ = g
+}
+
+func leakOnPanic(d *daemon, fail bool) {
+	g := d.acquire()
+	if fail {
+		panic("boom") // want `can be reached with the g generation still pinned`
+	}
+	g.release()
+}
+
+func releasedOnAllPaths(d *daemon, fail bool) error {
+	g := d.acquire()
+	if fail {
+		g.release()
+		return errFixture
+	}
+	g.release()
+	return nil
+}
+
+func deferredRelease(d *daemon, fail bool) error {
+	g := d.acquire()
+	defer g.release()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+func nilCheckShutdown(d *daemon) {
+	g := d.acquire()
+	if g == nil {
+		return // a nil acquire means shutdown: nothing to release
+	}
+	g.release()
+}
+
+func loopWithContinue(d *daemon) {
+	for i := 0; i < 3; i++ {
+		g := d.acquire()
+		if g == nil {
+			continue
+		}
+		g.release()
+	}
+}
+
+func escapeTransfersResponsibility(d *daemon) *gen {
+	g := d.acquire()
+	return g // the caller owns the release now
+}
+
+func allowedLeak(d *daemon) {
+	g := d.acquire() //oms:allow(genpin) fixture: released by a background sweeper
+	_ = g
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one typechecked package as the standalone driver sees it.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Root marks a package matched by the load patterns (as opposed to
+	// a dependency pulled in only for typechecking) — the set the
+	// analyzers actually run over.
+	Root bool
+}
+
+// Loader typechecks packages from source, resolving the dependency
+// graph with `go list -json -deps` — no compiler export data and no
+// network, so it works identically in CI, sandboxes, and the
+// analysistest fixtures. Dependencies arrive from `go list` in
+// topological order, so each package typechecks against the already
+// checked *types.Package of its imports.
+type Loader struct {
+	// Dir is the directory `go list` runs in (any directory inside the
+	// module; "" = current directory).
+	Dir string
+
+	Fset *token.FileSet
+	pkgs map[string]*types.Package // typechecked, by resolved import path
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, Fset: token.NewFileSet(), pkgs: map[string]*types.Package{}}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// golist runs `go list -json` with args and decodes the package
+// stream. CGO is disabled so every listed package has a pure-Go file
+// set the source typechecker can handle.
+func (l *Loader) golist(args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load typechecks the packages matching patterns (plus their full
+// dependency graph) and returns the matched packages. With tests set,
+// the in-package and external test variants are included — the
+// analyzers then see _test.go files too, under the variant import
+// paths `go list -test` reports.
+func (l *Loader) Load(patterns []string, tests bool) ([]*Package, error) {
+	args := []string{"-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	listed, err := l.golist(append(args, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*Package
+	for _, lp := range listed {
+		// The synthetic test main ("pkg.test") references a generated
+		// _testmain.go that exists only inside the build cache; there is
+		// nothing of ours to analyze in it.
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := l.check(lp, !lp.DepOnly)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly && pkg != nil {
+			roots = append(roots, pkg)
+		}
+	}
+	return roots, nil
+}
+
+// LoadFixtureDir typechecks every .go file in dir as one package (the
+// analysistest entry point). The fixture's imports — standard library
+// or this module's packages alike — are resolved with a `go list
+// -deps` over exactly the paths the fixture names, then typechecked
+// from source like any other dependency.
+func (l *Loader) LoadFixtureDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := l.golist(append([]string{"-deps"}, paths...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			if _, err := l.check(lp, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pkgPath := "fixture/" + files[0].Name.Name
+	return l.typecheck(pkgPath, dir, files, nil, true)
+}
+
+// check parses and typechecks one listed package, memoizing by import
+// path. Dependencies are checked without AST retention or type-use
+// maps; root packages keep both for the analyzers.
+func (l *Loader) check(lp *listedPackage, root bool) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		l.pkgs["unsafe"] = types.Unsafe
+		return nil, nil
+	}
+	if _, done := l.pkgs[lp.ImportPath]; done && !root {
+		return nil, nil
+	}
+	mode := parser.SkipObjectResolution
+	if root {
+		// Roots keep comments: the suppression directives live there.
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.typecheck(lp.ImportPath, lp.Dir, files, lp.ImportMap, root)
+}
+
+// typecheck runs go/types over one parsed package.
+func (l *Loader) typecheck(pkgPath, dir string, files []*ast.File, importMap map[string]string, root bool) (*Package, error) {
+	var info *types.Info
+	if root {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:    &mapImporter{l: l, importMap: importMap},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil && firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", pkgPath, err)
+	}
+	l.pkgs[pkgPath] = tpkg
+	return &Package{PkgPath: pkgPath, Dir: dir, Files: files, Types: tpkg, TypesInfo: info, Root: root}, nil
+}
+
+// mapImporter resolves imports against the loader's already checked
+// packages, through the importing package's ImportMap (which carries
+// std-vendor rewrites and `go list -test` variant bindings).
+type mapImporter struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := m.l.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not in dependency graph", path)
+}

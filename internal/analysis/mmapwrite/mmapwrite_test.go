@@ -1,0 +1,12 @@
+package mmapwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mmapwrite"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/mmapwritetest", mmapwrite.Analyzer)
+}

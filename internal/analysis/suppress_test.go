@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one file with comments, as the drivers do.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// diagAt builds a diagnostic for analyzer name on the given 1-based
+// line of the parsed file.
+func diagAt(fset *token.FileSet, name string, line int) Diagnostic {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return Diagnostic{Pos: pos, Analyzer: name, Message: "planted"}
+}
+
+func TestSuppressCoversOwnAndNextLine(t *testing.T) {
+	RegisterName("suppresscheck")
+	fset, files := parseSrc(t, `package p
+
+//oms:allow(suppresscheck) justification
+var a = 1
+var b = 2
+`)
+	dirs, bad := CollectDirectives(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected validation findings: %+v", bad)
+	}
+	if len(dirs) != 1 || dirs[0].Line != 3 {
+		t.Fatalf("directives = %+v, want one on line 3", dirs)
+	}
+	diags := []Diagnostic{
+		diagAt(fset, "suppresscheck", 3), // directive's own line
+		diagAt(fset, "suppresscheck", 4), // line below
+		diagAt(fset, "suppresscheck", 5), // out of range: survives
+		diagAt(fset, "othercheck", 4),    // other analyzer: survives
+	}
+	kept := Suppress(fset, diags, dirs)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %+v", len(kept), kept)
+	}
+	for _, d := range kept {
+		pos := fset.Position(d.Pos)
+		if d.Analyzer == "suppresscheck" && pos.Line != 5 {
+			t.Errorf("suppresscheck diagnostic on line %d survived, want only line 5", pos.Line)
+		}
+	}
+}
+
+func TestCollectDirectivesUnknownName(t *testing.T) {
+	RegisterName("realcheck")
+	fset, files := parseSrc(t, `package p
+
+var a = 1 //oms:allow(bogus) typo
+var b = 2 //oms:allow(realcheck,bogus2) one valid, one not
+`)
+	dirs, bad := CollectDirectives(fset, files)
+	if len(bad) != 2 {
+		t.Fatalf("got %d validation findings, want 2: %+v", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "omsvet" || !strings.Contains(d.Message, "unknown analyzer") {
+			t.Errorf("unexpected validation finding %+v", d)
+		}
+	}
+	// The valid name still suppresses.
+	if len(dirs) != 1 || len(dirs[0].Names) != 1 || dirs[0].Names[0] != "realcheck" {
+		t.Fatalf("directives = %+v, want just realcheck", dirs)
+	}
+}
+
+func TestCollectDirectivesMalformed(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+var a = 1 //oms:allow(unclosed
+`)
+	dirs, bad := CollectDirectives(fset, files)
+	if len(dirs) != 0 {
+		t.Fatalf("malformed directive parsed as valid: %+v", dirs)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "missing ')'") {
+		t.Fatalf("got %+v, want one missing-')' finding", bad)
+	}
+}

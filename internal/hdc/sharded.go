@@ -274,13 +274,16 @@ func NewShardedSearcherFromPacked(block []uint64, d, shardSize int, cc CascadeCo
 		rows := min(shardSize, n-start)
 		sh := shard{start: start, rows: rows}
 		if wb == 0 {
-			sh.a = block[start*words : (start+rows)*words : (start+rows)*words]
+			// The searcher is the designed owner of this alias: the caller
+			// contract above pins the block (and its mapping) for the
+			// searcher's lifetime, and scan paths only ever read it.
+			sh.a = block[start*words : (start+rows)*words : (start+rows)*words] //oms:allow(mmapwrite) documented zero-copy ownership transfer
 		} else {
 			sh.a = make([]uint64, rows*wa)
 			for r := 0; r < rows; r++ {
 				copy(sh.a[r*wa:(r+1)*wa], block[(start+r)*words:(start+r)*words+wa])
 			}
-			sh.b = block[start*words+wa : (start+rows)*words : (start+rows)*words]
+			sh.b = block[start*words+wa : (start+rows)*words : (start+rows)*words] //oms:allow(mmapwrite) documented zero-copy ownership transfer
 			sh.bs = words
 		}
 		s.shards = append(s.shards, sh)

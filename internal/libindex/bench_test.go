@@ -81,7 +81,9 @@ func BenchmarkIndexOpen(b *testing.B) {
 			if !ix.Mapped() {
 				b.Fatal("index not mapped")
 			}
-			ix.Close()
+			if err := ix.Close(); err != nil {
+				b.Fatal(err)
+			}
 		}
 		b.ReportMetric(float64(lib.Len()), "refs/op")
 	})

@@ -1,6 +1,7 @@
 package libindex
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -16,8 +17,13 @@ import (
 // ManifestFormat identifies a partition manifest JSON document.
 const ManifestFormat = "oms-library-manifest"
 
-// ManifestVersion is the current manifest document version.
-const ManifestVersion = 1
+// ManifestVersion is the current manifest document version. Version 2
+// changed the meaning of PartitionInfo.CRC32C from a whole-file
+// checksum to the content checksum (image minus the CRC trailer):
+// a CRC over data that ends with its own CRC folds to the same residue
+// constant for every well-formed file, so the version-1 record could
+// never distinguish two internally consistent builds.
+const ManifestVersion = 2
 
 // PartitionInfo describes one partition file of a partitioned library
 // index. Partitions tile the mass-sorted library: partition i holds
@@ -39,10 +45,13 @@ type PartitionInfo struct {
 	MinMass float64 `json:"min_mass"`
 	MaxMass float64 `json:"max_mass"`
 	// Bytes is the partition file's size, cross-checked cheaply on
-	// every OpenManifest; CRC32C is the whole-file checksum recorded at
-	// build time, cross-checked by the explicit VerifyPartitions pass
-	// (it also distinguishes an internally consistent file from a
-	// different build generation).
+	// every OpenManifest; CRC32C is the content checksum recorded at
+	// build time — the CRC-32C of the file image minus its own 4-byte
+	// trailer, i.e. the trailer value — cross-checked by the explicit
+	// VerifyPartitions pass. Recording the content CRC (not a whole-file
+	// CRC, which is a constant for any file ending in its own CRC) is
+	// what lets the manifest distinguish an internally consistent file
+	// from a different build generation.
 	Bytes  int64  `json:"bytes"`
 	CRC32C uint32 `json:"crc32c"`
 }
@@ -179,17 +188,16 @@ func localizePositions(global []int) []int {
 }
 
 // savePartitionFile writes one partition index atomically, returning
-// the CRC-32C and size of the full file image (computed while writing
-// — the manifest's integrity record).
+// the content CRC-32C (the file's own trailer: the checksum of the
+// image minus the trailer's 4 bytes) and size — the manifest's
+// integrity record.
 func savePartitionFile(path string, p core.Params, lib *core.Library) (uint32, int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return 0, 0, err
 	}
-	crc := crc32.New(castagnoli)
-	cw := io.MultiWriter(f, crc)
-	if err := Save(cw, p, lib); err != nil {
+	if err := Save(f, p, lib); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, 0, err
@@ -205,6 +213,12 @@ func savePartitionFile(path string, p core.Params, lib *core.Library) (uint32, i
 		os.Remove(tmp)
 		return 0, 0, err
 	}
+	var trailer [4]byte
+	if _, err := f.ReadAt(trailer[:], st.Size()-4); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return 0, 0, err
@@ -213,7 +227,7 @@ func savePartitionFile(path string, p core.Params, lib *core.Library) (uint32, i
 		os.Remove(tmp)
 		return 0, 0, err
 	}
-	return crc.Sum32(), st.Size(), nil
+	return binary.LittleEndian.Uint32(trailer[:]), st.Size(), nil
 }
 
 // PartitionedIndex is an opened partitioned library: the manifest, the
@@ -270,12 +284,14 @@ func (pi *PartitionedIndex) Close() error {
 }
 
 // VerifyPartitions checksums every partition file image against both
-// its own CRC trailer (Index.Verify) and the CRC-32C the manifest
-// recorded at build time — the explicit integrity pass OpenManifest
-// deliberately skips (it would fault in every page of every mapping).
-// The manifest cross-check additionally catches a partition file that
+// its own CRC trailer (Index.Verify) and the content CRC-32C the
+// manifest recorded at build time — the explicit integrity pass
+// OpenManifest deliberately skips (it would fault in every page of
+// every mapping). The manifest cross-check is computed over the image
+// minus the trailer, which is what lets it catch a partition file that
 // is internally consistent but from a different build than the
-// manifest describes.
+// manifest describes (a whole-file CRC would be the same residue
+// constant for every self-consistent file).
 func (pi *PartitionedIndex) VerifyPartitions() error {
 	dir := filepath.Dir(pi.path)
 	for i, part := range pi.Parts {
@@ -285,13 +301,16 @@ func (pi *PartitionedIndex) VerifyPartitions() error {
 		}
 		var got uint32
 		if part.mapped != nil {
-			got = crc32.Checksum(part.mapped, castagnoli)
+			got = crc32.Checksum(part.mapped[:len(part.mapped)-4], castagnoli)
 		} else {
 			img, err := os.ReadFile(filepath.Join(dir, info.File))
 			if err != nil {
 				return fmt.Errorf("libindex: partition %d: %w", i, err)
 			}
-			got = crc32.Checksum(img, castagnoli)
+			if len(img) < 4 {
+				return fmt.Errorf("libindex: partition %d (%s): truncated (%d bytes)", i, info.File, len(img))
+			}
+			got = crc32.Checksum(img[:len(img)-4], castagnoli)
 		}
 		if got != info.CRC32C {
 			return fmt.Errorf("libindex: partition %d (%s): file CRC %08x disagrees with manifest CRC %08x (file replaced since the manifest was written?)",

@@ -119,7 +119,9 @@ func TestOpenFileRejectsCorruption(t *testing.T) {
 		}
 		ix, err := OpenFile(path)
 		if err == nil {
-			ix.Close()
+			if cerr := ix.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
 		}
 		return err
 	}
@@ -323,7 +325,9 @@ func TestOpenManifestRejectsTampering(t *testing.T) {
 		if _, err := f.Write([]byte{0}); err != nil {
 			t.Fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := OpenManifest(manifest); err == nil || !strings.Contains(err.Error(), "bytes") {
 			t.Fatalf("OpenManifest with size drift = %v, want size mismatch", err)
 		}
