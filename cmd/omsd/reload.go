@@ -105,7 +105,7 @@ func buildServing(cfg servingConfig) (*serving, error) {
 			pi.Close()
 			return nil, err
 		}
-		sv.engine = engine
+		sv.engine = engine //oms:transfer the serving generation owns the mapping; release() closes engine and index together
 		sv.closeIndex = pi.Close
 		sv.partitions = engine.NumPartitions()
 		sv.desc = fmt.Sprintf("%s: %d references in %d partitions, D=%d",
@@ -123,7 +123,7 @@ func buildServing(cfg servingConfig) (*serving, error) {
 		// The searcher reads the packed block; the per-entry hypervector
 		// views are dead weight in a resident process.
 		engine.ReleaseLibraryHVs()
-		sv.engine = engine
+		sv.engine = engine //oms:transfer the serving generation owns the mapping; release() closes engine and index together
 		sv.closeIndex = ix.Close
 		sv.desc = fmt.Sprintf("%s: %d references, D=%d, mmap=%t",
 			cfg.indexPath, engine.NumRefs(), ix.Params.Accel.D, ix.Mapped())

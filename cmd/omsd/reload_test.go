@@ -139,6 +139,7 @@ func TestReloadSwapConsistency(t *testing.T) {
 	reloads.Wait()
 	d.shutdown()
 	if sv := d.acquire(); sv != nil {
+		sv.release()
 		t.Fatal("acquire returned a generation after shutdown")
 	}
 }

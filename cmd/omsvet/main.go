@@ -8,14 +8,25 @@
 //	atomicfield a field accessed through sync/atomic anywhere must be
 //	            accessed atomically everywhere
 //	genpin      every acquired serving generation is released on all
-//	            paths (defer, or provably before every exit)
+//	            paths (a CFG dataflow pass: defer, or provably released
+//	            before every exit along every branch)
 //	closeerr    Close/Shutdown/Sync/Munmap errors must not be silently
 //	            discarded outside deferred cleanup and error paths
+//	unmaplife   no view into an mmap generation is used or escapes after
+//	            the owning Close/Munmap — "no view outlives its
+//	            generation's Close"; //oms:transfer marks deliberate
+//	            ownership handoffs
+//	hotalloc    functions annotated //oms:hotpath must be allocation-free
+//	            in steady state (no literals/make/new/naive append/boxing
+//	            /defer-in-loop)
 //
 // Standalone (loads and typechecks from source, no toolchain cache):
 //
 //	go run ./cmd/omsvet ./...
-//	omsvet [-test=false] [packages...]
+//	omsvet [-test=false] [-json] [packages...]
+//
+// -json emits findings as a JSON array of {file,line,col,analyzer,
+// message} objects on stdout instead of file:line:col text lines.
 //
 // As a go vet tool (uses the go command's export data and caching):
 //
@@ -34,6 +45,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,7 +56,9 @@ import (
 	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/closeerr"
 	"repro/internal/analysis/genpin"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/mmapwrite"
+	"repro/internal/analysis/unmaplife"
 )
 
 func analyzers() []*analysis.Analyzer {
@@ -52,7 +66,9 @@ func analyzers() []*analysis.Analyzer {
 		atomicfield.Analyzer,
 		closeerr.Analyzer,
 		genpin.Analyzer,
+		hotalloc.Analyzer,
 		mmapwrite.Analyzer,
+		unmaplife.Analyzer,
 	}
 }
 
@@ -74,17 +90,27 @@ func main() {
 	}
 
 	tests := flag.Bool("test", true, "analyze _test.go files (in-package and external test variants)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(runStandalone(patterns, *tests, os.Stdout))
+	os.Exit(runStandalone(patterns, *tests, *jsonOut, os.Stdout))
+}
+
+// finding is one diagnostic in -json output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // runStandalone loads the patterns from source and reports findings to
-// w, one file:line:col line each.
-func runStandalone(patterns []string, tests bool, w io.Writer) int {
+// w: one file:line:col line each, or a JSON array with jsonOut.
+func runStandalone(patterns []string, tests, jsonOut bool, w io.Writer) int {
 	loader := analysis.NewLoader("")
 	pkgs, err := loader.Load(patterns, tests)
 	if err != nil {
@@ -96,20 +122,45 @@ func runStandalone(patterns []string, tests bool, w io.Writer) int {
 	// several test binaries) is analyzed more than once; report each
 	// finding a single time.
 	seen := map[string]bool{}
+	var findings []finding
+	// One fact set spans the whole run: Load returns packages in
+	// dependency order, so facts a package exports (mmapwrite's
+	// returns-mmap-view seeds) are visible when its dependents run —
+	// the standalone equivalent of the unitchecker's .vetx files.
+	facts := analysis.NewFactSet()
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(loader.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analyzers())
+		diags, err := analysis.RunAnalyzers(loader.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analyzers(), facts)
 		if err != nil {
 			fmt.Fprintf(w, "omsvet: %v\n", err)
 			return 1
 		}
 		for _, d := range diags {
-			line := fmt.Sprintf("%s: %s: %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			pos := loader.Fset.Position(d.Pos)
+			line := fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message)
 			if seen[line] {
 				continue
 			}
 			seen[line] = true
-			fmt.Fprintln(w, line)
+			if jsonOut {
+				findings = append(findings, finding{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			} else {
+				fmt.Fprintln(w, line)
+			}
 			exit = 2
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "omsvet: %v\n", err)
+			return 1
 		}
 	}
 	return exit

@@ -34,7 +34,9 @@ import (
 	_ "repro/internal/analysis/atomicfield"
 	_ "repro/internal/analysis/closeerr"
 	_ "repro/internal/analysis/genpin"
+	_ "repro/internal/analysis/hotalloc"
 	_ "repro/internal/analysis/mmapwrite"
+	_ "repro/internal/analysis/unmaplife"
 )
 
 // wantRE matches the expectation clause of a comment: the word "want"
@@ -86,7 +88,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 	}
 
-	diags, err := analysis.RunAnalyzers(loader.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, []*analysis.Analyzer{a})
+	diags, err := analysis.RunAnalyzers(loader.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, []*analysis.Analyzer{a}, nil)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}

@@ -1,0 +1,320 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition event of a variable: an assignment, a short
+// variable declaration, a var spec, an inc/dec, or a range binding.
+type Def struct {
+	ID  int
+	Obj types.Object
+	// Node is the defining statement (AssignStmt, ValueSpec, IncDecStmt
+	// or RangeStmt).
+	Node ast.Node
+	// Rhs is the defining value when it is syntactically evident — the
+	// matching right-hand side of a 1:1 assignment or var spec. It is
+	// nil for tuple assignments (x, y := f()), inc/dec and range
+	// bindings; Index then tells which position of Node's left-hand
+	// side this def binds.
+	Rhs   ast.Expr
+	Index int
+}
+
+// DefUse is the def-use product of reaching-definitions over a CFG:
+// for every rvalue use of a variable, which definitions may reach it.
+// Variables never defined inside the body (parameters, captured
+// variables, globals) have no defs; their uses report an empty slice,
+// which analyzers treat as "defined outside".
+type DefUse struct {
+	Defs []*Def
+	uses map[*ast.Ident][]*Def
+}
+
+// DefsReaching returns the definitions that may reach the given
+// rvalue use, or nil when the variable is defined outside the body.
+func (du *DefUse) DefsReaching(use *ast.Ident) []*Def {
+	return du.uses[use]
+}
+
+// BuildDefUse runs reaching definitions over the live blocks of g and
+// records, for every rvalue identifier use, the set of defs that may
+// reach it. info supplies identifier resolution (Defs/Uses).
+func BuildDefUse(g *CFG, info *types.Info) *DefUse {
+	du := &DefUse{uses: map[*ast.Ident][]*Def{}}
+	b := &dfBuilder{du: du, info: info, defsOf: map[types.Object][]*Def{}, defAt: map[*ast.Ident]*Def{}}
+
+	// Pass 1: enumerate defs so the bitset width is known.
+	for _, blk := range g.Blocks {
+		if !blk.Live {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			b.collectDefs(n)
+		}
+	}
+
+	// Pass 2: worklist fixpoint on block entry states (union join).
+	nwords := (len(du.Defs) + 63) / 64
+	in := make([]bitset, len(g.Blocks))
+	for i := range in {
+		in[i] = make(bitset, nwords)
+	}
+	work := []*Block{}
+	if len(g.Blocks) > 0 {
+		work = append(work, g.Blocks[0])
+	}
+	inWork := make([]bool, len(g.Blocks))
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[blk.Index] = false
+		out := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			b.transfer(n, out, nil)
+		}
+		for _, e := range blk.Succs {
+			if in[e.To.Index].union(out) && !inWork[e.To.Index] {
+				inWork[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// Pass 3: replay each block once, recording uses against the state
+	// in force at each node.
+	for _, blk := range g.Blocks {
+		if !blk.Live {
+			continue
+		}
+		state := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			b.transfer(n, state, func(use *ast.Ident, obj types.Object) {
+				var reaching []*Def
+				for _, d := range b.defsOf[obj] {
+					if state.has(d.ID) {
+						reaching = append(reaching, d)
+					}
+				}
+				if reaching != nil {
+					du.uses[use] = reaching
+				}
+			})
+		}
+	}
+	return du
+}
+
+type dfBuilder struct {
+	du     *DefUse
+	info   *types.Info
+	defsOf map[types.Object][]*Def
+	defAt  map[*ast.Ident]*Def
+}
+
+func (b *dfBuilder) newDef(id *ast.Ident, node ast.Node, rhs ast.Expr, index int) {
+	if id.Name == "_" {
+		return
+	}
+	obj := b.info.Defs[id]
+	if obj == nil {
+		obj = b.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	d := &Def{ID: len(b.du.Defs), Obj: obj, Node: node, Rhs: rhs, Index: index}
+	b.du.Defs = append(b.du.Defs, d)
+	b.defsOf[obj] = append(b.defsOf[obj], d)
+	b.defAt[id] = d
+}
+
+// collectDefs registers the definition events of one block node.
+func (b *dfBuilder) collectDefs(n ast.Node) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range x.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if len(x.Lhs) == len(x.Rhs) {
+				rhs = x.Rhs[i]
+			}
+			b.newDef(id, x, rhs, i)
+		}
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				if len(vs.Values) == len(vs.Names) {
+					rhs = vs.Values[i]
+				}
+				b.newDef(name, vs, rhs, i)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			b.newDef(id, x, nil, 0)
+		}
+	case *ast.RangeStmt:
+		if id, ok := x.Key.(*ast.Ident); ok {
+			b.newDef(id, x, nil, 0)
+		}
+		if id, ok := x.Value.(*ast.Ident); ok {
+			b.newDef(id, x, nil, 1)
+		}
+	}
+}
+
+// transfer applies one node to the state: uses are reported first
+// (against the pre-state), then the node's defs kill and gen. onUse
+// may be nil during the fixpoint phase.
+func (b *dfBuilder) transfer(n ast.Node, state bitset, onUse func(*ast.Ident, types.Object)) {
+	// Identify the identifiers this node defines so the use walk can
+	// tell pure lvalues apart. Compound assignment (+=) and inc/dec
+	// both read and write; := and = write only.
+	pureLhs := map[*ast.Ident]bool{}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if x.Tok == token.ASSIGN || x.Tok == token.DEFINE {
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					pureLhs[id] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := x.Key.(*ast.Ident); ok {
+			pureLhs[id] = true
+		}
+		if id, ok := x.Value.(*ast.Ident); ok {
+			pureLhs[id] = true
+		}
+	}
+
+	if onUse != nil {
+		walkUses(n, func(id *ast.Ident) {
+			if pureLhs[id] {
+				return
+			}
+			obj := b.info.Uses[id]
+			if obj == nil {
+				return
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return
+			}
+			onUse(id, obj)
+		})
+	}
+
+	// Apply defs: kill every other def of the object, gen this one.
+	applyDef := func(id *ast.Ident) {
+		d := b.defAt[id]
+		if d == nil {
+			return
+		}
+		for _, other := range b.defsOf[d.Obj] {
+			state.clear(other.ID)
+		}
+		state.set(d.ID)
+	}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				applyDef(id)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						applyDef(name)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			applyDef(id)
+		}
+	case *ast.RangeStmt:
+		if id, ok := x.Key.(*ast.Ident); ok {
+			applyDef(id)
+		}
+		if id, ok := x.Value.(*ast.Ident); ok {
+			applyDef(id)
+		}
+	}
+}
+
+// walkUses visits every identifier in the node that can be an rvalue
+// use. Range statements are block-head nodes whose bodies live in
+// other blocks, so only their operand and bindings are visited.
+// Function literal bodies ARE visited: captured variables are read at
+// an unknown time, so counting them as uses at the literal is the
+// conservative choice.
+func walkUses(n ast.Node, visit func(*ast.Ident)) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.X != nil {
+			walkUses(r.X, visit)
+		}
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.Ident:
+			visit(x)
+		case *ast.SelectorExpr:
+			// Visit the operand, not the field/method name.
+			walkUses(x.X, visit)
+			return false
+		case *ast.KeyValueExpr:
+			// Struct literal keys are field names, not uses; map/array
+			// literal keys are. Visiting both sides over-approximates
+			// uses harmlessly for reaching-defs consumers.
+			return true
+		}
+		return true
+	})
+}
+
+// bitset is a fixed-width bit vector over def IDs.
+type bitset []uint64
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) clear(i int)    { s[i/64] &^= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+func (s bitset) clone() bitset {
+	c := make(bitset, len(s))
+	copy(c, s)
+	return c
+}
+
+// union ors other into s, reporting whether s changed.
+func (s bitset) union(other bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | other[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}

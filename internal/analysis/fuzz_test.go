@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveParser throws arbitrary comment text at the //oms:allow
+// and //oms:transfer parsers. The directives ride on real source
+// comments, so the harness embeds each input as line comments in an
+// otherwise fixed file, parses it, and checks the parser invariants:
+//
+//   - no panic on any input;
+//   - every parsed directive names only registered analyzers, with a
+//     position inside the file;
+//   - a directive with an unclosed '(' or an unknown name produces a
+//     validation diagnostic, never a silent Directive;
+//   - //oms:transfer with an argument list is flagged, and longer words
+//     sharing the prefix are not directives;
+//   - TransferLines covers exactly each transfer's line and the next.
+func FuzzDirectiveParser(f *testing.F) {
+	seeds := []string{
+		"//oms:allow(mmapwrite) tier repack owns this block",
+		"//oms:allow(genpin,atomicfield) two names",
+		"//oms:allow(unmaplife)",
+		"//oms:allow(hotalloc) amortized growth",
+		"//oms:allow(nosuchanalyzer) typo",
+		"//oms:allow(mmapwrite", // missing ')'
+		"//oms:allow()",
+		"//oms:allow(,,)",
+		"//oms:allow( mmapwrite , closeerr ) spaced",
+		"//oms:allowance is not a directive",
+		"//oms:transfer serving generation owns the mapping",
+		"//oms:transfer",
+		"//oms:transfer\ttab justification",
+		"//oms:transfer(bad) argument list",
+		"//oms:transferred is not a directive",
+		"//oms:allow(mmapwrite) x //oms:transfer y", // two directives, one line
+		"// plain comment",
+		"//oms:allow(mmapwrite\x00) NUL in name",
+		"//oms:allow(мма) unicode name",
+		"//oms:transfer — unicode justification",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		// Newlines would break out of the line comment; keep each input
+		// line a separate comment so multi-line inputs still embed.
+		var sb strings.Builder
+		sb.WriteString("package p\n")
+		for _, line := range strings.Split(input, "\n") {
+			line = strings.TrimSuffix(line, "\r")
+			if strings.ContainsAny(line, "\x00") {
+				// The parser rejects NUL in source; directive text with
+				// NUL cannot occur in a loadable file.
+				continue
+			}
+			sb.WriteString("// fuzz\n")
+			if !strings.HasPrefix(line, "//") {
+				line = "//" + line
+			}
+			sb.WriteString(line + "\n")
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", sb.String(), parser.ParseComments)
+		if err != nil {
+			return // not valid source: nothing for the directive parsers to see
+		}
+		files := []*ast.File{file}
+
+		dirs, badDirs := CollectDirectives(fset, files)
+		for _, d := range dirs {
+			if len(d.Names) == 0 {
+				t.Fatalf("directive at %s:%d parsed with no names", d.File, d.Line)
+			}
+			for _, name := range d.Names {
+				if !known[name] {
+					t.Fatalf("directive at %s:%d names unregistered analyzer %q", d.File, d.Line, name)
+				}
+			}
+			if !d.Pos.IsValid() {
+				t.Fatalf("directive with invalid position: %+v", d)
+			}
+		}
+		for _, b := range badDirs {
+			if b.Analyzer != "omsvet" || b.Message == "" {
+				t.Fatalf("validation diagnostic malformed: %+v", b)
+			}
+		}
+
+		trans, badTrans := CollectTransfers(fset, files)
+		for _, b := range badTrans {
+			if b.Analyzer != "omsvet" || b.Message == "" {
+				t.Fatalf("transfer diagnostic malformed: %+v", b)
+			}
+		}
+		lines := TransferLines(trans)
+		covered := 0
+		for _, perFile := range lines {
+			covered += len(perFile)
+		}
+		if len(trans) == 0 && covered != 0 {
+			t.Fatalf("TransferLines covers %d lines with no transfers", covered)
+		}
+		for _, tr := range trans {
+			if !lines[tr.File][tr.Line] || !lines[tr.File][tr.Line+1] {
+				t.Fatalf("transfer at %s:%d not covering its own and next line", tr.File, tr.Line)
+			}
+		}
+		// Each transfer covers its line and the next; distinct transfers
+		// can share coverage, so the covered count is bounded, not exact.
+		if covered > 2*len(trans) {
+			t.Fatalf("TransferLines covers %d lines for %d transfers", covered, len(trans))
+		}
+	})
+}

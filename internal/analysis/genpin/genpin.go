@@ -19,13 +19,15 @@
 //   - v escapes the function — returned, stored into a struct or
 //     global, sent on a channel, captured by a closure, or passed to
 //     another call — transferring release responsibility, or
-//   - a conservative walk of the statements after the acquire finds a
-//     release before every exit (return, branch, panic, Fatal/Exit
-//     call). Branches guarded by `if v == nil` are exempt: a nil
+//   - a forward may-analysis over the function's control-flow graph
+//     (internal/analysis/cfg) proves a release on every path from the
+//     acquire to every exit (return, panic, Fatal/Exit call). Edges
+//     guarded by `v == nil` / `v != nil` refine the state: a nil
 //     acquire result means shutdown, and there is nothing to release.
 //
 // Otherwise the exit that can be reached while the pin is still held
-// is reported.
+// is reported — or, when the leak is the implicit fall-off-the-end
+// exit, the acquire itself.
 package genpin
 
 import (
@@ -35,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the genpin pass.
@@ -135,7 +138,9 @@ func releaseMethod(t types.Type) string {
 }
 
 // checkAcquire verifies one acquire: obj must be released on every
-// path from the acquire statement to a function exit.
+// path from the acquire statement to a function exit. The proof is a
+// forward may-analysis over the body's CFG — "pinned" is true at a
+// program point when some path reaches it holding the pin.
 func checkAcquire(pass *analysis.Pass, body *ast.BlockStmt, acquire *ast.AssignStmt, obj types.Object) {
 	c := &checker{pass: pass, obj: obj}
 	// A deferred release covers every exit at once.
@@ -146,44 +151,126 @@ func checkAcquire(pass *analysis.Pass, body *ast.BlockStmt, acquire *ast.AssignS
 	if c.escapes(body) {
 		return
 	}
-	// Conservative path walk from the statement after the acquire.
-	stmts := followingStatements(body, acquire)
-	if stmts == nil {
-		return
+
+	g := cfg.New(body, func(call *ast.CallExpr) bool { return !isTerminalCall(pass, call) })
+
+	// Fixpoint on may-pinned at block entry (join = OR).
+	in := make([]bool, len(g.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			if !blk.Live {
+				continue
+			}
+			out := c.transferBlock(blk, in[blk.Index], acquire, nil)
+			for _, e := range blk.Succs {
+				if v := c.alongEdge(e, out); v && !in[e.To.Index] {
+					in[e.To.Index] = true
+					changed = true
+				}
+			}
+		}
 	}
-	released := c.scanList(stmts, false)
-	if !released && !c.reported {
+
+	// Report pass: replay each live block once against its final entry
+	// state; exits reached pinned are the leaks. The implicit exit —
+	// falling off the end of the body — has no statement to anchor to,
+	// so that leak is reported at the acquire.
+	fallOffPinned := false
+	for _, blk := range g.Blocks {
+		if !blk.Live {
+			continue
+		}
+		out := c.transferBlock(blk, in[blk.Index], acquire, func(n ast.Node, pinned bool) {
+			if !pinned {
+				return
+			}
+			switch x := n.(type) {
+			case *ast.ReturnStmt:
+				c.report(x)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && isTerminalCall(pass, call) {
+					c.report(x)
+				}
+			}
+		})
+		if out && len(blk.Succs) == 0 && !isExplicitExit(blk, pass) {
+			fallOffPinned = true
+		}
+	}
+	if fallOffPinned && !c.reported {
 		pass.Reportf(acquire.Pos(),
 			"%s acquired here is not released on every path (add `defer %s.release()` or release before each return)",
 			obj.Name(), obj.Name())
 	}
 }
 
-// checker carries one acquire's state through the walk.
+// transferBlock folds a block's nodes over the pinned state. atNode,
+// when non-nil, observes each node with the state in force before it.
+func (c *checker) transferBlock(blk *cfg.Block, pinned bool, acquire *ast.AssignStmt, atNode func(ast.Node, bool)) bool {
+	for _, n := range blk.Nodes {
+		if atNode != nil {
+			atNode(n, pinned)
+		}
+		if n == ast.Node(acquire) {
+			pinned = true
+			continue
+		}
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && c.isReleaseCall(call) {
+				pinned = false
+			}
+		}
+	}
+	return pinned
+}
+
+// alongEdge refines the state across a conditional edge: on a branch
+// that implies the pin is nil (acquire-after-shutdown) there is
+// nothing to release.
+func (c *checker) alongEdge(e cfg.Edge, pinned bool) bool {
+	if !pinned || e.Cond == nil {
+		return pinned
+	}
+	switch nilCheck(c, e.Cond) {
+	case condNil:
+		if !e.Neg {
+			return false // edge taken when v == nil
+		}
+	case condNotNil:
+		if e.Neg {
+			return false // else-edge of v != nil
+		}
+	}
+	return pinned
+}
+
+// isExplicitExit reports whether a successor-less block ends at an
+// explicit exit statement — a return or a terminal call — rather than
+// the implicit end of the body.
+func isExplicitExit(blk *cfg.Block, pass *analysis.Pass) bool {
+	if len(blk.Nodes) == 0 {
+		return false
+	}
+	switch x := blk.Nodes[len(blk.Nodes)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+		return ok && isTerminalCall(pass, call)
+	case *ast.BranchStmt:
+		// A goto/break whose target resolution failed; not a real exit,
+		// but nothing flows past it either.
+		return true
+	}
+	return false
+}
+
+// checker carries one acquire's state through the analysis.
 type checker struct {
 	pass     *analysis.Pass
 	obj      types.Object
 	reported bool
-}
-
-// followingStatements returns the statements of the block containing
-// stmt, starting just after it, or nil when stmt is not an immediate
-// child of body's statement tree (acquire inside an if-init etc. —
-// conservatively skipped).
-func followingStatements(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
-	var found []ast.Stmt
-	walkShallow(body, func(n ast.Node) {
-		block, ok := n.(*ast.BlockStmt)
-		if !ok {
-			return
-		}
-		for i, s := range block.List {
-			if s == target {
-				found = block.List[i+1:]
-			}
-		}
-	})
-	return found
 }
 
 // hasDeferredRelease reports whether body contains `defer v.release()`
@@ -282,109 +369,6 @@ func (c *checker) mentions(e ast.Expr) bool {
 		return true
 	})
 	return found
-}
-
-// scanList walks a statement list in order, tracking whether the pin
-// has been released, and reports any exit reachable with the pin still
-// held. It returns the released state at the end of the list.
-func (c *checker) scanList(stmts []ast.Stmt, released bool) bool {
-	for _, stmt := range stmts {
-		released = c.scanStmt(stmt, released)
-	}
-	return released
-}
-
-func (c *checker) scanStmt(stmt ast.Stmt, released bool) bool {
-	switch x := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
-			if c.isReleaseCall(call) {
-				return true
-			}
-			if !released && isTerminalCall(c.pass, call) {
-				c.report(stmt)
-			}
-		}
-	case *ast.ReturnStmt:
-		if !released {
-			c.report(stmt)
-		}
-	case *ast.BranchStmt:
-		// break/continue/goto leave the region the pin was scoped to.
-		if !released && x.Tok != token.FALLTHROUGH {
-			c.report(stmt)
-		}
-	case *ast.BlockStmt:
-		return c.scanList(x.List, released)
-	case *ast.IfStmt:
-		switch nilCheck(c, x.Cond) {
-		case condNil:
-			// Inside `if v == nil` the pin does not exist; exits there
-			// are fine and a release there is impossible.
-			if x.Else != nil {
-				return c.scanStmt(x.Else, released)
-			}
-			return released
-		case condNotNil:
-			// `if v != nil { ... }`: the branch is the only place the
-			// pin is live, so its release decides.
-			thenReleased := c.scanList(x.Body.List, released)
-			if x.Else != nil {
-				c.scanStmt(x.Else, released)
-			}
-			return thenReleased
-		default:
-			thenReleased := c.scanList(x.Body.List, released)
-			elseReleased := released
-			if x.Else != nil {
-				elseReleased = c.scanStmt(x.Else, released)
-			}
-			return thenReleased && elseReleased
-		}
-	case *ast.ForStmt:
-		c.scanList(x.Body.List, released)
-		return released
-	case *ast.RangeStmt:
-		c.scanList(x.Body.List, released)
-		return released
-	case *ast.SwitchStmt:
-		return c.scanClauses(x.Body, released)
-	case *ast.TypeSwitchStmt:
-		return c.scanClauses(x.Body, released)
-	case *ast.SelectStmt:
-		all := true
-		for _, clause := range x.Body.List {
-			if cc, ok := clause.(*ast.CommClause); ok {
-				if !c.scanList(cc.Body, released) {
-					all = false
-				}
-			}
-		}
-		return released || all
-	case *ast.LabeledStmt:
-		return c.scanStmt(x.Stmt, released)
-	}
-	return released
-}
-
-// scanClauses folds a switch body: released after the switch only if
-// every clause (including an existing default) releases.
-func (c *checker) scanClauses(body *ast.BlockStmt, released bool) bool {
-	all := true
-	hasDefault := false
-	for _, clause := range body.List {
-		cc, ok := clause.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		if cc.List == nil {
-			hasDefault = true
-		}
-		if !c.scanList(cc.Body, released) {
-			all = false
-		}
-	}
-	return released || (all && hasDefault)
 }
 
 func (c *checker) report(at ast.Stmt) {

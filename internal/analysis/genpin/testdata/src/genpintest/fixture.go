@@ -85,3 +85,64 @@ func allowedLeak(d *daemon) {
 	g := d.acquire() //oms:allow(genpin) fixture: released by a background sweeper
 	_ = g
 }
+
+// The CFG-based analysis sees acquires anywhere a statement can sit —
+// the old statement-tree walk skipped if-init acquires entirely.
+func leakFromIfInit(d *daemon) {
+	if g := d.acquire(); g != nil { // want `g acquired here is not released on every path`
+		_ = g
+	}
+}
+
+func releasedFromIfInit(d *daemon) {
+	if g := d.acquire(); g != nil {
+		g.release()
+	}
+}
+
+// A switch without a default keeps a path around every clause, so
+// releasing in all clauses is not enough.
+func leakPastSwitchNoDefault(d *daemon, n int) {
+	g := d.acquire() // want `g acquired here is not released on every path`
+	switch n {
+	case 1:
+		g.release()
+	case 2:
+		g.release()
+	}
+}
+
+func releasedInSwitchWithDefault(d *daemon, n int) {
+	g := d.acquire()
+	switch n {
+	case 1:
+		g.release()
+	default:
+		g.release()
+	}
+}
+
+// Release inside a loop body does not cover the zero-iteration path.
+func leakWhenLoopSkipped(d *daemon, n int) {
+	g := d.acquire() // want `g acquired here is not released on every path`
+	for i := 0; i < n; i++ {
+		g.release()
+		return
+	}
+}
+
+// A labeled break out of nested loops still flows to the release
+// after the loop — the CFG resolves the label to the outer loop's
+// exit, where the single release covers every path.
+func releasedAfterLabeledSearch(d *daemon, rows [][]int) {
+	g := d.acquire()
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	g.release()
+}

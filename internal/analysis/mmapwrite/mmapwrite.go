@@ -50,6 +50,13 @@ var Analyzer = &analysis.Analyzer{
 
 func init() { analysis.RegisterName(Analyzer.Name) }
 
+// FactReturnsMmapView is the cross-package fact exported for every
+// function proven to return a view of the mapping. Dependent packages
+// (in either driver) treat calls to such functions exactly like the
+// hardcoded source calls, so a helper wrapping Index.Words does not
+// launder the taint away at a package boundary.
+const FactReturnsMmapView = "returns-mmap-view"
+
 // sourceCalls are the API points whose results alias the mapping,
 // keyed by types.Func.FullName.
 var sourceCalls = map[string]bool{
@@ -64,6 +71,26 @@ var sinkParams = map[string][]int{
 	"repro/internal/hdc.NewShardedSearcherFromPacked": {0},
 	"repro/internal/core.NewExactEngineFromPacked":    {2},
 	"repro/internal/core.NewPartitionedExactEngine":   {2},
+}
+
+// IsViewSource reports whether call yields a view of the mapping: one
+// of the seed source calls above, or a function some earlier run — of
+// this package or a dependency — proved to return one via exported
+// facts. Shared with the unmaplife analyzer, which tracks the same
+// views across Close.
+func IsViewSource(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := CalleePath(pass, call)
+	if name == "" {
+		return false
+	}
+	return sourceCalls[name] || pass.HasFact(name, FactReturnsMmapView)
+}
+
+// ViewConstructorArgs returns the indices of call's arguments retained
+// by an aliasing constructor (the packed block a searcher keeps), or
+// nil when call is not one.
+func ViewConstructorArgs(pass *analysis.Pass, call *ast.CallExpr) []int {
+	return sinkParams[CalleePath(pass, call)]
 }
 
 func run(pass *analysis.Pass) error {
@@ -154,7 +181,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, fnObj *types.Func) {
 			case *ast.CallExpr:
 				// Passing a slice to an aliasing constructor shares it:
 				// taint the argument variable for the rest of the function.
-				if idxs, ok := sinkParams[calleePath(pass, x)]; ok {
+				if idxs, ok := sinkParams[CalleePath(pass, x)]; ok {
 					for _, i := range idxs {
 						if i < len(x.Args) {
 							if ident, ok := ast.Unparen(x.Args[i]).(*ast.Ident); ok {
@@ -168,6 +195,23 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, fnObj *types.Func) {
 		if len(t.tainted) == before {
 			break
 		}
+	}
+
+	// Fact export: a function returning a tainted expression hands a
+	// live view to its callers — record that for dependent packages so
+	// their mmapwrite/unmaplife runs treat calls to it as sources.
+	if fnObj != nil {
+		walkShallow(body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, res := range ret.Results {
+				if t.taintedExpr(res) {
+					pass.ExportFact(fnObj.FullName(), FactReturnsMmapView)
+				}
+			}
+		})
 	}
 
 	// Violation walk.
@@ -254,7 +298,7 @@ func (t *tracker) taintedExpr(e ast.Expr) bool {
 	case *ast.IndexExpr:
 		return t.taintedExpr(x.X)
 	case *ast.CallExpr:
-		if sourceCalls[calleePath(t.pass, x)] {
+		if IsViewSource(t.pass, x) {
 			return true
 		}
 		// A conversion keeps the backing array.
@@ -267,9 +311,9 @@ func (t *tracker) taintedExpr(e ast.Expr) bool {
 	return false
 }
 
-// calleePath resolves a call to its types.Func full name
+// CalleePath resolves a call to its types.Func full name
 // ("pkg.Func" or "(*pkg.T).Method"), or "".
-func calleePath(pass *analysis.Pass, call *ast.CallExpr) string {
+func CalleePath(pass *analysis.Pass, call *ast.CallExpr) string {
 	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:

@@ -15,8 +15,9 @@ import (
 
 // vetConfig is the JSON configuration the go command writes for a
 // vettool invocation (`go vet -vettool=omsvet`): one package's file
-// set plus the compiler export data of its dependencies. Only the
-// fields this driver consumes are declared.
+// set plus the compiler export data of its dependencies and the .vetx
+// fact files of their earlier vettool runs. Only the fields this
+// driver consumes are declared.
 type vetConfig struct {
 	ID          string
 	ImportPath  string
@@ -25,6 +26,7 @@ type vetConfig struct {
 	NonGoFiles  []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	GoVersion   string
 
 	VetxOnly   bool
@@ -35,14 +37,19 @@ type vetConfig struct {
 
 // RunUnitchecker implements the `go vet -vettool` protocol for one
 // package: it parses the config at cfgPath, typechecks the package
-// against the export data the go command supplied, runs the analyzers,
-// and prints surviving findings to w in the file:line:col form the go
+// against the export data the go command supplied, runs the analyzers
+// with the facts imported from the dependencies' .vetx files, and
+// prints surviving findings to w in the file:line:col form the go
 // command relays. The returned exit code follows the protocol: 0 clean,
 // nonzero when findings or errors must fail the vet run.
 //
-// The analyzers here are purely intra-package (no cross-package facts),
-// so dependency invocations — VetxOnly — only need to produce the
-// facts file the go command expects to cache; an empty one is written.
+// Dependency invocations — VetxOnly — run the same pipeline but only
+// for its side effect: the facts the analyzers export (mmapwrite's
+// returns-mmap-view seeds) are serialized to VetxOutput for dependent
+// packages to import, and diagnostics are discarded. A dependency that
+// fails to parse or typecheck (cgo-heavy stdlib packages, say) yields
+// an empty fact file rather than an error: missing facts weaken the
+// analysis, they must never break the build.
 func RunUnitchecker(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -54,16 +61,49 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 		fmt.Fprintf(w, "omsvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		// No analyzer exports facts; an empty vetx file satisfies the
-		// go command's cache bookkeeping.
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+
+	// finish writes the accumulated facts to VetxOutput (the go command
+	// caches the file per package) and returns code.
+	finish := func(facts *FactSet, code int) int {
+		if cfg.VetxOutput == "" {
+			return code
+		}
+		payload, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintf(w, "omsvet: encoding facts: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 			fmt.Fprintf(w, "omsvet: %v\n", err)
 			return 1
 		}
+		return code
 	}
-	if cfg.VetxOnly {
-		return 0
+
+	// Import the dependencies' facts. A missing or corrupt fact file is
+	// treated as empty for the same reason as VetxOnly soft failure.
+	facts := NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		imported, err := DecodeFacts(payload)
+		if err != nil {
+			continue
+		}
+		facts.Merge(imported)
+	}
+
+	// softFail: how to exit on parse/typecheck trouble. Fact-only runs
+	// always succeed (with whatever facts were imported); diagnostic
+	// runs honor SucceedOnTypecheckFailure.
+	softFail := func(err error) int {
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			return finish(facts, 0)
+		}
+		fmt.Fprintf(w, "omsvet: %v\n", err)
+		return 1
 	}
 
 	fset := token.NewFileSet()
@@ -71,11 +111,7 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
-			}
-			fmt.Fprintf(w, "omsvet: %v\n", err)
-			return 1
+			return softFail(err)
 		}
 		files = append(files, f)
 	}
@@ -108,23 +144,26 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 	}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintf(w, "omsvet: typechecking %s: %v\n", cfg.ImportPath, err)
-		return 1
+		return softFail(fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err))
 	}
 
-	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers, facts)
 	if err != nil {
+		if cfg.VetxOnly {
+			return finish(facts, 0)
+		}
 		fmt.Fprintf(w, "omsvet: %v\n", err)
 		return 1
+	}
+	if cfg.VetxOnly {
+		return finish(facts, 0)
 	}
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
+	code := 0
 	if len(diags) > 0 {
-		return 2
+		code = 2
 	}
-	return 0
+	return finish(facts, code)
 }

@@ -1,0 +1,202 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/mmapwrite"
+)
+
+// TestUnitcheckerFactRoundTrip pins the cross-package fact pipeline of
+// the go vet driver end to end: the taint seed lives in package A (a
+// helper returning Index.Words' view), the violation in package B (a
+// write through that view), and the finding is only reachable through
+// the returns-mmap-view fact A's VetxOnly run exports to its .vetx
+// file — B's own source never mentions a seed API. The test builds a
+// throwaway module against the real repo (replace directive), uses
+// `go list -export` for the dependency export data exactly as the go
+// command would, and drives RunUnitchecker with hand-built vet
+// configs: once for A (fact export), once for B with A's facts (must
+// report), once for B without them (must stay silent — proving the
+// finding rides on the fact file, not on B-local analysis).
+func TestUnitcheckerFactRoundTrip(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go command unavailable: %v", err)
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", fmt.Sprintf("module repro/factfixture\n\ngo 1.24\n\nrequire repro v0.0.0\n\nreplace repro => %s\n", repoRoot))
+	write("a/a.go", `package a
+
+import "repro/internal/libindex"
+
+// View hides the mmap seed behind a package boundary: only the
+// exported returns-mmap-view fact can tell a dependent package that
+// its result aliases the mapping.
+func View(ix *libindex.Index) []uint64 { return ix.Words() }
+`)
+	write("b/b.go", `package b
+
+import (
+	"repro/factfixture/a"
+
+	"repro/internal/libindex"
+)
+
+func Mutate(ix *libindex.Index) {
+	w := a.View(ix)
+	w[0] = 1
+}
+`)
+
+	// go list -export compiles the dependency graph and reports every
+	// package's export-data file — the same inputs the go command hands
+	// a vettool through its .cfg.
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export,Dir,GoFiles", "-deps", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go list -export: %v\n%s", err, stderr.String())
+	}
+	type listPkg struct {
+		ImportPath string
+		Export     string
+		Dir        string
+		GoFiles    []string
+	}
+	pkgs := map[string]listPkg{}
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("parsing go list output: %v", err)
+		}
+		pkgs[p.ImportPath] = p
+	}
+	for _, ip := range []string{"repro/factfixture/a", "repro/factfixture/b", "repro/internal/libindex"} {
+		if pkgs[ip].ImportPath == "" {
+			t.Fatalf("go list did not report %s", ip)
+		}
+	}
+
+	importMap := map[string]string{}
+	packageFile := map[string]string{}
+	for ip, p := range pkgs {
+		importMap[ip] = ip
+		if p.Export != "" {
+			packageFile[ip] = p.Export
+		}
+	}
+
+	type vetCfg struct {
+		ID          string
+		ImportPath  string
+		Dir         string
+		GoFiles     []string
+		ImportMap   map[string]string
+		PackageFile map[string]string
+		PackageVetx map[string]string
+		GoVersion   string
+		VetxOnly    bool
+		VetxOutput  string
+	}
+	writeCfg := func(name string, cfg vetCfg) string {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	goFiles := func(ip string) []string {
+		p := pkgs[ip]
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		return files
+	}
+	checkers := []*analysis.Analyzer{mmapwrite.Analyzer}
+
+	// Phase 1: package A as a dependency (VetxOnly) — the run's product
+	// is the fact file, not diagnostics.
+	aVetx := filepath.Join(dir, "a.vetx")
+	aCfg := writeCfg("a.cfg", vetCfg{
+		ID: "repro/factfixture/a", ImportPath: "repro/factfixture/a", Dir: pkgs["repro/factfixture/a"].Dir,
+		GoFiles: goFiles("repro/factfixture/a"), ImportMap: importMap, PackageFile: packageFile,
+		PackageVetx: map[string]string{}, GoVersion: "go1.24",
+		VetxOnly: true, VetxOutput: aVetx,
+	})
+	var out bytes.Buffer
+	if code := analysis.RunUnitchecker(aCfg, checkers, &out); code != 0 {
+		t.Fatalf("VetxOnly run on package a exited %d:\n%s", code, out.String())
+	}
+	payload, err := os.ReadFile(aVetx)
+	if err != nil {
+		t.Fatalf("package a wrote no fact file: %v", err)
+	}
+	facts, err := analysis.DecodeFacts(payload)
+	if err != nil {
+		t.Fatalf("decoding a.vetx: %v", err)
+	}
+	if !facts.Has("repro/factfixture/a.View", mmapwrite.FactReturnsMmapView) {
+		t.Fatalf("a.vetx lacks the %s fact for repro/factfixture/a.View: %s",
+			mmapwrite.FactReturnsMmapView, payload)
+	}
+
+	// Phase 2: package B with A's facts — the write through the view
+	// must be reported, attributed to b.go.
+	bVetx := filepath.Join(dir, "b.vetx")
+	bCfg := writeCfg("b.cfg", vetCfg{
+		ID: "repro/factfixture/b", ImportPath: "repro/factfixture/b", Dir: pkgs["repro/factfixture/b"].Dir,
+		GoFiles: goFiles("repro/factfixture/b"), ImportMap: importMap, PackageFile: packageFile,
+		PackageVetx: map[string]string{"repro/factfixture/a": aVetx}, GoVersion: "go1.24",
+		VetxOutput: bVetx,
+	})
+	out.Reset()
+	if code := analysis.RunUnitchecker(bCfg, checkers, &out); code != 2 {
+		t.Fatalf("run on package b with facts exited %d, want 2 (finding):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "mmapwrite") || !strings.Contains(out.String(), "b.go") {
+		t.Fatalf("package b findings missing the fact-driven mmapwrite report:\n%s", out.String())
+	}
+
+	// Phase 3: package B without A's facts — silent, proving the
+	// finding came through the fact file and not B-local knowledge.
+	bNoFactsCfg := writeCfg("b-nofacts.cfg", vetCfg{
+		ID: "repro/factfixture/b", ImportPath: "repro/factfixture/b", Dir: pkgs["repro/factfixture/b"].Dir,
+		GoFiles: goFiles("repro/factfixture/b"), ImportMap: importMap, PackageFile: packageFile,
+		PackageVetx: map[string]string{}, GoVersion: "go1.24",
+	})
+	out.Reset()
+	if code := analysis.RunUnitchecker(bNoFactsCfg, checkers, &out); code != 0 {
+		t.Fatalf("run on package b without facts exited %d, want 0:\n%s", code, out.String())
+	}
+}

@@ -1,0 +1,12 @@
+package unmaplife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unmaplife"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/unmaplifetest", unmaplife.Analyzer)
+}

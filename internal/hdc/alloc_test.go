@@ -1,0 +1,97 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation baselines for the kernel path, checked in as the gate CI
+// enforces (the -benchmem numbers on BenchmarkCascadeTopKRange trend
+// the same quantities). The scoring sweep itself —
+// SimilaritiesRangeInto over a reused buffer, single- or two-tier —
+// must be allocation-free in steady state: it runs per query batch at
+// full occupancy, and the //oms:hotpath contract on its kernels
+// (scoreRows, distRow*, scoreBlockSims) is enforced statically by
+// omsvet's hotalloc analyzer. TopKRange additionally materializes its
+// rank-sorted result slice; that inherent per-call cost is pinned to a
+// small constant so scratch-reuse regressions (heap growth, lost
+// pooling) surface as a count jump, not a silent GC treadmill.
+const (
+	// kernelSweepAllocs is the steady-state allocs/op of the blocked
+	// similarity sweep over a reused destination buffer.
+	kernelSweepAllocs = 0
+	// topKRangeMaxAllocs bounds the sequential TopKRange steady state:
+	// the returned match slice plus sort.Slice's closure machinery.
+	topKRangeMaxAllocs = 4
+)
+
+func allocSearcher(t *testing.T, d, n, prefilterWords int) (*ShardedSearcher, BinaryHV) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	refs := make([]BinaryHV, n)
+	for i := range refs {
+		refs[i] = RandomBinaryHV(d, rng)
+	}
+	s, err := NewShardedSearcherCascade(refs, n, CascadeConfig{PrefilterWords: prefilterWords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, RandomBinaryHV(d, rng)
+}
+
+// TestKernelSweepAllocationFree gates the scoring kernel at zero
+// steady-state allocations, for the single-tier layout and the
+// two-tier cascade layout.
+func TestKernelSweepAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation")
+	}
+	for _, tc := range []struct {
+		name           string
+		prefilterWords int
+	}{
+		{"single-tier", 0},
+		{"two-tier", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// One shard keeps the sweep on the sequential path: the
+			// parallel fan-out's per-query goroutines allocate by design.
+			s, q := allocSearcher(t, 1024, 4096, tc.prefilterWords)
+			dst := s.SimilaritiesRangeInto(q, 0, s.Len(), nil)
+			allocs := testing.AllocsPerRun(50, func() {
+				dst = s.SimilaritiesRangeInto(q, 0, s.Len(), dst)
+			})
+			if allocs > kernelSweepAllocs {
+				t.Errorf("similarity sweep allocates %.1f allocs/op in steady state, baseline %d",
+					allocs, kernelSweepAllocs)
+			}
+		})
+	}
+}
+
+// TestTopKRangeSteadyStateAllocs pins the sequential top-k range scan
+// to its checked-in baseline.
+func TestTopKRangeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation")
+	}
+	for _, tc := range []struct {
+		name           string
+		prefilterWords int
+	}{
+		{"single-tier", 0},
+		{"two-tier", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, q := allocSearcher(t, 1024, 4096, tc.prefilterWords)
+			s.TopKRange(q, 0, s.Len(), 5)
+			allocs := testing.AllocsPerRun(50, func() {
+				s.TopKRange(q, 0, s.Len(), 5)
+			})
+			if allocs > topKRangeMaxAllocs {
+				t.Errorf("TopKRange allocates %.1f allocs/op in steady state, baseline %d",
+					allocs, topKRangeMaxAllocs)
+			}
+		})
+	}
+}

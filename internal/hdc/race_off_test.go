@@ -1,0 +1,5 @@
+//go:build !race
+
+package hdc
+
+const raceEnabled = false

@@ -147,6 +147,8 @@ type shard struct {
 }
 
 // tierB returns reference row's tier-B words within the shard.
+//
+//oms:hotpath
 func (s *ShardedSearcher) tierB(sh *shard, row int) []uint64 {
 	base := row * sh.bs
 	return sh.b[base : base+s.wb]
@@ -371,6 +373,8 @@ func (s *ShardedSearcher) PackedRow(i int) []uint64 {
 
 // simRow scores one packed row against the query words across both
 // tiers.
+//
+//oms:hotpath
 func (s *ShardedSearcher) simRow(qw []uint64, sh *shard, row int) int {
 	dist := distRow(qw[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
 	if s.wb > 0 {
@@ -384,6 +388,8 @@ func (s *ShardedSearcher) simRow(qw []uint64, sh *shard, row int) int {
 // into sims. The word loop is 8-way unrolled through array pointers
 // (one bounds check per stride) with two accumulators so the popcounts
 // pipeline.
+//
+//oms:hotpath
 func scoreRows(qw, packed []uint64, words, rows, d int, sims []int) {
 	for r := 0; r < rows; r++ {
 		base := r * words
@@ -412,6 +418,8 @@ func scoreRows(qw, packed []uint64, words, rows, d int, sims []int) {
 // distRow is the single-row XOR+popcount distance over one packed
 // word segment (same unroll as scoreRows). It is the tier-B
 // completion kernel and the per-row gather kernel.
+//
+//oms:hotpath
 func distRow(qw, row []uint64) int {
 	var d0, d1 int
 	i := 0
@@ -436,6 +444,8 @@ func distRow(qw, row []uint64) int {
 // distRows writes the Hamming distances of rows [0, rows) of a packed
 // block (row stride words) against qw into dist — the tier-A
 // prefilter kernel.
+//
+//oms:hotpath
 func distRows(qw, packed []uint64, words, rows int, dist []int) {
 	for r := 0; r < rows; r++ {
 		base := r * words
@@ -447,6 +457,8 @@ func distRows(qw, packed []uint64, words, rows int, dist []int) {
 // dist — the tier-B half of a full-similarity block score. stride is
 // the row stride within packed, width the words scored per row
 // (stride > width walks a tier-B view over a full-width block).
+//
+//oms:hotpath
 func distRowsAdd(qw, packed []uint64, stride, width, rows int, dist []int) {
 	for r := 0; r < rows; r++ {
 		base := r * stride
@@ -457,6 +469,8 @@ func distRowsAdd(qw, packed []uint64, stride, width, rows int, dist []int) {
 // scoreBlockSims writes full Hamming similarities for shard rows
 // [r0, r0+rows) into sims: the single-tier kernel directly, or — under
 // a two-tier layout — one pass per tier with the distances summed.
+//
+//oms:hotpath
 func (s *ShardedSearcher) scoreBlockSims(qw []uint64, sh *shard, r0, rows int, sims []int) {
 	if s.wb == 0 {
 		scoreRows(qw, sh.a[r0*s.wa:], s.wa, rows, s.d, sims)
@@ -572,8 +586,9 @@ func (sc *searchScratch) simsBuf(n int) []int {
 // top-k), operating directly on a scratch slice: container/heap would
 // box every Match through interface{}.
 
+//oms:hotpath
 func heapPushMatch(h []Match, m Match) []Match {
-	h = append(h, m)
+	h = append(h, m) //oms:allow(hotalloc) callers pass a scratch-backed heap bounded by k; growth amortizes to zero
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -586,6 +601,7 @@ func heapPushMatch(h []Match, m Match) []Match {
 	return h
 }
 
+//oms:hotpath
 func heapFixRoot(h []Match) {
 	i, n := 0, len(h)
 	for {
@@ -605,6 +621,8 @@ func heapFixRoot(h []Match) {
 }
 
 // offerTopK keeps m if it ranks within the current top-k.
+//
+//oms:hotpath
 func offerTopK(h []Match, m Match, k int) []Match {
 	if len(h) < k {
 		return heapPushMatch(h, m)
@@ -628,6 +646,8 @@ func sortedMatches(h []Match) []Match {
 // completeRow finishes a shortlisted tier-A partial match (Similarity
 // carries the negated partial distance) into a full-similarity match
 // by scoring the row's tier-B remainder.
+//
+//oms:hotpath
 func (s *ShardedSearcher) completeRow(qb []uint64, pm Match) Match {
 	sh := &s.shards[pm.Index/s.shardSize]
 	row := pm.Index - sh.start

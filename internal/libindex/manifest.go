@@ -271,8 +271,11 @@ func (pi *PartitionedIndex) Blocks() [][]uint64 {
 	return blocks
 }
 
-// Close releases every partition mapping. Engines built over the
-// index are invalid afterwards; idempotent.
+// Close releases every partition mapping and poisons every partition:
+// engines built over the index are invalid afterwards, and Blocks (via
+// Index.Words) panics descriptively rather than handing out views into
+// unmapped memory. Idempotent — each partition's Close is, so calling
+// Close again returns nil.
 func (pi *PartitionedIndex) Close() error {
 	var first error
 	for _, part := range pi.Parts {

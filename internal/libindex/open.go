@@ -30,14 +30,23 @@ type Index struct {
 
 	words  []uint64
 	mapped []byte // non-nil iff mmap-backed
+	closed bool
 	path   string
 }
 
 // Words returns the contiguous packed word block (n × WordsPerHV(d)),
 // row-major in mass order — the input of the packed searcher
 // constructors. The block aliases the mapping when Mapped reports
-// true: it is invalid after Close.
-func (ix *Index) Words() []uint64 { return ix.words }
+// true: no view outlives the index's Close. Words panics after Close —
+// deterministically, on every platform, so a lifetime bug surfaces as
+// a descriptive panic at the call site instead of a SIGSEGV inside a
+// kernel loop on mmap platforms and silent success elsewhere.
+func (ix *Index) Words() []uint64 {
+	if ix.closed {
+		panic("libindex: Words on closed index " + ix.path + " (no view outlives its generation's Close)")
+	}
+	return ix.words
+}
 
 // Mapped reports whether the index is memory-mapped (true) or was
 // copied to the heap by the fallback loader (false).
@@ -46,11 +55,20 @@ func (ix *Index) Mapped() bool { return ix.mapped != nil }
 // Path returns the file the index was opened from.
 func (ix *Index) Path() string { return ix.path }
 
-// Close releases the mapping. Every view into the index — Lib.HVs,
-// Words, and any searcher or engine packed over them — is invalid
-// afterwards; close only after the engine built over this index is
-// unreachable. Close is idempotent and a no-op for a copied index.
+// Close releases the mapping and poisons the index: the words view is
+// zeroed and Words panics afterwards, for a copied index exactly as
+// for a mapped one, so misuse does not depend on which loader ran.
+// Every view already handed out — Lib.HVs, Words results, and any
+// searcher or engine packed over them — is invalid after Close; close
+// only after the engine built over this index is unreachable. Close is
+// idempotent: the second and later calls return nil without touching
+// the mapping again.
 func (ix *Index) Close() error {
+	if ix.closed {
+		return nil
+	}
+	ix.closed = true
+	ix.words = nil
 	m := ix.mapped
 	ix.mapped = nil
 	if m == nil {

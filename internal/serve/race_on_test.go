@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates the allocation-count tests: the race detector's
+// instrumentation allocates, so counts are only meaningful without it.
+const raceEnabled = true

@@ -108,6 +108,11 @@ type Server struct {
 
 	closeOnce sync.Once
 	stats     collector
+
+	// preps is the flush loop's reusable prepared-query scratch. Only
+	// the dispatcher goroutine touches it, so no lock: it grows to
+	// MaxBatch once and steady-state flushes allocate nothing.
+	preps []core.PreparedQuery
 }
 
 // New starts the micro-batcher over an engine — the single-store
@@ -285,6 +290,8 @@ func (s *Server) dispatch() {
 // flush scores one batch through the engine's batched search and
 // delivers each result to its waiter. Requests whose context is
 // already done are skipped — their waiters have left.
+//
+//oms:hotpath
 func (s *Server) flush(batch []*request) {
 	live := batch[:0:len(batch)]
 	for _, r := range batch {
@@ -296,7 +303,10 @@ func (s *Server) flush(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
-	preps := make([]core.PreparedQuery, len(live))
+	if cap(s.preps) < len(live) {
+		s.preps = make([]core.PreparedQuery, len(live))
+	}
+	preps := s.preps[:len(live)]
 	for i, r := range live {
 		preps[i] = r.pq
 	}
