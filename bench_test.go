@@ -25,6 +25,7 @@ import (
 	"repro/internal/hdc"
 	"repro/internal/hyperoms"
 	"repro/internal/msdata"
+	"repro/internal/obsv"
 	"repro/internal/perf"
 	"repro/internal/rram"
 	"repro/internal/spectrum"
@@ -426,6 +427,21 @@ func BenchmarkCascadeTopKRange(b *testing.B) {
 		b.ReportMetric(float64(nQueries), "queries/op")
 		b.ReportMetric(100*delta.PruneRate(), "%pruned")
 	})
+	// cascade-traced is the observability overhead gate: the identical
+	// sweep with a live stage trace attached. Acceptance: within 2% of
+	// the untraced cascade sub-benchmark (the trace costs two clock
+	// reads per shard visit plus one lazy burst timer per completing
+	// (block, query) pair — never per row).
+	b.Run("cascade-traced", func(b *testing.B) {
+		var tr obsv.Trace
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Reset()
+			cascade.BatchTopKRangeTraced(queries, ranges, k, &tr)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(nQueries), "queries/op")
+	})
 	b.Run("single-tier", func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -434,18 +450,28 @@ func BenchmarkCascadeTopKRange(b *testing.B) {
 		b.ReportMetric(float64(nQueries), "queries/op")
 	})
 	// Parity spot check outside the timed sections: the exact cascade
-	// must be bit-identical to the single-tier kernel on this workload.
+	// must be bit-identical to the single-tier kernel on this
+	// workload, traced or not — timing never alters control flow.
+	var tr obsv.Trace
 	got := cascade.BatchTopKRange(queries, ranges, k)
+	traced := cascade.BatchTopKRangeTraced(queries, ranges, k, &tr)
 	want := single.BatchTopKRange(queries, ranges, k)
 	for i := range want {
-		if len(got[i]) != len(want[i]) {
+		if len(got[i]) != len(want[i]) || len(traced[i]) != len(want[i]) {
 			b.Fatalf("query %d: cascade diverged from single-tier", i)
 		}
 		for j := range want[i] {
 			if got[i][j] != want[i][j] {
 				b.Fatalf("query %d match %d: cascade %+v, single-tier %+v", i, j, got[i][j], want[i][j])
 			}
+			if traced[i][j] != want[i][j] {
+				b.Fatalf("query %d match %d: traced cascade %+v, single-tier %+v", i, j, traced[i][j], want[i][j])
+			}
 		}
+	}
+	if swept, _ := tr.Rows(); tr.StageNanos(obsv.StageTierA) <= 0 || swept == 0 {
+		b.Fatalf("traced sweep recorded no stage time or rows (tier_a=%dns, swept=%d)",
+			tr.StageNanos(obsv.StageTierA), swept)
 	}
 }
 

@@ -32,6 +32,8 @@ func (d *daemon) mux() http.Handler {
 	mux.HandleFunc("POST /search", d.handleSearch)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /stats", d.handleStats)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /debug/slowest", d.handleSlowest)
 	return mux
 }
 

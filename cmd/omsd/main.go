@@ -36,6 +36,21 @@
 //	GET  /stats    serving counters: queue depth, batch size
 //	               histogram, latency quantiles, cascade pruning rate,
 //	               per-partition rows/fences/pruning
+//	GET  /metrics  the same telemetry in Prometheus text exposition
+//	               format, plus per-stage pipeline timings, reload
+//	               generation and slow-query counters (DESIGN.md §10)
+//	GET  /debug/slowest
+//	               the worst-latency query traces with per-stage
+//	               timings, latency descending
+//
+// Observability flags: -slow-query DURATION marks and logs requests at
+// or above the threshold (they surface in /debug/slowest and
+// oms_slow_queries_total either way); -access-log writes one
+// structured line per HTTP request with X-Request-ID propagation
+// (inbound header honored, generated otherwise, echoed on the
+// response, and joined to slow-query traces via request_id);
+// -debug-addr ADDR serves net/http/pprof on a second listener kept off
+// the query port.
 package main
 
 import (
@@ -45,6 +60,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +77,9 @@ func main() {
 	topk := flag.Int("topk", 0, "matches retrieved per query (0 = index setting)")
 	prefilterWords := flag.Int("prefilter-words", -1, "two-tier cascade: packed words per row in the prefilter tier (-1 = index setting, 0 = single-tier scan)")
 	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N prefilter rows per query (-1 = index setting, 0 = exact pruning bound)")
+	slowQuery := flag.Duration("slow-query", 0, "log a structured line for requests at or above this latency (0 = off)")
+	accessLog := flag.Bool("access-log", false, "log one structured line per HTTP request")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	if *indexPath == "" {
@@ -76,6 +95,7 @@ func main() {
 		topk:           *topk,
 		prefilterWords: *prefilterWords,
 		shortlist:      *shortlist,
+		slowQuery:      *slowQuery,
 	}
 	d := newDaemon(func() (*serving, error) { return buildServing(cfg) })
 	start := time.Now()
@@ -89,9 +109,28 @@ func main() {
 			sv.prefilterWords, sv.shortlist)
 	}
 
-	httpSrv := &http.Server{Handler: d.mux()}
+	httpSrv := &http.Server{Handler: withRequestID(d.mux(), *accessLog)}
 	ln, err := net.Listen("tcp", *addr)
 	fatalIf(err)
+	if *debugAddr != "" {
+		// pprof stays off the query port: a profile scrape must never
+		// contend with /search on the same listener, and the debug
+		// surface can be firewalled separately.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "omsd: pprof on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, debugMux); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "omsd: pprof server: %v\n", err)
+			}
+		}()
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	hup := make(chan os.Signal, 1)

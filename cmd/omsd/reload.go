@@ -24,6 +24,9 @@ type servingConfig struct {
 	topk           int
 	prefilterWords int
 	shortlist      int
+	// slowQuery is the -slow-query latency threshold (0 = no threshold;
+	// the slow ring still keeps the worst traces).
+	slowQuery time.Duration
 }
 
 // serving is one generation of the daemon's serving state: an opened
@@ -129,9 +132,11 @@ func buildServing(cfg servingConfig) (*serving, error) {
 			cfg.indexPath, engine.NumRefs(), ix.Params.Accel.D, ix.Mapped())
 	}
 	srv, err := serve.New(sv.engine, serve.Config{
-		MaxBatch: cfg.maxBatch,
-		MaxDelay: cfg.maxDelay,
-		MaxQueue: cfg.maxQueue,
+		MaxBatch:           cfg.maxBatch,
+		MaxDelay:           cfg.maxDelay,
+		MaxQueue:           cfg.maxQueue,
+		SlowQueryThreshold: cfg.slowQuery,
+		OnSlowQuery:        logSlowQuery,
 	})
 	if err != nil {
 		sv.closeIndex()
@@ -147,6 +152,12 @@ type daemon struct {
 	cur     *serving
 	build   func() (*serving, error)
 	started time.Time
+
+	// generation counts successful index loads (1 after the initial
+	// load); reloadFailures counts failed reload attempts. Both feed
+	// /metrics.
+	generation     atomic.Uint64
+	reloadFailures atomic.Uint64
 }
 
 // newDaemon wires a daemon around a serving builder; call reload once
@@ -174,6 +185,7 @@ func (d *daemon) acquire() *serving {
 func (d *daemon) reload() (*serving, error) {
 	nsv, err := d.build()
 	if err != nil {
+		d.reloadFailures.Add(1)
 		return nil, err
 	}
 	nsv.refs.Store(1) // the daemon's own reference
@@ -181,6 +193,7 @@ func (d *daemon) reload() (*serving, error) {
 	old := d.cur
 	d.cur = nsv
 	d.mu.Unlock()
+	d.generation.Add(1)
 	if old != nil {
 		old.release()
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fdr"
 	"repro/internal/hdc"
 	"repro/internal/libindex"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 	"repro/internal/spectrum"
 )
@@ -299,6 +300,12 @@ func TestConformance(t *testing.T) {
 			for qi, got := range searcher.BatchTopKRange(hvs, ranges, w.k) {
 				assertMatches(t, "BatchTopKRange", qi, got, oracle[qi])
 			}
+			// Traced sweep parity: attaching a stage trace must not
+			// change a single result bit on any workload.
+			var searcherTrace obsv.Trace
+			for qi, got := range searcher.BatchTopKRangeTraced(hvs, ranges, w.k, &searcherTrace) {
+				assertMatches(t, "BatchTopKRangeTraced", qi, got, oracle[qi])
+			}
 
 			// Edge geometry (coverage inherited from the deleted per-path
 			// parity tests): out-of-bounds and inverted ranges must clamp,
@@ -353,6 +360,15 @@ func TestConformance(t *testing.T) {
 				if oks[qi] != wantOK || (wantOK && psms[qi] != wantPSM) {
 					t.Fatalf("Engine.SearchPrepared: query %d = %+v ok=%v, oracle %+v ok=%v",
 						qi, psms[qi], oks[qi], wantPSM, wantOK)
+				}
+			}
+			var engineTrace obsv.Trace
+			tpsms, toks := engine.SearchPreparedTraced(fx.queries, &engineTrace)
+			for qi, q := range fx.queries {
+				wantPSM, wantOK := fx.wantPSM(q, oracle[qi])
+				if toks[qi] != wantOK || (wantOK && tpsms[qi] != wantPSM) {
+					t.Fatalf("Engine.SearchPreparedTraced: query %d = %+v ok=%v, oracle %+v ok=%v",
+						qi, tpsms[qi], toks[qi], wantPSM, wantOK)
 				}
 			}
 
@@ -410,6 +426,15 @@ func TestConformance(t *testing.T) {
 						if poks[qi] != wantOK || (wantOK && ppsms[qi] != wantPSM) {
 							t.Fatalf("PartitionedEngine.SearchPrepared: query %d = %+v ok=%v, oracle %+v ok=%v",
 								qi, ppsms[qi], poks[qi], wantPSM, wantOK)
+						}
+					}
+					var partTrace obsv.Trace
+					tpsms, ttoks := pe.SearchPreparedTraced(fx.queries, &partTrace)
+					for qi, q := range fx.queries {
+						wantPSM, wantOK := fx.wantPSM(q, oracle[qi])
+						if ttoks[qi] != wantOK || (wantOK && tpsms[qi] != wantPSM) {
+							t.Fatalf("PartitionedEngine.SearchPreparedTraced: query %d = %+v ok=%v, oracle %+v ok=%v",
+								qi, tpsms[qi], ttoks[qi], wantPSM, wantOK)
 						}
 					}
 				})

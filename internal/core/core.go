@@ -15,6 +15,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/fdr"
 	"repro/internal/hdc"
+	"repro/internal/obsv"
 	"repro/internal/spectrum"
 	"repro/internal/units"
 )
@@ -90,6 +91,28 @@ type SearchEngine interface {
 	// Skipped returns the count of reference spectra rejected by
 	// preprocessing at build time.
 	Skipped() int
+}
+
+// TracedSearchEngine is the optional tracing extension of
+// SearchEngine: a batched sweep that accumulates per-stage timings and
+// row counters into an obsv.Trace. Tracing must never change results —
+// SearchPreparedTraced(qs, nil) and SearchPrepared(qs) are the same
+// call, and a non-nil trace only adds timing. The serving layer
+// type-asserts for this interface and falls back to the untraced sweep
+// when the engine does not provide it.
+type TracedSearchEngine interface {
+	SearchEngine
+	// SearchPreparedTraced is SearchPrepared recording tier-A/tier-B/
+	// merge (and, for a partitioned engine, per-partition sweep) telemetry
+	// into tr when non-nil.
+	SearchPreparedTraced(qs []PreparedQuery, tr *obsv.Trace) ([]fdr.PSM, []bool)
+}
+
+// tracedRangeSearcher is the range searcher's tracing extension
+// (implemented by hdc.ShardedSearcher); searchers without it — e.g.
+// the characterized-noise searcher — run untraced.
+type tracedRangeSearcher interface {
+	BatchTopKRangeTraced(queries []hdc.BinaryHV, ranges []hdc.RowRange, k int, tr *obsv.Trace) [][]hdc.Match
 }
 
 // Params configures an OMS engine.
@@ -498,6 +521,15 @@ func (e *Engine) SearchOne(q *spectrum.Spectrum) (fdr.PSM, bool, error) {
 // their results may vary with how queries are batched — per-seed
 // reproducible for a fixed batching, but not batch-invariant.
 func (e *Engine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
+	return e.SearchPreparedTraced(qs, nil)
+}
+
+// SearchPreparedTraced is SearchPrepared with per-stage tracing (see
+// TracedSearchEngine): a non-nil tr collects tier-A/tier-B/merge
+// timings and row counters from the range-native sweep. Timing never
+// alters control flow, so results are bit-identical to the untraced
+// call.
+func (e *Engine) SearchPreparedTraced(qs []PreparedQuery, tr *obsv.Trace) ([]fdr.PSM, []bool) {
 	psms := make([]fdr.PSM, len(qs))
 	oks := make([]bool, len(qs))
 	if len(qs) == 0 {
@@ -512,7 +544,11 @@ func (e *Engine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
 			hvs[i] = pq.HV
 			ranges[i] = hdc.RowRange{Lo: pq.Lo, Hi: pq.Hi}
 		}
-		tops = e.ranger.BatchTopKRange(hvs, ranges, e.params.TopK)
+		if ts, ok := e.ranger.(tracedRangeSearcher); ok {
+			tops = ts.BatchTopKRangeTraced(hvs, ranges, e.params.TopK, tr)
+		} else {
+			tops = e.ranger.BatchTopKRange(hvs, ranges, e.params.TopK)
+		}
 	default:
 		if bs, ok := e.searcher.(BatchSearcher); ok {
 			hvs := make([]hdc.BinaryHV, len(qs))

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/fdr"
 	"repro/internal/hdc"
+	"repro/internal/obsv"
 	"repro/internal/spectrum"
 	"repro/internal/units"
 )
@@ -155,6 +157,9 @@ type PartitionStat struct {
 	// two-tier layout; Cascade holds its pruning counters when so.
 	CascadeEnabled bool
 	Cascade        hdc.CascadeStats
+	// RowsSwept is the partition's cumulative range-scan row coverage
+	// (live for every layout, unlike the cascade counters).
+	RowsSwept uint64
 }
 
 // PartitionStats snapshots per-partition identity and cascade pruning
@@ -166,6 +171,7 @@ func (pe *PartitionedEngine) PartitionStats() []PartitionStat {
 		p := &pe.parts[i]
 		st := PartitionStat{StartRow: p.start, Refs: p.lib.Len(), MinMass: p.minMass, MaxMass: p.maxMass}
 		st.Cascade, st.CascadeEnabled = p.searcher.CascadeStats()
+		st.RowsSwept = p.searcher.RowsSwept()
 		out[i] = st
 	}
 	return out
@@ -275,8 +281,12 @@ func (pe *PartitionedEngine) TopKPrepared(pq PreparedQuery) []hdc.Match {
 // batchTopKPrepared scores a prepared batch: queries fan out across
 // partitions in parallel — each partition runs one block-major
 // BatchTopKRange sweep over the queries whose windows reach it — and
-// the per-partition lists merge exactly per query.
-func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery) [][]hdc.Match {
+// the per-partition lists merge exactly per query. A non-nil tr
+// collects tier timings from each partition's sweep plus one
+// PartSweep record per visited partition (index, candidate rows, wall
+// time) and the cross-partition merge time; timing never alters
+// control flow.
+func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery, tr *obsv.Trace) [][]hdc.Match {
 	k := pe.params.TopK
 	type partBatch struct {
 		qIdx   []int
@@ -309,10 +319,25 @@ func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery) [][]hdc.Match
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			batches[i].tops = pe.parts[i].searcher.BatchTopKRange(batches[i].hvs, batches[i].ranges, k)
+			b := &batches[i]
+			if tr == nil {
+				b.tops = pe.parts[i].searcher.BatchTopKRange(b.hvs, b.ranges, k)
+				return
+			}
+			t0 := time.Now()
+			b.tops = pe.parts[i].searcher.BatchTopKRangeTraced(b.hvs, b.ranges, k, tr)
+			rows := 0
+			for _, r := range b.ranges {
+				rows += r.Len()
+			}
+			tr.AddPartition(i, rows, int64(time.Since(t0)))
 		}(i)
 	}
 	wg.Wait()
+	var mergeT0 time.Time
+	if tr != nil {
+		mergeT0 = time.Now()
+	}
 	out := make([][]hdc.Match, len(qs))
 	for i := range pe.parts {
 		start := pe.parts[i].start
@@ -328,6 +353,9 @@ func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery) [][]hdc.Match
 		if out[qi] != nil {
 			out[qi] = mergeTopK(out[qi], k)
 		}
+	}
+	if tr != nil {
+		tr.AddNanos(obsv.StageMerge, int64(time.Since(mergeT0)))
 	}
 	return out
 }
@@ -357,12 +385,20 @@ func (pe *PartitionedEngine) entryAt(global int) LibraryEntry {
 // the exact searcher, results are bit-identical to the single-store
 // Engine.SearchPrepared over the concatenated library.
 func (pe *PartitionedEngine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
+	return pe.SearchPreparedTraced(qs, nil)
+}
+
+// SearchPreparedTraced is SearchPrepared with per-stage tracing (see
+// TracedSearchEngine): a non-nil tr collects per-partition sweep
+// records, tier timings and the cross-partition merge time. Results
+// are bit-identical to the untraced call.
+func (pe *PartitionedEngine) SearchPreparedTraced(qs []PreparedQuery, tr *obsv.Trace) ([]fdr.PSM, []bool) {
 	psms := make([]fdr.PSM, len(qs))
 	oks := make([]bool, len(qs))
 	if len(qs) == 0 {
 		return psms, oks
 	}
-	for i, top := range pe.batchTopKPrepared(qs) {
+	for i, top := range pe.batchTopKPrepared(qs, tr) {
 		if len(top) == 0 {
 			continue
 		}

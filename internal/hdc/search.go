@@ -3,6 +3,8 @@ package hdc
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/obsv"
 )
 
 // Match is one similarity-search result.
@@ -100,6 +102,13 @@ func (s *Searcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
 // cache-resident row block is swept by all queries covering it.
 func (s *Searcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, k int) [][]Match {
 	return s.engine.BatchTopKRange(queries, ranges, k)
+}
+
+// BatchTopKRangeTraced is BatchTopKRange with per-stage timings and
+// row counters accumulated into tr (nil = untraced); results are
+// bit-identical either way.
+func (s *Searcher) BatchTopKRangeTraced(queries []BinaryHV, ranges []RowRange, k int, tr *obsv.Trace) [][]Match {
+	return s.engine.BatchTopKRangeTraced(queries, ranges, k, tr)
 }
 
 // CascadeStats returns a snapshot of the cascade pruning counters; ok

@@ -8,6 +8,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obsv"
 )
 
 // DefaultShardSize is the reference-row count per shard when the
@@ -122,6 +125,11 @@ type ShardedSearcher struct {
 	// Cascade pruning counters; zero when the layout is single-tier.
 	prefiltered atomic.Uint64
 	completed   atomic.Uint64
+
+	// swept counts candidate rows covered by the range-scan paths
+	// (single-tier rows, or tier-A prefixes under a cascade) — the
+	// serving stack's sweep-volume counter, live for every layout.
+	swept atomic.Uint64
 }
 
 // shard is one fixed-size slice of the reference store.
@@ -327,6 +335,11 @@ func (s *ShardedSearcher) CascadeStats() (CascadeStats, bool) {
 	}
 	return CascadeStats{Prefiltered: s.prefiltered.Load(), Completed: s.completed.Load()}, true
 }
+
+// RowsSwept returns the cumulative candidate rows covered by the
+// range-scan search paths since construction (every layout, unlike
+// the cascade counters).
+func (s *ShardedSearcher) RowsSwept() uint64 { return s.swept.Load() }
 
 // checkQuery panics on a dimensionality mismatch, matching the scalar
 // Searcher's contract.
@@ -816,7 +829,7 @@ func (s *ShardedSearcher) batchFullScan(queries []BinaryHV, qIdx []int, k int, o
 	for _, f := range qIdx {
 		ranges[f] = RowRange{Lo: 0, Hi: s.n}
 	}
-	s.batchRangeScan(queries, ranges, qIdx, k, out)
+	s.batchRangeScan(queries, ranges, qIdx, k, out, nil)
 }
 
 // TopKRange returns the k most similar references among the
@@ -837,7 +850,7 @@ func (s *ShardedSearcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
 	}
 	if r.Len() >= parallelMinRefs && (r.Hi-1)/s.shardSize > r.Lo/s.shardSize {
 		out := make([][]Match, 1)
-		s.batchRangeScan([]BinaryHV{q}, []RowRange{r}, []int{0}, k, out)
+		s.batchRangeScan([]BinaryHV{q}, []RowRange{r}, []int{0}, k, out, nil)
 		return out[0]
 	}
 	sc := scratchPool.Get().(*searchScratch)
@@ -867,6 +880,7 @@ func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *se
 		row = end
 	}
 	sc.heap = h
+	s.swept.Add(uint64(r.Len()))
 	return sortedMatches(h)
 }
 
@@ -929,6 +943,7 @@ func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *se
 	sc.heap = h
 	s.prefiltered.Add(pre)
 	s.completed.Add(comp)
+	s.swept.Add(pre)
 	return sortedMatches(h)
 }
 
@@ -944,6 +959,15 @@ func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *se
 // gather path. Results are bit-identical to TopK over the equivalent
 // materialized candidate slices.
 func (s *ShardedSearcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, k int) [][]Match {
+	return s.BatchTopKRangeTraced(queries, ranges, k, nil)
+}
+
+// BatchTopKRangeTraced is BatchTopKRange with per-stage tracing: when
+// tr is non-nil the scan accumulates tier-A/tier-B/merge nanoseconds
+// and row counters into it. Timing never alters control flow, so
+// results are bit-identical to the untraced call; a nil tr makes
+// every recording site a no-op branch.
+func (s *ShardedSearcher) BatchTopKRangeTraced(queries []BinaryHV, ranges []RowRange, k int, tr *obsv.Trace) [][]Match {
 	if len(ranges) != len(queries) {
 		panic(fmt.Sprintf("hdc: %d queries with %d ranges", len(queries), len(ranges)))
 	}
@@ -973,7 +997,7 @@ func (s *ShardedSearcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, 
 	sort.SliceStable(active, func(a, b int) bool {
 		return clamped[active[a]].Lo < clamped[active[b]].Lo
 	})
-	s.batchRangeScan(queries, clamped, active, k, out)
+	s.batchRangeScan(queries, clamped, active, k, out, tr)
 	return out
 }
 
@@ -994,7 +1018,7 @@ func (s *ShardedSearcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, 
 // shard boundaries without touching the merge logic. Under shortlist
 // mode the per-shard lists hold tier-A partials; the merge keeps the
 // global best Shortlist of them and completes only those.
-func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, active []int, k int, out [][]Match) {
+func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, active []int, k int, out [][]Match, tr *obsv.Trace) {
 	// perQuery[j][t] is query active[j]'s sorted per-shard list within
 	// the t-th shard its range intersects; a contiguous row range
 	// intersects a contiguous shard run, so t = shard index −
@@ -1027,11 +1051,19 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 			sc := scratchPool.Get().(*searchScratch)
 			defer scratchPool.Put(sc)
 			for si := range next {
-				s.scanShardRanges(si, queries, ranges, active, k, perQuery, firstShard, bounds, sc)
+				s.scanShardRanges(si, queries, ranges, active, k, perQuery, firstShard, bounds, sc, tr)
 			}
 		}()
 	}
 	wg.Wait()
+	// Trace the merge wall time, splitting out the shortlist tier-B
+	// completions (clock reads gated on tr, so untraced scans pay one
+	// branch per query at most).
+	var mergeT0 time.Time
+	var tbNanos int64
+	if tr != nil {
+		mergeT0 = time.Now()
+	}
 	var completedShortlist uint64
 	for j, qi := range active {
 		var merged []Match
@@ -1039,6 +1071,10 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 			merged = append(merged, part...)
 		}
 		if s.wb > 0 && s.shortlist > 0 {
+			var ct0 time.Time
+			if tr != nil {
+				ct0 = time.Now()
+			}
 			// The per-shard lists hold tier-A partials ranked by
 			// negated partial distance; the global shortlist is the
 			// best Shortlist of their union (identical to a
@@ -1052,6 +1088,9 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 				merged[x] = s.completeRow(qb, pm)
 			}
 			completedShortlist += uint64(len(merged))
+			if tr != nil {
+				tbNanos += int64(time.Since(ct0))
+			}
 		}
 		sort.Slice(merged, func(a, b int) bool { return worse(merged[b], merged[a]) })
 		if len(merged) > k {
@@ -1061,6 +1100,11 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 	}
 	if completedShortlist > 0 {
 		s.completed.Add(completedShortlist)
+	}
+	if tr != nil {
+		tr.AddNanos(obsv.StageTierB, tbNanos)
+		tr.AddNanos(obsv.StageMerge, int64(time.Since(mergeT0))-tbNanos)
+		tr.AddRows(0, int64(completedShortlist))
 	}
 }
 
@@ -1080,7 +1124,14 @@ func storeMin(a *atomic.Int64, v int64) {
 // into perQuery (top-k matches, or tier-A shortlist partials under
 // shortlist mode). bounds carries the shared per-query pruning bounds
 // of an exact cascade scan, nil otherwise.
-func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []RowRange, active []int, k int, perQuery [][][]Match, firstShard []int, bounds []atomic.Int64, sc *searchScratch) {
+//
+// When tr is non-nil the sweep's wall time lands in StageTierA and
+// StageTierB: the clock is read once at entry and once at exit, plus
+// one lazy pair around each tier-B completion burst (first completion
+// of a block/query pair to the end of that pair's sweep), so the
+// traced kernel adds a handful of clock reads per shard visit, never
+// per row. Tier A is the remainder — sweep total minus the bursts.
+func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []RowRange, active []int, k int, perQuery [][][]Match, firstShard []int, bounds []atomic.Int64, sc *searchScratch, tr *obsv.Trace) {
 	sh := &s.shards[si]
 	shLo, shHi := sh.start, sh.start+sh.rows
 	// active is sorted by range start: positions at or past this bound
@@ -1103,8 +1154,13 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 	if len(qs) == 0 {
 		return
 	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	var tb int64
 	sims := sc.simsBuf(s.block)
-	var pre, comp uint64
+	var swept, comp uint64
 	for b0 := 0; b0 < sh.rows; b0 += s.block {
 		blockLo := shLo + b0
 		blockHi := blockLo + min(s.block, sh.rows-b0)
@@ -1118,6 +1174,7 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 			switch {
 			case s.wb == 0:
 				scoreRows(qw, sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, s.d, sims)
+				swept += uint64(r1 - r0)
 				h := sq.heap
 				if len(h) < k {
 					for x := 0; x < r1-r0; x++ {
@@ -1140,7 +1197,7 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 				sq.heap = h
 			case s.shortlist > 0:
 				distRows(qw[:s.wa], sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, sims)
-				pre += uint64(r1 - r0)
+				swept += uint64(r1 - r0)
 				h := sq.heap
 				for x, da := range sims[:r1-r0] {
 					h = offerTopK(h, Match{Index: r0 + x, Similarity: -da}, s.shortlist)
@@ -1148,7 +1205,7 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 				sq.heap = h
 			default:
 				distRows(qw[:s.wa], sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, sims)
-				pre += uint64(r1 - r0)
+				swept += uint64(r1 - r0)
 				qb := qw[s.wa:]
 				h := sq.heap
 				// The pruning bound is the tighter of this heap's
@@ -1161,9 +1218,15 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 					local = int64(s.d - h[0].Similarity)
 				}
 				db := min(gb, local)
+				var bt time.Time
+				timed := false
 				for x, da := range sims[:r1-r0] {
 					if int64(da) > db {
 						continue
+					}
+					if tr != nil && !timed {
+						bt = time.Now()
+						timed = true
 					}
 					comp++
 					row := r0 + x - shLo
@@ -1175,6 +1238,9 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 							db = min(gb, local)
 						}
 					}
+				}
+				if timed {
+					tb += int64(time.Since(bt))
 				}
 				sq.heap = h
 				if local < gb {
@@ -1188,7 +1254,13 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 		perQuery[sq.j][si-firstShard[sq.j]] = sortedMatches(sq.heap)
 	}
 	if s.wb > 0 {
-		s.prefiltered.Add(pre)
+		s.prefiltered.Add(swept)
 		s.completed.Add(comp)
+	}
+	s.swept.Add(swept)
+	if tr != nil {
+		tr.AddNanos(obsv.StageTierB, tb)
+		tr.AddNanos(obsv.StageTierA, int64(time.Since(t0))-tb)
+		tr.AddRows(int64(swept), int64(comp))
 	}
 }

@@ -1,0 +1,462 @@
+// Package perfbench runs the repo's canonical performance operating
+// points as a tracked trajectory: four benchmarks (sharded full-scan
+// batch, exact pruned cascade, partitioned fan-out, served
+// micro-batching) measured via testing.Benchmark and emitted as one
+// schema-versioned JSON document (BENCH_<date>.json). CI runs the
+// quick variant on every push and uploads the document as an
+// artifact, so ns/op, allocs/op, pruning rate and serving latency
+// quantiles accumulate a history that regressions stand out against.
+//
+// The operating points are deliberately smaller than the paper-scale
+// benchmarks in bench_test.go — a trajectory is only useful when
+// every CI run can afford it — but they exercise the same four code
+// paths at the same shapes (block-major sweep, tier-A/tier-B split,
+// mass-fence routing + exact merge, coalesced serving).
+package perfbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hdc"
+	"repro/internal/serve"
+	"repro/internal/spectrum"
+	"repro/internal/units"
+)
+
+// Schema identifies the document layout; bump on incompatible change.
+const Schema = "oms-bench/1"
+
+// RequiredPoints is the canonical operating-point set; Validate
+// rejects a document missing any of them.
+var RequiredPoints = []string{"sharded", "cascade", "partitioned", "served"}
+
+// Point is one operating point's measurement.
+type Point struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	QueriesPerOp int     `json:"queries_per_op"`
+	NsPerQuery   float64 `json:"ns_per_query"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+
+	// PruneRate is the cascade's measured pruning fraction over the
+	// benchmark run; present only for the cascade point.
+	PruneRate *float64 `json:"prune_rate,omitempty"`
+
+	// Latency quantiles from the serving collector; present only for
+	// the served point.
+	LatencyP50US *int64 `json:"latency_p50_us,omitempty"`
+	LatencyP99US *int64 `json:"latency_p99_us,omitempty"`
+}
+
+// Doc is one benchmark run: environment identity plus the measured
+// operating points.
+type Doc struct {
+	Schema      string  `json:"schema"`
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	NumCPU      int     `json:"num_cpu"`
+	Quick       bool    `json:"quick"`
+	Points      []Point `json:"points"`
+}
+
+// Options configures a run.
+type Options struct {
+	// Quick shrinks the reference sets ~5x for CI smoke runs; the
+	// document records which variant produced it.
+	Quick bool
+}
+
+// sizes returns the operating-point shape for the run variant.
+func sizes(o Options) (nRefs, nQueries, k, prefilterWords int) {
+	nRefs = 20_000
+	if o.Quick {
+		nRefs = 4_000
+	}
+	return nRefs, 32, 5, 4
+}
+
+// benchD is the hypervector dimension for every operating point —
+// small enough for CI, large enough that the packed store (nRefs ×
+// D/64 words) streams through the blocked kernel rather than sitting
+// in L2.
+const benchD = 2048
+
+// Run measures all four operating points and assembles the document.
+func Run(o Options) (*Doc, error) {
+	doc := &Doc{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       o.Quick,
+	}
+	for _, run := range []func(Options) (Point, error){
+		runSharded, runCascade, runPartitioned, runServed,
+	} {
+		pt, err := run(o)
+		if err != nil {
+			return nil, err
+		}
+		doc.Points = append(doc.Points, pt)
+	}
+	return doc, nil
+}
+
+// point converts a benchmark result into the wire shape.
+func point(name string, r testing.BenchmarkResult, nQueries int) Point {
+	ns := float64(r.NsPerOp())
+	return Point{
+		Name:         name,
+		NsPerOp:      ns,
+		QueriesPerOp: nQueries,
+		NsPerQuery:   ns / float64(nQueries),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}
+}
+
+// benchHVs builds a deterministic reference set and query batch.
+func benchHVs(nRefs, nQueries int) ([]hdc.BinaryHV, []hdc.BinaryHV) {
+	rng := rand.New(rand.NewSource(11))
+	refs := make([]hdc.BinaryHV, nRefs)
+	for i := range refs {
+		refs[i] = hdc.RandomBinaryHV(benchD, rng)
+	}
+	queries := make([]hdc.BinaryHV, nQueries)
+	for i := range queries {
+		queries[i] = hdc.RandomBinaryHV(benchD, rng)
+	}
+	return refs, queries
+}
+
+// runSharded measures the block-major full-scan batch kernel: every
+// query swept over each cache-resident row block.
+func runSharded(o Options) (Point, error) {
+	nRefs, nQueries, k, _ := sizes(o)
+	refs, queries := benchHVs(nRefs, nQueries)
+	s, err := hdc.NewSearcher(refs)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench sharded: %v", err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.BatchTopK(queries, nil, k)
+		}
+	})
+	return point("sharded", r, nQueries), nil
+}
+
+// runCascade measures the exact two-tier pruned cascade on the
+// workload shape it exists for: each query's window holds planted
+// near matches (3% bit flips) at the window start, so the running
+// k-th-best bound tightens early and prunes tier-B completions.
+func runCascade(o Options) (Point, error) {
+	nRefs, nQueries, k, prefilterWords := sizes(o)
+	refs, queries := benchHVs(nRefs, nQueries)
+	rng := rand.New(rand.NewSource(13))
+	width := nRefs / 4
+	ranges := make([]hdc.RowRange, nQueries)
+	for i := range ranges {
+		lo := i * (nRefs - width) / nQueries
+		ranges[i] = hdc.RowRange{Lo: lo, Hi: lo + width}
+		for j := 0; j < k; j++ {
+			refs[lo+j] = queries[i].Clone()
+			refs[lo+j].FlipBits(0.03, rng)
+		}
+	}
+	s, err := hdc.NewSearcherCascade(refs, 0, hdc.CascadeConfig{PrefilterWords: prefilterWords})
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench cascade: %v", err)
+	}
+	before, _ := s.CascadeStats()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.BatchTopKRange(queries, ranges, k)
+		}
+	})
+	after, _ := s.CascadeStats()
+	pt := point("cascade", r, nQueries)
+	delta := hdc.CascadeStats{
+		Prefiltered: after.Prefiltered - before.Prefiltered,
+		Completed:   after.Completed - before.Completed,
+	}
+	rate := delta.PruneRate()
+	pt.PruneRate = &rate
+	return pt, nil
+}
+
+// benchLibrary builds a mass-ordered library over random HVs: masses
+// lie uniformly on [500, 1500] Da so open-search windows select
+// realistic contiguous candidate ranges.
+func benchLibrary(nRefs int, rng *rand.Rand) (*core.Library, []hdc.BinaryHV, error) {
+	hvs := make([]hdc.BinaryHV, nRefs)
+	entries := make([]core.LibraryEntry, nRefs)
+	srcPos := make([]int, nRefs)
+	const massLo, massHi = 500.0, 1500.0
+	for i := range hvs {
+		hvs[i] = hdc.RandomBinaryHV(benchD, rng)
+		entries[i] = core.LibraryEntry{
+			ID:      fmt.Sprintf("ref-%d", i),
+			Peptide: fmt.Sprintf("PEP%d", i),
+			IsDecoy: i%4 == 3,
+			Mass:    massLo + (massHi-massLo)*float64(i)/float64(nRefs),
+		}
+		srcPos[i] = i
+	}
+	lib, err := core.RestoreLibrary(entries, hvs, srcPos, 0)
+	return lib, hvs, err
+}
+
+// runPartitioned measures the partitioned engine: mass-fence routing,
+// per-partition batched sweeps and the exact per-query merge, over a
+// 3-partition split of the same library shape.
+func runPartitioned(o Options) (Point, error) {
+	nRefs, nQueries, k, _ := sizes(o)
+	rng := rand.New(rand.NewSource(17))
+	lib, hvs, err := benchLibrary(nRefs, rng)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench partitioned: %v", err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = benchD
+	p.TopK = k
+
+	// Split into 3 contiguous mass slices; entries are already
+	// mass-ordered, so each slice is a valid partition.
+	const nParts = 3
+	var libs []*core.Library
+	for pi := 0; pi < nParts; pi++ {
+		lo := pi * nRefs / nParts
+		hi := (pi + 1) * nRefs / nParts
+		srcPos := make([]int, hi-lo)
+		for i := range srcPos {
+			srcPos[i] = i
+		}
+		plib, err := core.RestoreLibrary(lib.Entries[lo:hi], hvs[lo:hi], srcPos, 0)
+		if err != nil {
+			return Point{}, fmt.Errorf("perfbench partitioned: slice %d: %v", pi, err)
+		}
+		libs = append(libs, plib)
+	}
+	pe, _, err := core.NewPartitionedExactEngine(p, libs, nil)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench partitioned: %v", err)
+	}
+
+	queries := make([]core.PreparedQuery, nQueries)
+	for qi := range queries {
+		ri := rng.Intn(nRefs)
+		hv := hvs[ri].Clone()
+		hv.FlipBits(0.02, rng)
+		mass := lib.Entries[ri].Mass + -140 + rng.Float64()*620
+		lo, hi := lib.CandidateRange(mass, p.Window)
+		queries[qi] = core.PreparedQuery{QueryID: fmt.Sprintf("q-%d", qi), HV: hv, Mass: mass, Lo: lo, Hi: hi}
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pe.SearchPrepared(queries)
+		}
+	})
+	return point("partitioned", r, nQueries), nil
+}
+
+// runServed measures the serving layer: a client fleet routed through
+// the micro-batcher, one block-major sweep per flushed batch, with
+// the latency quantiles the collector measured over the run.
+func runServed(o Options) (Point, error) {
+	nRefs, nQueries, k, _ := sizes(o)
+	rng := rand.New(rand.NewSource(19))
+	lib, _, err := benchLibrary(nRefs, rng)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench served: %v", err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = benchD
+	p.TopK = k
+	engine, _, err := core.NewExactEngineFromLibrary(p, lib)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench served: %v", err)
+	}
+
+	queries := make([]*spectrum.Spectrum, nQueries)
+	for i := range queries {
+		mass := 700 + 600*rng.Float64()
+		s := &spectrum.Spectrum{
+			ID:          fmt.Sprintf("q-%d", i),
+			Charge:      2,
+			PrecursorMZ: units.NeutralMassToMZ(mass, 2),
+		}
+		for pk := 0; pk < 40; pk++ {
+			s.Peaks = append(s.Peaks, spectrum.Peak{
+				MZ:        150 + 1250*rng.Float64(),
+				Intensity: 10 + 990*rng.Float64(),
+			})
+		}
+		s.SortPeaks()
+		queries[i] = s
+	}
+
+	const clients = 16
+	srv, err := serve.New(engine, serve.Config{
+		MaxBatch: clients,
+		MaxDelay: 200 * time.Microsecond,
+		MaxQueue: 4 * clients,
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench served: %v", err)
+	}
+	defer srv.Close()
+
+	var benchErr error
+	var errOnce sync.Once
+	ctx := context.Background()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		work := make(chan *spectrum.Spectrum, clients)
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := range work {
+					if _, _, err := srv.Search(ctx, q); err != nil {
+						errOnce.Do(func() { benchErr = err })
+					}
+				}
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			work <- queries[i%len(queries)]
+		}
+		close(work)
+		wg.Wait()
+	})
+	if benchErr != nil {
+		return Point{}, fmt.Errorf("perfbench served: %v", benchErr)
+	}
+	st := srv.Stats()
+	// ns/op here is per query (each op submits one), so QueriesPerOp
+	// is 1 and NsPerQuery equals NsPerOp.
+	pt := point("served", r, 1)
+	p50 := st.LatencyP50.Microseconds()
+	p99 := st.LatencyP99.Microseconds()
+	pt.LatencyP50US = &p50
+	pt.LatencyP99US = &p99
+	return pt, nil
+}
+
+// Marshal renders the document as indented JSON with a trailing
+// newline.
+func (d *Doc) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// FileName derives the canonical BENCH_<date>.json name from the
+// document's generation timestamp.
+func (d *Doc) FileName() string {
+	date := d.GeneratedAt
+	if t, err := time.Parse(time.RFC3339, d.GeneratedAt); err == nil {
+		date = t.UTC().Format("2006-01-02")
+	}
+	return fmt.Sprintf("BENCH_%s.json", date)
+}
+
+// WriteFile writes the document into dir under its canonical name and
+// returns the path written.
+func (d *Doc) WriteFile(dir string) (string, error) {
+	data, err := d.Marshal()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, d.FileName())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Validate checks that data is a well-formed trajectory document:
+// current schema, parseable timestamp, and every required operating
+// point present with sane measurements. CI runs this against the
+// artifact it just emitted, so a schema drift fails the build instead
+// of silently corrupting the trajectory.
+func Validate(data []byte) error {
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("perfbench: parsing document: %v", err)
+	}
+	if d.Schema != Schema {
+		return fmt.Errorf("perfbench: schema %q, want %q", d.Schema, Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, d.GeneratedAt); err != nil {
+		return fmt.Errorf("perfbench: generated_at %q is not RFC 3339: %v", d.GeneratedAt, err)
+	}
+	if d.GoVersion == "" || d.GOOS == "" || d.GOARCH == "" {
+		return fmt.Errorf("perfbench: missing environment identity (go_version/goos/goarch)")
+	}
+	if d.NumCPU < 1 {
+		return fmt.Errorf("perfbench: num_cpu %d", d.NumCPU)
+	}
+	byName := make(map[string]*Point, len(d.Points))
+	for i := range d.Points {
+		pt := &d.Points[i]
+		if _, dup := byName[pt.Name]; dup {
+			return fmt.Errorf("perfbench: duplicate point %q", pt.Name)
+		}
+		byName[pt.Name] = pt
+	}
+	for _, name := range RequiredPoints {
+		pt, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("perfbench: missing operating point %q", name)
+		}
+		if pt.NsPerOp <= 0 || pt.NsPerQuery <= 0 {
+			return fmt.Errorf("perfbench: point %q: non-positive timing (ns_per_op=%g, ns_per_query=%g)", name, pt.NsPerOp, pt.NsPerQuery)
+		}
+		if pt.QueriesPerOp < 1 {
+			return fmt.Errorf("perfbench: point %q: queries_per_op %d", name, pt.QueriesPerOp)
+		}
+		if pt.AllocsPerOp < 0 || pt.BytesPerOp < 0 {
+			return fmt.Errorf("perfbench: point %q: negative allocation counts", name)
+		}
+	}
+	if pr := byName["cascade"].PruneRate; pr == nil {
+		return fmt.Errorf("perfbench: cascade point missing prune_rate")
+	} else if *pr < 0 || *pr > 1 {
+		return fmt.Errorf("perfbench: cascade prune_rate %g outside [0, 1]", *pr)
+	}
+	served := byName["served"]
+	if served.LatencyP50US == nil || served.LatencyP99US == nil {
+		return fmt.Errorf("perfbench: served point missing latency quantiles")
+	}
+	if *served.LatencyP50US < 0 || *served.LatencyP99US < *served.LatencyP50US {
+		return fmt.Errorf("perfbench: served latency quantiles inconsistent (p50=%dus, p99=%dus)", *served.LatencyP50US, *served.LatencyP99US)
+	}
+	return nil
+}

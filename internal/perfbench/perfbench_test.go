@@ -1,0 +1,158 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validDoc builds a document that passes Validate; tests mutate
+// copies of it to pin individual checks.
+func validDoc() *Doc {
+	rate := 0.9
+	p50, p99 := int64(120), int64(480)
+	d := &Doc{
+		Schema:      Schema,
+		GeneratedAt: "2026-08-08T00:00:00Z",
+		GoVersion:   "go1.24.0",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		NumCPU:      4,
+	}
+	for _, name := range RequiredPoints {
+		pt := Point{
+			Name:         name,
+			NsPerOp:      64_000,
+			QueriesPerOp: 32,
+			NsPerQuery:   2_000,
+			AllocsPerOp:  10,
+			BytesPerOp:   1024,
+		}
+		switch name {
+		case "cascade":
+			pt.PruneRate = &rate
+		case "served":
+			pt.QueriesPerOp = 1
+			pt.NsPerQuery = 64_000
+			pt.LatencyP50US = &p50
+			pt.LatencyP99US = &p99
+		}
+		d.Points = append(d.Points, pt)
+	}
+	return d
+}
+
+func mustMarshal(t *testing.T, d *Doc) []byte {
+	t.Helper()
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestValidateAcceptsValidDoc(t *testing.T) {
+	if err := Validate(mustMarshal(t, validDoc())); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Doc)
+		wantErr string
+	}{
+		{"wrong schema", func(d *Doc) { d.Schema = "oms-bench/0" }, "schema"},
+		{"bad timestamp", func(d *Doc) { d.GeneratedAt = "yesterday" }, "generated_at"},
+		{"missing go version", func(d *Doc) { d.GoVersion = "" }, "environment identity"},
+		{"zero cpus", func(d *Doc) { d.NumCPU = 0 }, "num_cpu"},
+		{"missing point", func(d *Doc) { d.Points = d.Points[:3] }, "missing operating point"},
+		{"duplicate point", func(d *Doc) { d.Points = append(d.Points, d.Points[0]) }, "duplicate"},
+		{"zero timing", func(d *Doc) { d.Points[0].NsPerOp = 0 }, "non-positive timing"},
+		{"zero queries", func(d *Doc) { d.Points[0].QueriesPerOp = 0 }, "queries_per_op"},
+		{"negative allocs", func(d *Doc) { d.Points[0].AllocsPerOp = -1 }, "negative allocation"},
+		{"cascade without prune rate", func(d *Doc) { d.Points[1].PruneRate = nil }, "prune_rate"},
+		{"prune rate above 1", func(d *Doc) { r := 1.5; d.Points[1].PruneRate = &r }, "outside [0, 1]"},
+		{"served without quantiles", func(d *Doc) { d.Points[3].LatencyP50US = nil }, "latency quantiles"},
+		{"p99 below p50", func(d *Doc) {
+			p50, p99 := int64(500), int64(100)
+			d.Points[3].LatencyP50US, d.Points[3].LatencyP99US = &p50, &p99
+		}, "inconsistent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := validDoc()
+			tc.mutate(d)
+			err := Validate(mustMarshal(t, d))
+			if err == nil {
+				t.Fatalf("mutation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if err := Validate([]byte("{")); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("malformed JSON: got %v", err)
+	}
+}
+
+func TestFileNameFromTimestamp(t *testing.T) {
+	d := validDoc()
+	if got, want := d.FileName(), "BENCH_2026-08-08.json"; got != want {
+		t.Fatalf("FileName() = %q, want %q", got, want)
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	d := validDoc()
+	dir := filepath.Join(t.TempDir(), "nested") // WriteFile must create it
+	path, err := d.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("written document invalid: %v", err)
+	}
+	var back Doc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Points) != len(RequiredPoints) {
+		t.Fatalf("round trip lost content: %+v", back)
+	}
+}
+
+// TestRunQuickEmitsValidDoc runs the real operating points at a
+// drastically reduced shape — it is the schema's integration test, so
+// it must survive CI timing noise: only structure is asserted.
+func TestRunQuickEmitsValidDoc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all four operating-point benchmarks")
+	}
+	doc, err := Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Quick {
+		t.Fatal("quick run not recorded in document")
+	}
+	if _, err := time.Parse(time.RFC3339, doc.GeneratedAt); err != nil {
+		t.Fatalf("generated_at: %v", err)
+	}
+	data, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("emitted document invalid: %v", err)
+	}
+}

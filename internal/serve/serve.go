@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fdr"
+	"repro/internal/obsv"
 	"repro/internal/spectrum"
 )
 
@@ -61,6 +62,18 @@ type Config struct {
 	// MaxQueue bounds outstanding requests — queued plus being scored
 	// — for admission control (default 4096).
 	MaxQueue int
+	// SlowQueryThreshold marks a request slow when its enqueue→scored
+	// latency reaches it, counting it in Stats.SlowQueries and firing
+	// OnSlowQuery. 0 disables the threshold (the slow ring still keeps
+	// the worst traces).
+	SlowQueryThreshold time.Duration
+	// SlowRingSize is how many worst-latency query traces the server
+	// retains for Slowest (default 16).
+	SlowRingSize int
+	// OnSlowQuery, when set, is called from the dispatcher goroutine
+	// with a copy of each threshold-exceeding trace — keep it cheap
+	// (e.g. one structured log line); it runs between batches.
+	OnSlowQuery func(obsv.QueryTrace)
 }
 
 // withDefaults fills unset fields.
@@ -73,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 4096
+	}
+	if c.SlowRingSize <= 0 {
+		c.SlowRingSize = 16
 	}
 	return c
 }
@@ -89,6 +105,11 @@ type request struct {
 	pq       core.PreparedQuery
 	ctx      context.Context
 	enqueued time.Time
+	// encNanos is the caller-side preparation time (preprocess + encode
+	// + range resolution) and reqID the propagated request ID; both feed
+	// the request's trace record.
+	encNanos int64
+	reqID    string
 	// out is buffered (capacity 1) so the dispatcher never blocks on a
 	// waiter that already gave up.
 	out chan response
@@ -113,6 +134,19 @@ type Server struct {
 	// the dispatcher goroutine touches it, so no lock: it grows to
 	// MaxBatch once and steady-state flushes allocate nothing.
 	preps []core.PreparedQuery
+
+	// traced is the engine's tracing surface when it has one (the
+	// single-store and partitioned engines do), nil otherwise — a nil
+	// traced falls back to the untraced sweep with batch-level stages
+	// only.
+	traced core.TracedSearchEngine
+	// trace and qt are the dispatcher-owned tracing scratch: one Trace
+	// reset per flush (no allocation per batch) and one QueryTrace
+	// record reused per delivered request. batchSeq numbers flushes for
+	// the access-log ↔ slow-trace join.
+	trace    obsv.Trace
+	qt       obsv.QueryTrace
+	batchSeq uint64
 }
 
 // New starts the micro-batcher over an engine — the single-store
@@ -131,6 +165,9 @@ func New(engine core.SearchEngine, cfg Config) (*Server, error) {
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if te, ok := engine.(core.TracedSearchEngine); ok {
+		s.traced = te
+	}
 	s.stats.init(cfg)
 	go s.dispatch()
 	return s, nil
@@ -148,7 +185,9 @@ func (s *Server) Engine() core.SearchEngine { return s.engine }
 // admission rejection (ErrQueueFull), cancellation (the context's
 // error) and shutdown (ErrClosed).
 func (s *Server) Search(ctx context.Context, q *spectrum.Spectrum) (fdr.PSM, bool, error) {
+	encStart := time.Now()
 	pq, ok, err := s.engine.Prepare(q)
+	encNanos := int64(time.Since(encStart))
 	if err != nil {
 		s.stats.prepareError()
 		return fdr.PSM{}, false, err
@@ -157,13 +196,21 @@ func (s *Server) Search(ctx context.Context, q *spectrum.Spectrum) (fdr.PSM, boo
 		s.stats.skip()
 		return fdr.PSM{}, false, nil
 	}
-	return s.SearchPrepared(ctx, pq)
+	return s.searchPrepared(ctx, pq, encNanos)
 }
 
 // SearchPrepared submits an already prepared query for batched
 // scoring and blocks until its batch is flushed, the context is done,
-// or the server closes.
+// or the server closes. The query's trace records zero encode time
+// (preparation happened outside the server); a request ID attached to
+// ctx via WithRequestID is carried into the trace.
 func (s *Server) SearchPrepared(ctx context.Context, pq core.PreparedQuery) (fdr.PSM, bool, error) {
+	return s.searchPrepared(ctx, pq, 0)
+}
+
+// searchPrepared submits a prepared query with its caller-side encode
+// time.
+func (s *Server) searchPrepared(ctx context.Context, pq core.PreparedQuery, encNanos int64) (fdr.PSM, bool, error) {
 	s.stats.admit()
 	if n := s.pending.Add(1); n > int64(s.cfg.MaxQueue) {
 		s.pending.Add(-1)
@@ -172,7 +219,8 @@ func (s *Server) SearchPrepared(ctx context.Context, pq core.PreparedQuery) (fdr
 	}
 	defer s.pending.Add(-1)
 
-	r := &request{pq: pq, ctx: ctx, enqueued: time.Now(), out: make(chan response, 1)}
+	r := &request{pq: pq, ctx: ctx, enqueued: time.Now(), encNanos: encNanos,
+		reqID: RequestIDFrom(ctx), out: make(chan response, 1)}
 	select {
 	case s.in <- r:
 	case <-s.done:
@@ -291,8 +339,16 @@ func (s *Server) dispatch() {
 // delivers each result to its waiter. Requests whose context is
 // already done are skipped — their waiters have left.
 //
+// Every flush is traced into the dispatcher-owned Trace (reset here,
+// never allocated): assembly and sweep wall times plus whatever tier
+// and partition detail the engine's traced sweep records. Each
+// delivered request snapshots the batch-level trace into the reusable
+// QueryTrace record, overlays its own queue-wait and encode times, and
+// feeds the latency stats and the slow-query ring.
+//
 //oms:hotpath
 func (s *Server) flush(batch []*request) {
+	flushStart := time.Now()
 	live := batch[:0:len(batch)]
 	for _, r := range batch {
 		if r.ctx.Err() != nil {
@@ -310,11 +366,35 @@ func (s *Server) flush(batch []*request) {
 	for i, r := range live {
 		preps[i] = r.pq
 	}
-	psms, oks := s.engine.SearchPrepared(preps)
+	tr := &s.trace
+	tr.Reset()
+	tr.AddNanos(obsv.StageAssemble, int64(time.Since(flushStart)))
+	sweepStart := time.Now()
+	var psms []fdr.PSM
+	var oks []bool
+	if s.traced != nil {
+		psms, oks = s.traced.SearchPreparedTraced(preps, tr)
+	} else {
+		psms, oks = s.engine.SearchPrepared(preps)
+	}
+	tr.AddNanos(obsv.StageSweep, int64(time.Since(sweepStart)))
+	s.batchSeq++
 	now := time.Now()
 	for i, r := range live {
 		r.out <- response{psm: psms[i], ok: oks[i]}
-		s.stats.observeRequest(now.Sub(r.enqueued), oks[i])
+		lat := now.Sub(r.enqueued)
+		tr.Snapshot(&s.qt)
+		s.qt.QueryID = r.pq.QueryID
+		s.qt.RequestID = r.reqID
+		s.qt.BatchID = s.batchSeq
+		s.qt.BatchSize = len(live)
+		s.qt.Enqueued = r.enqueued
+		s.qt.Total = lat
+		s.qt.StageNanos[obsv.StageQueueWait] = int64(flushStart.Sub(r.enqueued))
+		s.qt.StageNanos[obsv.StageEncode] = r.encNanos
+		if s.stats.observeRequest(lat, oks[i], &s.qt) && s.cfg.OnSlowQuery != nil {
+			s.cfg.OnSlowQuery(s.qt)
+		}
 	}
-	s.stats.observeBatch(len(live))
+	s.stats.observeBatch(len(live), tr)
 }

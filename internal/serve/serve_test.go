@@ -352,7 +352,7 @@ func TestBatchHistogramBucketEdges(t *testing.T) {
 			for size := 1; size <= cfg.MaxBatch; size++ {
 				var fresh collector
 				fresh.init(cfg)
-				fresh.observeBatch(size)
+				fresh.observeBatch(size, nil)
 				st := fresh.snapshot(0)
 				var le int
 				for _, b := range st.BatchSizes {

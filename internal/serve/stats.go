@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // Stats is a snapshot of the serving counters.
@@ -43,6 +45,23 @@ type Stats struct {
 	// quantiles (enqueue → batch scored), resolved to the upper bound
 	// of exponential histogram buckets.
 	LatencyP50, LatencyP99 time.Duration
+	// LatencyBuckets is the raw latency histogram: power-of-two
+	// microsecond buckets, LatencyBuckets[i] counting requests with
+	// latency in (2^(i-1), 2^i] µs, plus a final overflow bucket.
+	LatencyBuckets []BucketCount
+	// LatencySum is the total enqueue→scored latency across completed
+	// requests — with Completed, the histogram's _sum/_count pair.
+	LatencySum time.Duration
+	// StageTotals is the cumulative per-stage time across all traced
+	// requests/batches, one entry per obsv stage in stage order.
+	StageTotals []StageTotal
+	// RowsSwept and RowsCompleted are the cumulative candidate-row
+	// counters of the traced sweeps (swept prefix rows, and tier-B
+	// completions under a cascade).
+	RowsSwept, RowsCompleted uint64
+	// SlowQueries counts requests at or above Config.SlowQueryThreshold
+	// (0 while the threshold is unset).
+	SlowQueries uint64
 	// CascadeEnabled reports whether the engine's searcher runs the
 	// two-tier pruned cascade layout; the counters below are zero when
 	// it does not.
@@ -63,6 +82,12 @@ type BucketCount struct {
 	Count uint64 `json:"count"`
 }
 
+// StageTotal is one pipeline stage's cumulative time.
+type StageTotal struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
 // latency histogram buckets: powers of two from 1µs to ~8.6s, with a
 // final overflow bucket.
 const latBuckets = 24
@@ -80,6 +105,18 @@ type collector struct {
 
 	batchHist []uint64 // power-of-two buckets, index i ⇒ size ≤ 2^i
 	latHist   [latBuckets + 1]uint64
+
+	latSumNanos int64
+	stageNanos  [obsv.NumStages]int64
+	rowsSwept   uint64
+	rowsDone    uint64
+	slow        uint64
+
+	// ring holds the worst-latency query traces (preallocated to
+	// SlowRingSize once; inserts replace the current minimum), and
+	// slowThresh mirrors Config.SlowQueryThreshold.
+	ring       []obsv.QueryTrace
+	slowThresh time.Duration
 }
 
 func (c *collector) init(cfg Config) {
@@ -88,6 +125,12 @@ func (c *collector) init(cfg Config) {
 		buckets++
 	}
 	c.batchHist = make([]uint64, buckets+1)
+	rs := cfg.SlowRingSize
+	if rs <= 0 {
+		rs = 16
+	}
+	c.ring = make([]obsv.QueryTrace, 0, rs)
+	c.slowThresh = cfg.SlowQueryThreshold
 }
 
 // admit counts one submission entering SearchPrepared; all later
@@ -130,8 +173,12 @@ func (c *collector) prepareError() {
 	c.mu.Unlock()
 }
 
-// observeRequest records one delivered result and its latency.
-func (c *collector) observeRequest(lat time.Duration, matched bool) {
+// observeRequest records one delivered result: latency histogram and
+// sum, the request's own trace stages (queue wait, encode), the
+// slow-query counter, and a slow-ring slot when the trace is among the
+// worst seen. It reports whether the request crossed the slow
+// threshold so the dispatcher can fire OnSlowQuery outside the lock.
+func (c *collector) observeRequest(lat time.Duration, matched bool, qt *obsv.QueryTrace) bool {
 	c.mu.Lock()
 	c.completed++
 	if matched {
@@ -143,11 +190,53 @@ func (c *collector) observeRequest(lat time.Duration, matched bool) {
 		b++
 	}
 	c.latHist[b]++
+	c.latSumNanos += int64(lat)
+	c.stageNanos[obsv.StageQueueWait] += qt.StageNanos[obsv.StageQueueWait]
+	c.stageNanos[obsv.StageEncode] += qt.StageNanos[obsv.StageEncode]
+	slow := c.slowThresh > 0 && lat >= c.slowThresh
+	if slow {
+		c.slow++
+	}
+	c.ringOffer(qt)
 	c.mu.Unlock()
+	return slow
 }
 
-// observeBatch records one flushed batch of the given size.
-func (c *collector) observeBatch(size int) {
+// ringOffer inserts a trace into the worst-latency ring: free slots
+// fill first, then the trace replaces the current minimum if it is
+// worse. The ring is preallocated, so an offer never allocates; the
+// O(SlowRingSize) scan runs under the collector lock once per request.
+func (c *collector) ringOffer(qt *obsv.QueryTrace) {
+	if cap(c.ring) == 0 {
+		return
+	}
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, *qt)
+		return
+	}
+	minI := 0
+	for i := 1; i < len(c.ring); i++ {
+		if c.ring[i].Total < c.ring[minI].Total {
+			minI = i
+		}
+	}
+	if qt.Total > c.ring[minI].Total {
+		c.ring[minI] = *qt
+	}
+}
+
+// slowestSnapshot copies the slow ring out under the lock (unsorted).
+func (c *collector) slowestSnapshot() []obsv.QueryTrace {
+	c.mu.Lock()
+	out := make([]obsv.QueryTrace, len(c.ring))
+	copy(out, c.ring)
+	c.mu.Unlock()
+	return out
+}
+
+// observeBatch records one flushed batch: its size and the batch-level
+// trace stages (assemble, sweep, tier/merge detail) plus row counters.
+func (c *collector) observeBatch(size int, tr *obsv.Trace) {
 	c.mu.Lock()
 	c.batches++
 	b := 0
@@ -155,6 +244,12 @@ func (c *collector) observeBatch(size int) {
 		b++
 	}
 	c.batchHist[b]++
+	for s := obsv.StageAssemble; s < obsv.NumStages; s++ {
+		c.stageNanos[s] += tr.StageNanos(s)
+	}
+	swept, done := tr.Rows()
+	c.rowsSwept += uint64(swept)
+	c.rowsDone += uint64(done)
 	c.mu.Unlock()
 }
 
@@ -182,6 +277,16 @@ func (c *collector) snapshot(queueDepth int) Stats {
 	}
 	st.LatencyP50 = latQuantile(&c.latHist, 0.50)
 	st.LatencyP99 = latQuantile(&c.latHist, 0.99)
+	for i, n := range c.latHist {
+		st.LatencyBuckets = append(st.LatencyBuckets, BucketCount{Le: 1 << i, Count: n})
+	}
+	st.LatencySum = time.Duration(c.latSumNanos)
+	for s := obsv.Stage(0); s < obsv.NumStages; s++ {
+		st.StageTotals = append(st.StageTotals, StageTotal{Stage: s.String(), Nanos: c.stageNanos[s]})
+	}
+	st.RowsSwept = c.rowsSwept
+	st.RowsCompleted = c.rowsDone
+	st.SlowQueries = c.slow
 	return st
 }
 
