@@ -7,12 +7,22 @@
 //
 //	omsbuild -library lib.mgf -out lib.omsidx \
 //	         [-d 8192] [-precision 3] [-shardsize 2048] [-seed 1] \
-//	         [-partitions N]
+//	         [-tiers 4,12,112] [-bit-layout entropy] [-partitions N]
 //
 // The index records the full engine parameters (encoder seeds, binner,
-// preprocessing) alongside the packed mass-ordered hypervectors, the
-// precursor masses, the sort permutation and the entry metadata, under
-// a CRC-32C checksum.
+// preprocessing, the cascade ladder) alongside the packed mass-ordered
+// hypervectors, the precursor masses, the sort permutation and the
+// entry metadata, under a CRC-32C checksum.
+//
+// -tiers bakes a default K-tier cascade ladder into the index
+// (override at query time with omsearch/omsd -tiers);
+// -prefilter-words N is the deprecated two-tier alias. -bit-layout
+// entropy measures each encoded dimension's bit balance and permutes
+// the dimensions so the most discriminative ones pack into the
+// leading words — shallow tiers then carry the most pruning power per
+// word. The permutation is persisted in the index (format version 3)
+// and applied to every query at search time, so results are
+// bit-identical to the natural layout.
 //
 // With -partitions N the library is instead split into N
 // mass-contiguous partition index files (<out>.part000 …) plus a JSON
@@ -40,6 +50,9 @@ func main() {
 	precision := flag.Int("precision", 3, "ID hypervector precision in bits (1-3)")
 	shardSize := flag.Int("shardsize", 0, "reference rows per search shard (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
+	tiersSpec := flag.String("tiers", "", "K-tier cascade ladder baked into the index: comma-separated packed-word widths per tier, e.g. 4,12,112 (empty = single-tier default)")
+	bitLayout := flag.String("bit-layout", "", "bit layout: natural (default) or entropy (pack the most discriminative dimensions into the leading words; persisted in the index)")
+	prefilterWords := flag.Int("prefilter-words", -1, "deprecated two-tier alias for -tiers N,rest (-1 = unset)")
 	partitions := flag.Int("partitions", 0, "split the index into N mass-contiguous partitions plus a manifest (0 = single file)")
 	flag.Parse()
 
@@ -47,6 +60,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *tiersSpec != "" && *prefilterWords >= 0 {
+		fatalIf(fmt.Errorf("-tiers and -prefilter-words (its deprecated two-tier alias) are mutually exclusive"))
+	}
+	tiers, err := core.ParseTiers(*tiersSpec)
+	fatalIf(err)
 	if *out == "" {
 		*out = *libPath + ".omsidx"
 	}
@@ -59,6 +77,11 @@ func main() {
 	p.Accel.IDPrecision = *precision
 	p.Accel.Seed = *seed
 	p.ShardSize = *shardSize
+	p.BitLayout = *bitLayout
+	if *prefilterWords >= 0 {
+		p.PrefilterWords = *prefilterWords
+	}
+	p.Tiers = tiers
 
 	engine, _, err := core.BuildExact(p, library)
 	fatalIf(err)

@@ -262,11 +262,15 @@ type statsView struct {
 	LatencyP99US  int64               `json:"latency_p99_us"`
 
 	// Cascade pruning telemetry; the counters are meaningful (and zero
-	// is a legitimate value) whenever CascadeEnabled is true.
-	CascadeEnabled     bool    `json:"cascade_enabled"`
-	CascadePrefiltered uint64  `json:"cascade_prefiltered"`
-	CascadeCompleted   uint64  `json:"cascade_completed"`
-	CascadePruneRate   float64 `json:"cascade_prune_rate"`
+	// is a legitimate value) whenever CascadeEnabled is true. The
+	// prefiltered/completed pair is the legacy first/last-tier view;
+	// the tier slices carry the full ladder.
+	CascadeEnabled     bool      `json:"cascade_enabled"`
+	CascadePrefiltered uint64    `json:"cascade_prefiltered"`
+	CascadeCompleted   uint64    `json:"cascade_completed"`
+	CascadePruneRate   float64   `json:"cascade_prune_rate"`
+	CascadeTierRows    []uint64  `json:"cascade_tier_rows,omitempty"`
+	CascadeTierPrune   []float64 `json:"cascade_tier_prune_rates,omitempty"`
 
 	// Partitions is present for a partitioned index: one entry per
 	// partition with its global row span, mass fences and pruning
@@ -276,13 +280,14 @@ type statsView struct {
 
 // partitionView maps core.PartitionStat onto stable wire names.
 type partitionView struct {
-	StartRow    int     `json:"start_row"`
-	Refs        int     `json:"refs"`
-	MinMass     float64 `json:"min_mass"`
-	MaxMass     float64 `json:"max_mass"`
-	Prefiltered uint64  `json:"cascade_prefiltered"`
-	Completed   uint64  `json:"cascade_completed"`
-	PruneRate   float64 `json:"cascade_prune_rate"`
+	StartRow    int      `json:"start_row"`
+	Refs        int      `json:"refs"`
+	MinMass     float64  `json:"min_mass"`
+	MaxMass     float64  `json:"max_mass"`
+	Prefiltered uint64   `json:"cascade_prefiltered"`
+	Completed   uint64   `json:"cascade_completed"`
+	PruneRate   float64  `json:"cascade_prune_rate"`
+	TierRows    []uint64 `json:"cascade_tier_rows,omitempty"`
 }
 
 // handleStats renders the serving counters.
@@ -314,6 +319,8 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		CascadePrefiltered: st.CascadePrefiltered,
 		CascadeCompleted:   st.CascadeCompleted,
 		CascadePruneRate:   st.CascadePruneRate,
+		CascadeTierRows:    st.CascadeTierRows,
+		CascadeTierPrune:   st.CascadeTierPruneRates,
 	}
 	if pe, ok := sv.engine.(interface{ PartitionStats() []core.PartitionStat }); ok {
 		for _, ps := range pe.PartitionStats() {
@@ -322,9 +329,10 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 				Refs:        ps.Refs,
 				MinMass:     ps.MinMass,
 				MaxMass:     ps.MaxMass,
-				Prefiltered: ps.Cascade.Prefiltered,
-				Completed:   ps.Cascade.Completed,
+				Prefiltered: ps.Cascade.Prefiltered(),
+				Completed:   ps.Cascade.Completed(),
 				PruneRate:   ps.Cascade.PruneRate(),
+				TierRows:    ps.Cascade.TierRows,
 			})
 		}
 	}

@@ -7,7 +7,7 @@
 //
 //	omsd -index lib.omsidx [-addr :8993] [-maxbatch 64] \
 //	     [-maxdelay 1ms] [-maxqueue 4096] [-standard] [-topk 5] \
-//	     [-prefilter-words 16] [-shortlist 0]
+//	     [-tiers 4,12,112] [-shortlist 0]
 //
 // -index accepts either a single index file or a partition manifest
 // written by omsbuild -partitions; a partitioned library routes each
@@ -22,10 +22,13 @@
 // after its last search returns. A failed reload leaves the current
 // index serving.
 //
-// -prefilter-words selects the two-tier pruned cascade search layout
-// (exact; -shortlist M switches it to approximate best-M completion);
-// GET /stats reports the measured pruning rate, per partition for a
-// partitioned index.
+// -tiers selects the K-tier pruned cascade ladder (exact for any
+// ladder; -shortlist M switches it to approximate best-M completion);
+// -prefilter-words N is the deprecated two-tier alias, mutually
+// exclusive with -tiers. GET /stats reports the measured per-tier row
+// counts and pruning rates, per partition for a partitioned index. An
+// index built with -bit-layout entropy serves transparently: the
+// stored permutation is applied to every query at encode time.
 //
 // Endpoints:
 //
@@ -65,6 +68,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"repro/internal/core"
 )
 
 func main() {
@@ -75,8 +80,9 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 4096, "admission bound on outstanding requests")
 	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
 	topk := flag.Int("topk", 0, "matches retrieved per query (0 = index setting)")
-	prefilterWords := flag.Int("prefilter-words", -1, "two-tier cascade: packed words per row in the prefilter tier (-1 = index setting, 0 = single-tier scan)")
-	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N prefilter rows per query (-1 = index setting, 0 = exact pruning bound)")
+	tiersSpec := flag.String("tiers", "", "K-tier cascade ladder: comma-separated packed-word widths per tier, e.g. 4,12,112 (empty = index setting)")
+	prefilterWords := flag.Int("prefilter-words", -1, "deprecated two-tier alias for -tiers N,rest (-1 = index setting, 0 = single-tier scan)")
+	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N tier-0 rows per query (-1 = index setting, 0 = exact pruning bound)")
 	slowQuery := flag.Duration("slow-query", 0, "log a structured line for requests at or above this latency (0 = off)")
 	accessLog := flag.Bool("access-log", false, "log one structured line per HTTP request")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -86,6 +92,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *tiersSpec != "" && *prefilterWords >= 0 {
+		fatalIf(fmt.Errorf("-tiers and -prefilter-words (its deprecated two-tier alias) are mutually exclusive"))
+	}
+	tiers, err := core.ParseTiers(*tiersSpec)
+	fatalIf(err)
 	cfg := servingConfig{
 		indexPath:      *indexPath,
 		maxBatch:       *maxBatch,
@@ -93,6 +104,7 @@ func main() {
 		maxQueue:       *maxQueue,
 		standard:       *standard,
 		topk:           *topk,
+		tiers:          tiers,
 		prefilterWords: *prefilterWords,
 		shortlist:      *shortlist,
 		slowQuery:      *slowQuery,
@@ -103,10 +115,16 @@ func main() {
 	fatalIf(err)
 	fmt.Fprintf(os.Stderr, "omsd: loaded %s, engine up in %v\n", sv.desc, time.Since(start).Round(time.Millisecond))
 	// Report the effective layout (the searcher falls back to
-	// single-tier when PrefilterWords covers every word of a row).
-	if _, cascadeOn := sv.engine.CascadeStats(); cascadeOn {
-		fmt.Fprintf(os.Stderr, "omsd: cascade search: %d prefilter words, shortlist %d\n",
-			sv.prefilterWords, sv.shortlist)
+	// single-tier when the configured ladder covers a row in one tier).
+	if cs, cascadeOn := sv.engine.CascadeStats(); cascadeOn {
+		switch {
+		case len(sv.tiers) > 0:
+			fmt.Fprintf(os.Stderr, "omsd: %d-tier cascade search: tiers %s, shortlist %d\n",
+				cs.NumTiers(), core.FormatTiers(sv.tiers), sv.shortlist)
+		default:
+			fmt.Fprintf(os.Stderr, "omsd: cascade search: %d prefilter words, shortlist %d\n",
+				sv.prefilterWords, sv.shortlist)
+		}
 	}
 
 	httpSrv := &http.Server{Handler: withRequestID(d.mux(), *accessLog)}

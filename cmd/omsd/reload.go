@@ -16,12 +16,16 @@ import (
 // from the index path — captured once from the flags so a SIGHUP
 // reload constructs the new engine with the same query-time settings.
 type servingConfig struct {
-	indexPath      string
-	maxBatch       int
-	maxDelay       time.Duration
-	maxQueue       int
-	standard       bool
-	topk           int
+	indexPath string
+	maxBatch  int
+	maxDelay  time.Duration
+	maxQueue  int
+	standard  bool
+	topk      int
+	// tiers overrides the index's cascade ladder (nil = keep the index
+	// setting); prefilterWords is the deprecated two-tier alias (-1 =
+	// keep). Setting either replaces the stored ladder outright.
+	tiers          []int
 	prefilterWords int
 	shortlist      int
 	// slowQuery is the -slow-query latency threshold (0 = no threshold;
@@ -44,10 +48,11 @@ type serving struct {
 	closeIndex func() error
 	desc       string
 	partitions int
-	// prefilterWords/shortlist are the effective cascade settings the
-	// engine was built with (index params after flag overrides) — the
-	// startup log must report these, not the -1 "index setting" flag
+	// tiers/prefilterWords/shortlist are the effective cascade settings
+	// the engine was built with (index params after flag overrides) —
+	// the startup log must report these, not the "index setting" flag
 	// sentinels.
+	tiers          []int
 	prefilterWords int
 	shortlist      int
 	loaded         time.Time
@@ -80,7 +85,10 @@ func buildServing(cfg servingConfig) (*serving, error) {
 			p.TopK = cfg.topk
 		}
 		if cfg.prefilterWords >= 0 {
-			p.PrefilterWords = cfg.prefilterWords
+			p.Tiers, p.PrefilterWords = nil, cfg.prefilterWords
+		}
+		if len(cfg.tiers) > 0 {
+			p.Tiers, p.PrefilterWords = cfg.tiers, 0
 		}
 		if cfg.shortlist >= 0 {
 			p.ShortlistPerQuery = cfg.shortlist
@@ -93,6 +101,7 @@ func buildServing(cfg servingConfig) (*serving, error) {
 	}
 	sv := &serving{loaded: time.Now()}
 	record := func(p core.Params) core.Params {
+		sv.tiers = p.Tiers
 		sv.prefilterWords = p.PrefilterWords
 		sv.shortlist = p.ShortlistPerQuery
 		return p

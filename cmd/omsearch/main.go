@@ -3,18 +3,28 @@
 //
 //	omsearch -library lib.mgf -queries q.mgf [-backend ideal|rram] \
 //	         [-d 8192] [-precision 3] [-fdr 0.01] [-standard] \
-//	         [-parallel] [-shardsize 2048] [-prefilter-words 16] \
-//	         [-shortlist 0]
+//	         [-parallel] [-shardsize 2048] [-tiers 4,12,112] \
+//	         [-bit-layout entropy] [-shortlist 0]
 //	omsearch -index lib.omsidx -queries q.mgf [-fdr 0.01] [-standard] \
-//	         [-parallel] [-prefilter-words 16] [-shortlist 0]
+//	         [-parallel] [-tiers 4,12,112] [-shortlist 0]
 //
-// -prefilter-words selects the two-tier pruned cascade layout: the
-// first N packed words of every reference row are scored as a cheap
-// prefilter, and the remaining words only for rows whose partial
-// distance can still enter the top-k — exact by construction. With
-// -shortlist M the cascade instead completes only the M best
-// prefilter rows per query (approximate, ANN-SoLo/HyperOMS-style);
-// the measured pruning rate is reported on stderr.
+// -tiers selects the K-tier pruned cascade ladder: each reference
+// row's packed words are sliced into the given widths, tier 0 scores
+// every candidate, and each deeper tier scores only the rows whose
+// partial distance can still enter the top-k — exact by construction
+// for any ladder. -prefilter-words N is the deprecated two-tier alias
+// (equivalent to -tiers N,rest); the two flags are mutually
+// exclusive. With -shortlist M the ladder instead completes only the
+// M best tier-0 rows per query (approximate,
+// ANN-SoLo/HyperOMS-style). Per-tier pruning rates are reported on
+// stderr.
+//
+// -bit-layout entropy (library builds only — an index's layout is
+// fixed at omsbuild time) measures each dimension's bit balance over
+// the encoded library and packs the most discriminative dimensions
+// into the leading words, so shallow tiers carry the most pruning
+// power per word. Queries are permuted identically at encode time:
+// every Hamming distance, and therefore every result, is unchanged.
 //
 // With -library the encoded library is built from scratch; with
 // -index (built by omsbuild) the encoded, mass-ordered library and
@@ -59,8 +69,10 @@ func main() {
 	standard := flag.Bool("standard", false, "narrow-window standard search instead of open search")
 	parallel := flag.Bool("parallel", false, "search queries across CPU cores")
 	shardSize := flag.Int("shardsize", 0, "reference rows per search shard (0 = default)")
-	prefilterWords := flag.Int("prefilter-words", -1, "two-tier cascade: packed words per row in the prefilter tier (-1 = index/default setting, 0 = single-tier scan)")
-	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N prefilter rows per query (-1 = index/default setting, 0 = exact pruning bound)")
+	tiersSpec := flag.String("tiers", "", "K-tier cascade ladder: comma-separated packed-word widths per tier, e.g. 4,12,112 (empty = index/default setting)")
+	bitLayout := flag.String("bit-layout", "", "bit layout for -library builds: natural or entropy (empty = natural; an index's layout is fixed at build time)")
+	prefilterWords := flag.Int("prefilter-words", -1, "deprecated two-tier alias for -tiers N,rest (-1 = index/default setting, 0 = single-tier scan)")
+	shortlist := flag.Int("shortlist", -1, "approximate cascade: complete only the best N tier-0 rows per query (-1 = index/default setting, 0 = exact pruning bound)")
 	rescore := flag.Float64("rescore", 0, "blend factor for shifted-dot rescoring of the HD shortlist (0 = off, 1 = pure shifted-dot)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -70,6 +82,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *tiersSpec != "" && *prefilterWords >= 0 {
+		fatalIf(fmt.Errorf("-tiers and -prefilter-words (its deprecated two-tier alias) are mutually exclusive"))
+	}
+	tiers, err := core.ParseTiers(*tiersSpec)
+	fatalIf(err)
 	queries, err := spectrum.ReadSpectraFile(*qPath)
 	fatalIf(err)
 
@@ -84,8 +101,13 @@ func main() {
 		if *rescore > 0 {
 			fatalIf(fmt.Errorf("-rescore needs the original library spectra: use -library"))
 		}
+		if *bitLayout != "" {
+			fatalIf(fmt.Errorf("-bit-layout applies to -library builds; an index's layout is fixed when omsbuild writes it"))
+		}
 		// Query-time settings come from flags; encoder identity stays
-		// as the index was built.
+		// as the index was built. Setting either cascade flag replaces
+		// the index's stored ladder outright (Tiers and PrefilterWords
+		// are mutually exclusive in core.Params).
 		override := func(p core.Params) core.Params {
 			p.FDRAlpha = *alpha
 			p.Open = !*standard
@@ -93,7 +115,10 @@ func main() {
 				p.ShardSize = *shardSize
 			}
 			if *prefilterWords >= 0 {
-				p.PrefilterWords = *prefilterWords
+				p.Tiers, p.PrefilterWords = nil, *prefilterWords
+			}
+			if len(tiers) > 0 {
+				p.Tiers, p.PrefilterWords = tiers, 0
 			}
 			if *shortlist >= 0 {
 				p.ShortlistPerQuery = *shortlist
@@ -127,8 +152,12 @@ func main() {
 		p.FDRAlpha = *alpha
 		p.Open = !*standard
 		p.ShardSize = *shardSize
+		p.BitLayout = *bitLayout
 		if *prefilterWords >= 0 {
-			p.PrefilterWords = *prefilterWords
+			p.Tiers, p.PrefilterWords = nil, *prefilterWords
+		}
+		if len(tiers) > 0 {
+			p.Tiers, p.PrefilterWords = tiers, 0
 		}
 		if *shortlist >= 0 {
 			p.ShortlistPerQuery = *shortlist
@@ -169,15 +198,20 @@ func main() {
 		len(queries), engine.NumRefs(), engine.Skipped(), len(res.Accepted), *alpha)
 	if cs, ok := engine.CascadeStats(); ok {
 		fmt.Fprintf(os.Stderr,
-			"omsearch: cascade pruned %.1f%% of %d prefiltered rows (%d completed)\n",
-			100*cs.PruneRate(), cs.Prefiltered, cs.Completed)
+			"omsearch: %d-tier cascade pruned %.1f%% of %d tier-0 rows (%d completed)\n",
+			cs.NumTiers(), 100*cs.PruneRate(), cs.Prefiltered(), cs.Completed())
+		for t := 0; t+1 < cs.NumTiers(); t++ {
+			fmt.Fprintf(os.Stderr,
+				"omsearch: tier %d: %d rows, %.1f%% pruned before tier %d\n",
+				t, cs.TierRows[t], 100*cs.TierPruneRate(t), t+1)
+		}
 	}
 	if pe, ok := engine.(*core.PartitionedEngine); ok {
 		for i, st := range pe.PartitionStats() {
 			line := fmt.Sprintf("omsearch: partition %d: rows [%d,%d) masses [%.2f,%.2f]",
 				i, st.StartRow, st.StartRow+st.Refs, st.MinMass, st.MaxMass)
 			if st.CascadeEnabled {
-				line += fmt.Sprintf(", pruned %.1f%% of %d", 100*st.Cascade.PruneRate(), st.Cascade.Prefiltered)
+				line += fmt.Sprintf(", pruned %.1f%% of %d", 100*st.Cascade.PruneRate(), st.Cascade.Prefiltered())
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}

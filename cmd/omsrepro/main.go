@@ -6,7 +6,10 @@
 // Output is the text form of Table 1, Figures 7-13, the §5.2.2
 // throughput comparison and the storage-density table. A scale of 1
 // generates paper-sized datasets (1M-3M reference spectra); the
-// default keeps runtime in minutes on a laptop.
+// default keeps runtime in minutes on a laptop. -only cascade-sweep
+// runs the K-tier ladder sweep: every (ladder depth, bit layout)
+// point checked PSM-identical against the single-tier engine, with
+// the measured per-tier prune rates logged per point.
 //
 // -bench switches to the tracked performance trajectory instead: it
 // measures the four canonical operating points (sharded full-scan
@@ -32,7 +35,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.004, "dataset scale relative to Table 1 sizes")
 	seed := flag.Int64("seed", 1, "random seed")
-	only := flag.String("only", "", "comma-separated subset: table1,fig7,fig8,fig9,fig10,fig11,fig12,fig13,throughput,storage,ablations,characterize")
+	only := flag.String("only", "", "comma-separated subset: table1,fig7,fig8,fig9,fig10,fig11,fig12,fig13,throughput,storage,ablations,cascade-sweep,characterize")
 	quick := flag.Bool("quick", false, "reduce Monte-Carlo sample counts")
 	csvDir := flag.String("csv", "", "run every experiment and write CSVs to this directory instead of printing text")
 	bench := flag.Bool("bench", false, "run the canonical operating-point benchmarks and write BENCH_<date>.json")
@@ -152,6 +155,11 @@ func main() {
 		ch, err := experiments.AblationChimeric(opts)
 		exitOn(err)
 		fmt.Println(experiments.RenderChimeric(ch))
+	}
+	if run("cascade-sweep") {
+		rows, err := experiments.LadderSweep(opts)
+		exitOn(err)
+		fmt.Println(experiments.RenderLadderSweep(rows))
 	}
 	if run("characterize") {
 		model, err := experiments.Characterized(opts)

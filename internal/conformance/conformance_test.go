@@ -1,11 +1,14 @@
 // Package conformance is the single cross-path search oracle: one
 // table-driven suite asserting that every search path in the system —
 // candidate-gather TopK, streamed TopKRange, the block-major batch
-// paths, the two-tier cascade with and without a shortlist, the
+// paths, the K-tier cascade ladder with and without a shortlist, the
 // partitioned mmap-backed engine, and the request-coalescing serving
 // layer — returns bit-identical top-k lists over randomized
-// D/shard/k/PrefilterWords/partition-count workloads with planted
-// near-matches. It replaces the earlier per-path parity tests: a new
+// D/shard/k/ladder-depth/bit-layout/partition-count workloads with
+// planted near-matches. Entropy-layout workloads additionally
+// cross-check the permuted store against a natural-layout store on
+// the de-permuted inputs: the permutation must not move a single
+// result bit. It replaces the earlier per-path parity tests: a new
 // scan path earns its keep by joining this table, not by shipping its
 // own ad-hoc comparison.
 package conformance
@@ -36,8 +39,10 @@ type workload struct {
 	d         int
 	shard     int
 	k         int
-	prefilter int // cascade tier-A words (0 = single tier)
-	shortlist int // approximate completion budget (0 = exact)
+	prefilter int   // cascade tier-A words (0 = single tier)
+	tiers     []int // K-tier ladder prefix (mutually exclusive with prefilter)
+	entropy   bool  // pack the store under the entropy bit-layout permutation
+	shortlist int   // approximate completion budget (0 = exact)
 	nRefs     int
 	nQueries  int
 	parts     []int // partition counts to cross-check (exact modes only)
@@ -55,20 +60,38 @@ var workloads = []workload{
 	// results (the degenerate-cascade contract).
 	{name: "cascade-wide-prefilter", d: 512, shard: 48, k: 4, prefilter: 7, nRefs: 500, nQueries: 30, parts: []int{2}, seed: 6},
 	{name: "cascade-degenerate-fallback", d: 512, shard: 64, k: 5, prefilter: 8, nRefs: 400, nQueries: 20, parts: []int{1, 2}, seed: 7},
+	// K-tier ladders and the entropy bit layout, separately and
+	// together: a K=3 ladder on the natural layout, K=4 on the entropy
+	// layout, entropy on the single-tier scan, and a deep ladder with a
+	// masked tail word (d % 64 != 0) under entropy.
+	{name: "ladder-k3", d: 1024, shard: 96, k: 5, tiers: []int{2, 4}, nRefs: 800, nQueries: 40, parts: []int{2, 5}, seed: 8},
+	{name: "ladder-k4-entropy", d: 1024, shard: 64, k: 3, tiers: []int{1, 3, 4}, entropy: true, nRefs: 700, nQueries: 40, parts: []int{1, 3}, seed: 9},
+	{name: "entropy-flat", d: 512, shard: 32, k: 5, entropy: true, nRefs: 500, nQueries: 30, parts: []int{2}, seed: 10},
+	{name: "ladder-entropy-tail-mask", d: 1000, shard: 0, k: 4, tiers: []int{1, 2, 3, 4}, entropy: true, nRefs: 400, nQueries: 30, parts: []int{3}, seed: 11},
 }
 
 // fixture is one workload's generated library and query set.
 type fixture struct {
 	p       core.Params
 	lib     *core.Library
-	refs    []hdc.BinaryHV // mass-rank order, the oracle's view
+	refs    []hdc.BinaryHV // mass-rank order, stored layout, the oracle's view
 	queries []core.PreparedQuery
+	// perm is the entropy bit-layout permutation the store (and every
+	// query HV) is packed under — nil for natural-layout workloads.
+	perm []int
 }
 
 // buildFixture generates the synthetic mass-sorted library (equal-mass
 // tie runs included) and a query set dominated by planted near-matches
 // — clones of library rows with a few bits flipped, placed at masses
-// inside the open window — plus random and out-of-window queries.
+// inside the open window — plus random and out-of-window queries. For
+// entropy workloads the reference rows are re-packed under the
+// measured entropy permutation before the library is restored — what
+// BuildLibrary does on the real path — so every query HV (cloned from
+// a permuted row, or random and therefore layout-free) is already in
+// the stored layout, the same invariant Prepare maintains by
+// permuting encoder output. The oracle and every searcher then see
+// one consistent layout.
 func buildFixture(t *testing.T, w workload) *fixture {
 	t.Helper()
 	rng := rand.New(rand.NewSource(w.seed))
@@ -85,8 +108,21 @@ func buildFixture(t *testing.T, w workload) *fixture {
 		}
 		refs[i] = hdc.RandomBinaryHV(w.d, rng)
 	}
+	var perm []int
+	if w.entropy {
+		perm = hdc.EntropyPermutation(refs)
+		if err := hdc.ValidatePermutation(perm, w.d); err != nil {
+			t.Fatal(err)
+		}
+		for i := range refs {
+			refs[i] = hdc.PermuteBits(refs[i], perm)
+		}
+	}
 	lib, err := core.RestoreLibrary(entries, refs, rng.Perm(w.nRefs), 0)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SetDimPerm(perm); err != nil {
 		t.Fatal(err)
 	}
 	p := core.DefaultParams()
@@ -95,6 +131,7 @@ func buildFixture(t *testing.T, w workload) *fixture {
 	p.ShardSize = w.shard
 	p.TopK = w.k
 	p.PrefilterWords = w.prefilter
+	p.Tiers = w.tiers
 	p.ShortlistPerQuery = w.shortlist
 
 	queries := make([]core.PreparedQuery, w.nQueries)
@@ -275,7 +312,7 @@ func TestConformance(t *testing.T) {
 				oracle[qi] = fx.oracleFor(w, q.HV, rangeIndices(q.Lo, q.Hi, n))
 			}
 
-			cc := hdc.CascadeConfig{PrefilterWords: w.prefilter, Shortlist: w.shortlist}
+			cc := hdc.CascadeConfig{Tiers: w.tiers, PrefilterWords: w.prefilter, Shortlist: w.shortlist}
 			searcher, err := hdc.NewShardedSearcherCascade(fx.lib.HVs, w.shard, cc)
 			if err != nil {
 				t.Fatal(err)
@@ -305,6 +342,34 @@ func TestConformance(t *testing.T) {
 			var searcherTrace obsv.Trace
 			for qi, got := range searcher.BatchTopKRangeTraced(hvs, ranges, w.k, &searcherTrace) {
 				assertMatches(t, "BatchTopKRangeTraced", qi, got, oracle[qi])
+			}
+
+			// Natural-vs-entropy bit identity: de-permute the store and
+			// the queries back to the natural layout and search them
+			// through a natural-layout searcher — every match list must be
+			// identical, because the permutation relabels dimensions
+			// without moving a single Hamming distance. (Shortlist mode is
+			// excluded: its tier-0 partial ranking is layout-dependent by
+			// design — that is the entire point of the entropy layout.)
+			if len(fx.perm) > 0 && w.shortlist == 0 {
+				inv := make([]int, len(fx.perm))
+				for j, d := range fx.perm {
+					inv[d] = j
+				}
+				natRefs := make([]hdc.BinaryHV, len(fx.lib.HVs))
+				for i, hv := range fx.lib.HVs {
+					natRefs[i] = hdc.PermuteBits(hv, inv)
+				}
+				natural, err := hdc.NewShardedSearcherCascade(natRefs, w.shard, cc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range fx.queries {
+					natHV := hdc.PermuteBits(q.HV, inv)
+					assertMatches(t, "natural-layout TopKRange", qi,
+						natural.TopKRange(natHV, q.Lo, q.Hi, w.k),
+						searcher.TopKRange(q.HV, q.Lo, q.Hi, w.k))
+				}
 			}
 
 			// Edge geometry (coverage inherited from the deleted per-path

@@ -83,8 +83,9 @@ type SearchEngine interface {
 	// TopKPrepared returns the full top-k match list of one prepared
 	// query, indices in global (mass-rank) row space.
 	TopKPrepared(pq PreparedQuery) []hdc.Match
-	// CascadeStats reports the aggregate cascade pruning counters; ok
-	// is false when no underlying searcher runs a two-tier layout.
+	// CascadeStats reports the aggregate per-tier cascade pruning
+	// counters; ok is false when no underlying searcher runs a
+	// multi-tier layout.
 	CascadeStats() (hdc.CascadeStats, bool)
 	// NumRefs returns the number of encoded references served.
 	NumRefs() int
@@ -102,8 +103,8 @@ type SearchEngine interface {
 // when the engine does not provide it.
 type TracedSearchEngine interface {
 	SearchEngine
-	// SearchPreparedTraced is SearchPrepared recording tier-A/tier-B/
-	// merge (and, for a partitioned engine, per-partition sweep) telemetry
+	// SearchPreparedTraced is SearchPrepared recording per-tier/merge
+	// (and, for a partitioned engine, per-partition sweep) telemetry
 	// into tr when non-nil.
 	SearchPreparedTraced(qs []PreparedQuery, tr *obsv.Trace) ([]fdr.PSM, []bool)
 }
@@ -139,27 +140,52 @@ type Params struct {
 	// ShardSize is the rows-per-shard of the exact sharded search
 	// engine (0 = hdc.DefaultShardSize).
 	ShardSize int
-	// PrefilterWords selects the two-tier pruned cascade layout of the
-	// sharded searcher: the first PrefilterWords packed words of every
-	// row form the contiguous prefilter tier, the rest the completion
-	// tier scored only for rows that survive the pruning bound. 0 (the
-	// default) keeps the single-tier scan. Results stay bit-identical
-	// to the single-tier kernel unless ShortlistPerQuery is set.
+	// Tiers is the cascade ladder of the sharded searcher: Tiers[t]
+	// packed words form tier t of every row, scanned in order with the
+	// pruning bound checked between tiers. Empty keeps the single-tier
+	// scan; a two-element ladder is the classic prefilter/completion
+	// cascade. Exact-mode results stay bit-identical to the
+	// single-tier kernel for every ladder.
+	Tiers []int
+	// PrefilterWords is the deprecated two-tier form of Tiers: a
+	// positive value means the ladder [PrefilterWords, rest]. Setting
+	// both Tiers and PrefilterWords is rejected.
 	PrefilterWords int
+	// BitLayout selects the build-time dimension layout:
+	// ""/"natural" stores encoded dimensions in encoder order;
+	// "entropy" permutes them so the most discriminative (highest
+	// bit-balance entropy) dimensions pack into the leading words,
+	// raising the tier-0 pruning rate. The permutation is applied to
+	// references at build time and queries at prepare time, so results
+	// are unchanged by construction.
+	BitLayout string
 	// ShortlistPerQuery switches the cascade to approximate mode:
 	// per query, only the ShortlistPerQuery rows with the best
-	// prefilter-tier partial distance are completed — the
+	// tier-0 partial distance are completed — the
 	// HyperOMS/ANN-SoLo-style recall-for-speed trade. 0 keeps the
-	// exact pruning bound; a positive value requires PrefilterWords.
+	// exact pruning bound; a positive value requires a multi-tier
+	// ladder.
 	ShortlistPerQuery int
 	// FDRAlpha is the FDR acceptance level (paper: 0.01).
 	FDRAlpha float64
 }
 
 // cascadeConfig maps the cascade knobs onto the searcher's config.
+// Tiers and the deprecated PrefilterWords both pass through; the
+// searcher rejects the combination.
 func (p Params) cascadeConfig() hdc.CascadeConfig {
-	return hdc.CascadeConfig{PrefilterWords: p.PrefilterWords, Shortlist: p.ShortlistPerQuery}
+	return hdc.CascadeConfig{Tiers: p.Tiers, PrefilterWords: p.PrefilterWords, Shortlist: p.ShortlistPerQuery}
 }
+
+// Bit-layout names accepted by Params.BitLayout.
+const (
+	// BitLayoutNatural stores dimensions in encoder order (the
+	// default; "" means the same).
+	BitLayoutNatural = "natural"
+	// BitLayoutEntropy permutes dimensions by descending bit-balance
+	// entropy over the encoded library at build time.
+	BitLayoutEntropy = "entropy"
+)
 
 // DefaultParams returns the paper's evaluation configuration.
 func DefaultParams() Params {
@@ -207,6 +233,13 @@ type Library struct {
 	// is the position entry i (equivalently: packed searcher row i)
 	// occupied in the original build order of the kept spectra.
 	srcPos []int
+	// DimPerm is the bit-layout dimension permutation the stored
+	// hypervectors are under: stored position j holds encoder
+	// dimension DimPerm[j]. nil means the natural (encoder-order)
+	// layout. Queries must be permuted identically before scoring
+	// (the engines' Prepare does this), which keeps every Hamming
+	// distance — and therefore every result — unchanged.
+	DimPerm []int
 	// Skipped counts reference spectra rejected by preprocessing.
 	Skipped int
 }
@@ -241,7 +274,65 @@ func BuildLibrary(spectra []*spectrum.Spectrum, p Params, enc Encoder) (*Library
 		return nil, fmt.Errorf("core: empty library after preprocessing")
 	}
 	lib.SortByMass()
+	if err := lib.applyBitLayout(p.BitLayout); err != nil {
+		return nil, err
+	}
 	return lib, nil
+}
+
+// applyBitLayout applies the configured dimension layout to the
+// encoded library: "entropy" measures per-dimension bit-balance
+// entropy over the encoded references and permutes every hypervector
+// so the most discriminative dimensions land in the leading packed
+// words. An identity permutation (e.g. a degenerate library) is
+// dropped so callers never pay the query-time gather for a no-op.
+func (l *Library) applyBitLayout(layout string) error {
+	switch layout {
+	case "", BitLayoutNatural:
+		return nil
+	case BitLayoutEntropy:
+		perm := hdc.EntropyPermutation(l.HVs)
+		if perm == nil || hdc.IsIdentityPermutation(perm) {
+			return nil
+		}
+		for i := range l.HVs {
+			l.HVs[i] = hdc.PermuteBits(l.HVs[i], perm)
+		}
+		l.DimPerm = perm
+		return nil
+	default:
+		return fmt.Errorf("core: unknown bit layout %q (valid: %q, %q)", layout, BitLayoutNatural, BitLayoutEntropy)
+	}
+}
+
+// SetDimPerm installs the bit-layout permutation the library's
+// hypervectors are already stored under — the load path of a
+// persisted entropy-layout index (the index stores permuted words, so
+// restoring must record the permutation without re-permuting). An
+// empty perm clears it (natural layout); a non-bijection is rejected.
+func (l *Library) SetDimPerm(perm []int) error {
+	if len(perm) == 0 {
+		l.DimPerm = nil
+		return nil
+	}
+	d := 0
+	if len(l.HVs) > 0 {
+		d = l.HVs[0].D
+	}
+	if err := hdc.ValidatePermutation(perm, d); err != nil {
+		return err
+	}
+	l.DimPerm = perm
+	return nil
+}
+
+// permuteQuery applies the library's bit-layout permutation to an
+// encoded query hypervector (identity when the layout is natural).
+func (l *Library) permuteQuery(hv hdc.BinaryHV) hdc.BinaryHV {
+	if len(l.DimPerm) == 0 {
+		return hv
+	}
+	return hdc.PermuteBits(hv, l.DimPerm)
 }
 
 // SortByMass sorts entries and hypervectors in place by ascending
@@ -403,6 +494,11 @@ func NewEngine(p Params, lib *Library, enc Encoder, s Searcher) (*Engine, error)
 		return nil, fmt.Errorf("core: configured dimension D=%d does not match library hypervector dimension D=%d",
 			p.Accel.D, d)
 	}
+	if len(lib.DimPerm) > 0 {
+		if err := hdc.ValidatePermutation(lib.DimPerm, d); err != nil {
+			return nil, fmt.Errorf("core: library bit-layout permutation: %w", err)
+		}
+	}
 	if p.TopK < 1 {
 		p.TopK = 1
 	}
@@ -421,10 +517,10 @@ func (e *Engine) NumRefs() int { return e.lib.Len() }
 // preprocessing when the library was built.
 func (e *Engine) Skipped() int { return e.lib.Skipped }
 
-// CascadeStats reports the pruning counters of a cascade-enabled
-// searcher (prefiltered vs completed rows); ok is false when the
-// searcher has no two-tier cascade layout or does not expose the
-// telemetry.
+// CascadeStats reports the per-tier pruning counters of a
+// cascade-enabled searcher (rows entering each ladder tier); ok is
+// false when the searcher has no multi-tier layout or does not expose
+// the telemetry.
 func (e *Engine) CascadeStats() (hdc.CascadeStats, bool) {
 	type reporter interface {
 		CascadeStats() (hdc.CascadeStats, bool)
@@ -474,6 +570,7 @@ func (e *Engine) Prepare(q *spectrum.Spectrum) (PreparedQuery, bool, error) {
 	if err != nil {
 		return PreparedQuery{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
 	}
+	hv = e.lib.permuteQuery(hv)
 	mass := q.PrecursorMass()
 	lo, hi := e.lib.CandidateRange(mass, e.window(mass))
 	if lo >= hi {
@@ -525,7 +622,7 @@ func (e *Engine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
 }
 
 // SearchPreparedTraced is SearchPrepared with per-stage tracing (see
-// TracedSearchEngine): a non-nil tr collects tier-A/tier-B/merge
+// TracedSearchEngine): a non-nil tr collects per-tier and merge
 // timings and row counters from the range-native sweep. Timing never
 // alters control flow, so results are bit-identical to the untraced
 // call.

@@ -50,6 +50,10 @@ type PartitionedEngine struct {
 	total   int
 	skipped int
 	normD   float64
+	// dimPerm is the bit-layout permutation shared by every partition
+	// (validated identical at construction); queries are permuted with
+	// it at Prepare time. nil = natural layout.
+	dimPerm []int
 }
 
 // NewPartitionedExactEngine wires the exact engine over a partitioned
@@ -89,6 +93,16 @@ func NewPartitionedExactEngine(p Params, libs []*Library, blocks [][]uint64) (*P
 		}
 		if d := lib.HVs[0].D; d != p.Accel.D {
 			return nil, nil, fmt.Errorf("core: partition %d has dimension D=%d, configured D=%d", i, d, p.Accel.D)
+		}
+		if len(lib.DimPerm) > 0 {
+			if err := hdc.ValidatePermutation(lib.DimPerm, p.Accel.D); err != nil {
+				return nil, nil, fmt.Errorf("core: partition %d bit-layout permutation: %w", i, err)
+			}
+		}
+		if i == 0 {
+			pe.dimPerm = lib.DimPerm
+		} else if !equalPerm(pe.dimPerm, lib.DimPerm) {
+			return nil, nil, fmt.Errorf("core: partition %d bit-layout permutation differs from partition 0 (mixed build generations?)", i)
 		}
 		minMass := lib.Entries[0].Mass
 		maxMass := lib.Entries[lib.Len()-1].Mass
@@ -132,15 +146,24 @@ func (pe *PartitionedEngine) NumRefs() int { return pe.total }
 // partition 0).
 func (pe *PartitionedEngine) Skipped() int { return pe.skipped }
 
-// CascadeStats sums the cascade pruning counters across partitions; ok
-// is false when no partition runs a two-tier layout.
+// CascadeStats sums the per-tier cascade pruning counters across
+// partitions (element-wise over tier slots; a rebuilt engine always
+// gives every partition the same ladder, but a deeper partition's
+// tail still sums correctly); ok is false when no partition runs a
+// multi-tier layout.
 func (pe *PartitionedEngine) CascadeStats() (hdc.CascadeStats, bool) {
 	var sum hdc.CascadeStats
 	any := false
 	for i := range pe.parts {
 		if cs, ok := pe.parts[i].searcher.CascadeStats(); ok {
-			sum.Prefiltered += cs.Prefiltered
-			sum.Completed += cs.Completed
+			if len(sum.TierRows) < len(cs.TierRows) {
+				grown := make([]uint64, len(cs.TierRows))
+				copy(grown, sum.TierRows)
+				sum.TierRows = grown
+			}
+			for t, v := range cs.TierRows {
+				sum.TierRows[t] += v
+			}
 			any = true
 		}
 	}
@@ -153,8 +176,8 @@ type PartitionStat struct {
 	StartRow, Refs int
 	// MinMass, MaxMass are the partition's mass fences.
 	MinMass, MaxMass float64
-	// CascadeEnabled reports whether the partition's searcher runs the
-	// two-tier layout; Cascade holds its pruning counters when so.
+	// CascadeEnabled reports whether the partition's searcher runs a
+	// multi-tier layout; Cascade holds its per-tier counters when so.
 	CascadeEnabled bool
 	Cascade        hdc.CascadeStats
 	// RowsSwept is the partition's cumulative range-scan row coverage
@@ -220,6 +243,9 @@ func (pe *PartitionedEngine) Prepare(q *spectrum.Spectrum) (PreparedQuery, bool,
 	hv, err := pe.enc.EncodeVector(pe.params.Binner.Vectorize(pre))
 	if err != nil {
 		return PreparedQuery{}, false, fmt.Errorf("core: encoding query %s: %w", q.ID, err)
+	}
+	if len(pe.dimPerm) > 0 {
+		hv = hdc.PermuteBits(hv, pe.dimPerm)
 	}
 	mass := q.PrecursorMass()
 	lo, hi := pe.candidateRange(mass, pe.params.queryWindow(mass))
@@ -480,6 +506,20 @@ func (pe *PartitionedEngine) Run(queries []*spectrum.Spectrum) (fdr.Result, erro
 		return fdr.Result{}, err
 	}
 	return fdr.Filter(psms, pe.params.FDRAlpha)
+}
+
+// equalPerm reports whether two bit-layout permutations are the same
+// layout (both nil = both natural).
+func equalPerm(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RunParallel is Run using the parallel batch path.

@@ -44,3 +44,48 @@ func TestCascadeSweep(t *testing.T) {
 		t.Fatalf("render missing headers:\n%s", out)
 	}
 }
+
+// TestLadderSweep pins the K-tier sweep's guarantees: every (ladder,
+// layout) point is PSM-identical to the single-tier natural reference
+// (the pruning bound and the permutation are both lossless), the
+// per-tier rate vector matches the ladder depth, and all rates are
+// valid fractions.
+func TestLadderSweep(t *testing.T) {
+	rows, err := LadderSweep(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("sweep returned %d rows, want 8 (4 ladders x 2 layouts)", len(rows))
+	}
+	for i, r := range rows {
+		if !r.Exact {
+			t.Errorf("row %d (tiers %v, layout %s) diverged from the reference PSMs", i, r.Tiers, r.Layout)
+		}
+		if len(r.Tiers) == 0 {
+			if len(r.TierPruneRates) != 0 {
+				t.Errorf("single-tier row %d has %d tier rates", i, len(r.TierPruneRates))
+			}
+			continue
+		}
+		// The kernel appends the remainder tier, so a K-entry prefix has
+		// K+1 tiers and K inter-tier prune rates.
+		if want := len(r.Tiers); len(r.TierPruneRates) != want {
+			t.Errorf("row %d (tiers %v): %d tier rates, want %d", i, r.Tiers, len(r.TierPruneRates), want)
+		}
+		for tier, rate := range r.TierPruneRates {
+			if rate < 0 || rate > 1 {
+				t.Errorf("row %d tier %d prune rate %f out of [0,1]", i, tier, rate)
+			}
+		}
+		if r.PruneRate < 0 || r.PruneRate > 1 {
+			t.Errorf("row %d overall prune rate %f out of [0,1]", i, r.PruneRate)
+		}
+	}
+	out := RenderLadderSweep(rows)
+	for _, want := range []string{"tiers", "layout", "entropy", "natural", "single", ",rest"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,38 +25,46 @@ const (
 	topKRangeMaxAllocs = 4
 )
 
-func allocSearcher(t *testing.T, d, n, prefilterWords int) (*ShardedSearcher, BinaryHV) {
+func allocSearcher(t *testing.T, d, n int, cc CascadeConfig) (*ShardedSearcher, BinaryHV) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	refs := make([]BinaryHV, n)
 	for i := range refs {
 		refs[i] = RandomBinaryHV(d, rng)
 	}
-	s, err := NewShardedSearcherCascade(refs, n, CascadeConfig{PrefilterWords: prefilterWords})
+	s, err := NewShardedSearcherCascade(refs, n, cc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s, RandomBinaryHV(d, rng)
 }
 
+// allocLadders is the layout matrix both allocation gates run over:
+// the single-tier store, the legacy two-tier alias, and deeper
+// K-tier ladders (the descend-while-bounded sweep must stay
+// allocation-free at any depth, not just the K=2 shape it grew out
+// of). d=1024 → 16 packed words.
+var allocLadders = []struct {
+	name string
+	cc   CascadeConfig
+}{
+	{"single-tier", CascadeConfig{}},
+	{"two-tier", CascadeConfig{PrefilterWords: 4}},
+	{"three-tier", CascadeConfig{Tiers: []int{2, 4, 10}}},
+	{"four-tier", CascadeConfig{Tiers: []int{1, 3, 4, 8}}},
+}
+
 // TestKernelSweepAllocationFree gates the scoring kernel at zero
-// steady-state allocations, for the single-tier layout and the
-// two-tier cascade layout.
+// steady-state allocations across the ladder layouts.
 func TestKernelSweepAllocationFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts include race-detector instrumentation")
 	}
-	for _, tc := range []struct {
-		name           string
-		prefilterWords int
-	}{
-		{"single-tier", 0},
-		{"two-tier", 4},
-	} {
+	for _, tc := range allocLadders {
 		t.Run(tc.name, func(t *testing.T) {
 			// One shard keeps the sweep on the sequential path: the
 			// parallel fan-out's per-query goroutines allocate by design.
-			s, q := allocSearcher(t, 1024, 4096, tc.prefilterWords)
+			s, q := allocSearcher(t, 1024, 4096, tc.cc)
 			dst := s.SimilaritiesRangeInto(q, 0, s.Len(), nil)
 			allocs := testing.AllocsPerRun(50, func() {
 				dst = s.SimilaritiesRangeInto(q, 0, s.Len(), dst)
@@ -70,20 +78,14 @@ func TestKernelSweepAllocationFree(t *testing.T) {
 }
 
 // TestTopKRangeSteadyStateAllocs pins the sequential top-k range scan
-// to its checked-in baseline.
+// to its checked-in baseline across the ladder layouts.
 func TestTopKRangeSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts include race-detector instrumentation")
 	}
-	for _, tc := range []struct {
-		name           string
-		prefilterWords int
-	}{
-		{"single-tier", 0},
-		{"two-tier", 4},
-	} {
+	for _, tc := range allocLadders {
 		t.Run(tc.name, func(t *testing.T) {
-			s, q := allocSearcher(t, 1024, 4096, tc.prefilterWords)
+			s, q := allocSearcher(t, 1024, 4096, tc.cc)
 			s.TopKRange(q, 0, s.Len(), 5)
 			allocs := testing.AllocsPerRun(50, func() {
 				s.TopKRange(q, 0, s.Len(), 5)

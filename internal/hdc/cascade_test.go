@@ -70,7 +70,7 @@ func TestCascadeExactParityParallel(t *testing.T) {
 			t.Fatalf("trial %d: parallel cascade diverged\ngot  %v\nwant %v", trial, got, want)
 		}
 	}
-	if cs, ok := casc.CascadeStats(); !ok || cs.Prefiltered == 0 {
+	if cs, ok := casc.CascadeStats(); !ok || cs.Prefiltered() == 0 {
 		t.Fatalf("cascade stats = %+v, ok=%v; want counters accumulating", cs, ok)
 	}
 }
@@ -142,11 +142,14 @@ func TestCascadeStatsCounters(t *testing.T) {
 	if !ok {
 		t.Fatal("cascade searcher reports no cascade stats")
 	}
-	if cs.Prefiltered != uint64(nq*n) {
-		t.Fatalf("prefiltered %d, want %d", cs.Prefiltered, nq*n)
+	if cs.Prefiltered() != uint64(nq*n) {
+		t.Fatalf("prefiltered %d, want %d", cs.Prefiltered(), nq*n)
 	}
-	if cs.Completed > cs.Prefiltered {
-		t.Fatalf("completed %d > prefiltered %d", cs.Completed, cs.Prefiltered)
+	if cs.Completed() > cs.Prefiltered() {
+		t.Fatalf("completed %d > prefiltered %d", cs.Completed(), cs.Prefiltered())
+	}
+	if cs.NumTiers() != 2 {
+		t.Fatalf("two-tier searcher reports %d tier counters", cs.NumTiers())
 	}
 	if cs.PruneRate() <= 0 {
 		t.Fatalf("prune rate %.3f on a planted-cluster workload, want > 0 (stats %+v)", cs.PruneRate(), cs)
@@ -177,6 +180,97 @@ func TestCascadeConfigValidation(t *testing.T) {
 	if _, err := NewShardedSearcher([]BinaryHV{{D: -8, Words: nil}}, 0); err == nil {
 		t.Error("negative-dimension reference accepted")
 	}
+	words := WordsPerHV(128)
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{Tiers: []int{1, 0, 1}}); err == nil {
+		t.Error("non-positive tier width accepted")
+	}
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{Tiers: []int{words, 1}}); err == nil {
+		t.Error("tier ladder wider than the row accepted")
+	}
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{Tiers: []int{1, 1}, PrefilterWords: 1}); err == nil {
+		t.Error("Tiers together with PrefilterWords accepted")
+	}
+	if _, err := NewSearcherCascade(refs, 0, CascadeConfig{Tiers: []int{words}, Shortlist: 3}); err == nil {
+		t.Error("shortlist on a single-tier ladder accepted")
+	}
+}
+
+// TestCascadeLadderExactParity pins the tentpole exactness contract:
+// every K-tier ladder — including unbalanced ones — returns results
+// bit-identical to the single-tier scan, on gather, range and batch
+// paths, and its per-tier counters are monotonically non-increasing
+// down the ladder.
+func TestCascadeLadderExactParity(t *testing.T) {
+	d, n, nq, k := 512, 900, 5, 4
+	words := WordsPerHV(d) // 8
+	refs, queries := cascadeFixture(t, d, n, nq, k, 41)
+	base, err := NewSearcherSharded(refs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make([]RowRange, nq)
+	for i := range ranges {
+		lo := (i * n) / (2 * nq)
+		ranges[i] = RowRange{Lo: max(0, lo-7), Hi: min(n, lo+2*n/3)}
+	}
+	ladders := [][]int{
+		{words},              // K=1 (explicit single tier)
+		{2, words - 2},       // K=2, the classic cascade
+		{1, 2, words - 3},    // K=3
+		{1, 1, 2, words - 4}, // K=4
+		{1, 3},               // K=2 with an implicit remainder tier
+	}
+	for _, tiers := range ladders {
+		casc, err := NewSearcherCascade(refs, 128, CascadeConfig{Tiers: append([]int(nil), tiers...)})
+		if err != nil {
+			t.Fatalf("tiers %v: %v", tiers, err)
+		}
+		batch := casc.BatchTopKRange(queries, ranges, k)
+		for qi, q := range queries {
+			want := base.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, k)
+			if !matchesEqual(batch[qi], want) {
+				t.Fatalf("tiers %v query %d: batch diverged\ngot  %v\nwant %v", tiers, qi, batch[qi], want)
+			}
+			single := casc.TopKRange(q, ranges[qi].Lo, ranges[qi].Hi, k)
+			if !matchesEqual(single, want) {
+				t.Fatalf("tiers %v query %d: range diverged\ngot  %v\nwant %v", tiers, qi, single, want)
+			}
+			gather := casc.TopK(q, indexRange(ranges[qi].Lo, ranges[qi].Hi), k)
+			if !matchesEqual(gather, want) {
+				t.Fatalf("tiers %v query %d: gather diverged\ngot  %v\nwant %v", tiers, qi, gather, want)
+			}
+		}
+		cs, ok := casc.CascadeStats()
+		if len(tiers) == 1 && tiers[0] == words {
+			if ok {
+				t.Fatalf("tiers %v: single-tier ladder claims cascade stats", tiers)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("tiers %v: no cascade stats", tiers)
+		}
+		if cs.NumTiers() != casc.NumTiers() {
+			t.Fatalf("tiers %v: stats depth %d, searcher depth %d", tiers, cs.NumTiers(), casc.NumTiers())
+		}
+		for ti := 1; ti < cs.NumTiers(); ti++ {
+			if cs.TierRows[ti] > cs.TierRows[ti-1] {
+				t.Fatalf("tiers %v: tier rows increase down the ladder: %v", tiers, cs.TierRows)
+			}
+		}
+		if cs.Prefiltered() == 0 || cs.PruneRate() <= 0 {
+			t.Fatalf("tiers %v: no pruning on planted-cluster workload (stats %+v)", tiers, cs)
+		}
+	}
+}
+
+// indexRange expands [lo, hi) into an index slice for the gather path.
+func indexRange(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
 }
 
 // TestCascadePackedRowAssembly pins that PackedRow reassembles the

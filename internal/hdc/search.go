@@ -111,11 +111,15 @@ func (s *Searcher) BatchTopKRangeTraced(queries []BinaryHV, ranges []RowRange, k
 	return s.engine.BatchTopKRangeTraced(queries, ranges, k, tr)
 }
 
-// CascadeStats returns a snapshot of the cascade pruning counters; ok
-// is false when the underlying store is single-tier.
+// CascadeStats returns a snapshot of the per-tier cascade pruning
+// counters; ok is false when the underlying store is single-tier.
 func (s *Searcher) CascadeStats() (CascadeStats, bool) {
 	return s.engine.CascadeStats()
 }
+
+// NumTiers returns the depth of the underlying tier ladder (1 for a
+// single-tier store).
+func (s *Searcher) NumTiers() int { return s.engine.NumTiers() }
 
 // worse reports whether a ranks strictly below b (lower similarity, or
 // equal similarity with a larger index).

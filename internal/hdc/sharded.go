@@ -25,8 +25,8 @@ const DefaultShardSize = 2048
 // across the query sweep (16 KiB block + query words + similarity
 // buffer fit a 32 KiB L1d) and the packed reference store streams
 // from memory once per batch rather than once per query. Under a
-// two-tier cascade layout the swept tier is tier A, so blocks are
-// sized by the tier-A row stride.
+// tiered cascade layout the swept tier is tier 0, so blocks are sized
+// by the tier-0 row stride.
 const kernelBlockBytes = 16 << 10
 
 // blockRows returns the rows per kernel block for a word width.
@@ -43,53 +43,145 @@ func blockRows(words int) int {
 // per-goroutine overhead exceeds the scan cost.
 const parallelMinRefs = 1 << 13
 
-// CascadeConfig selects the two-tier pruned cascade layout — the
+// CascadeConfig selects the K-tier pruned cascade layout — the
 // software articulation of the paper's cascaded-precision deployment
-// (a cheap low-precision pass prunes the candidate field before the
-// expensive high-precision pass).
+// (cheap low-precision passes prune the candidate field before the
+// expensive high-precision completion).
 type CascadeConfig struct {
-	// PrefilterWords is the number of leading packed words of every
-	// row stored contiguously as tier A and scored by the prefilter
-	// pass; the remaining words form tier B and are scored only for
-	// rows that survive the prune. <= 0 disables the cascade, and a
-	// value >= the full per-row word count leaves no tier B to prune,
-	// so it too falls back to the single-tier layout.
+	// Tiers is the cascade ladder: Tiers[t] is the packed word width of
+	// tier t, descended in order. Every entry must be positive and the
+	// widths must sum to at most the per-row word count; a sum short of
+	// the row implicitly appends one remainder tier. A single tier
+	// covering the whole row is the single-tier layout. Empty defers to
+	// PrefilterWords (setting both is an error).
+	Tiers []int
+	// PrefilterWords is the deprecated two-tier knob, kept as a
+	// compatibility alias: a value in (0, words) is equivalent to
+	// Tiers = [PrefilterWords, words-PrefilterWords]. <= 0 disables the
+	// cascade, and a value >= the full per-row word count leaves
+	// nothing to prune, so it too falls back to the single-tier layout.
 	PrefilterWords int
 	// Shortlist switches cascade scans from the exact pruning bound to
 	// approximate mode: per query, only the Shortlist rows with the
-	// best tier-A partial distance (ties by ascending index) are
-	// completed against tier B. 0 keeps the exact bound; a positive
-	// value requires an effective two-tier layout. Negative values are
+	// best tier-0 partial distance (ties by ascending index) are
+	// completed against the deeper tiers. 0 keeps the exact bound; a
+	// positive value requires a multi-tier layout. Negative values are
 	// rejected.
 	Shortlist int
 }
 
-// CascadeStats is a snapshot of the cascade pruning counters,
+// normalizeTiers resolves a CascadeConfig into the per-tier word
+// widths over a row of `words` packed words (len >= 1; len == 1 is
+// the single-tier layout).
+func normalizeTiers(cc CascadeConfig, words int) ([]int, error) {
+	if cc.PrefilterWords > 0 && len(cc.Tiers) > 0 {
+		return nil, fmt.Errorf("hdc: CascadeConfig sets both Tiers and the deprecated PrefilterWords alias")
+	}
+	var tiers []int
+	switch {
+	case len(cc.Tiers) > 0:
+		sum := 0
+		for t, w := range cc.Tiers {
+			if w <= 0 {
+				return nil, fmt.Errorf("hdc: cascade tier %d has non-positive width %d words", t, w)
+			}
+			sum += w
+		}
+		if sum > words {
+			return nil, fmt.Errorf("hdc: cascade tier widths sum to %d words, row has only %d", sum, words)
+		}
+		tiers = append(tiers, cc.Tiers...)
+		if sum < words {
+			tiers = append(tiers, words-sum)
+		}
+	case cc.PrefilterWords > 0 && cc.PrefilterWords < words:
+		tiers = []int{cc.PrefilterWords, words - cc.PrefilterWords}
+	default:
+		tiers = []int{words}
+	}
+	if cc.Shortlist < 0 {
+		return nil, fmt.Errorf("hdc: negative cascade shortlist %d", cc.Shortlist)
+	}
+	if cc.Shortlist > 0 && len(tiers) < 2 {
+		return nil, fmt.Errorf("hdc: cascade shortlist %d requires a multi-tier layout (tier 0 covers all %d words, leaving nothing to prune)",
+			cc.Shortlist, words)
+	}
+	return tiers, nil
+}
+
+// CascadeStats is a snapshot of the cascade's per-tier row counters,
 // accumulated across every cascade scan since construction.
 type CascadeStats struct {
-	// Prefiltered counts rows whose tier-A prefix was scored by a
-	// cascade scan path.
-	Prefiltered uint64
-	// Completed counts rows whose tier-B remainder was also scored —
-	// the rows the prune failed to eliminate.
-	Completed uint64
+	// TierRows[t] counts rows whose tier-t words were scored by a
+	// cascade scan path. TierRows[0] is the swept candidate volume;
+	// deeper tiers only see rows the pruning bound (or shortlist)
+	// admitted, so the counts are non-increasing down the ladder.
+	TierRows []uint64
+}
+
+// NumTiers returns the ladder depth of the snapshot.
+func (c CascadeStats) NumTiers() int { return len(c.TierRows) }
+
+// Prefiltered returns the rows whose tier-0 prefix was scored (the
+// historical tier-A counter).
+func (c CascadeStats) Prefiltered() uint64 {
+	if len(c.TierRows) == 0 {
+		return 0
+	}
+	return c.TierRows[0]
+}
+
+// Completed returns the rows completed against the final tier (the
+// historical tier-B counter).
+func (c CascadeStats) Completed() uint64 {
+	if len(c.TierRows) == 0 {
+		return 0
+	}
+	return c.TierRows[len(c.TierRows)-1]
 }
 
 // Pruned returns the number of prefiltered rows never completed.
 func (c CascadeStats) Pruned() uint64 {
-	if c.Completed > c.Prefiltered {
+	if c.Completed() > c.Prefiltered() {
 		return 0
 	}
-	return c.Prefiltered - c.Completed
+	return c.Prefiltered() - c.Completed()
 }
 
 // PruneRate returns Pruned as a fraction of Prefiltered (0 when no
 // rows were prefiltered).
 func (c CascadeStats) PruneRate() float64 {
-	if c.Prefiltered == 0 {
+	if c.Prefiltered() == 0 {
 		return 0
 	}
-	return float64(c.Pruned()) / float64(c.Prefiltered)
+	return float64(c.Pruned()) / float64(c.Prefiltered())
+}
+
+// TierPruneRate returns the fraction of tier-t rows that did NOT
+// descend to tier t+1 (0 for the final tier and for tiers that saw no
+// rows).
+func (c CascadeStats) TierPruneRate(t int) float64 {
+	if t < 0 || t >= len(c.TierRows)-1 || c.TierRows[t] == 0 {
+		return 0
+	}
+	next := c.TierRows[t+1]
+	if next > c.TierRows[t] {
+		return 0
+	}
+	return float64(c.TierRows[t]-next) / float64(c.TierRows[t])
+}
+
+// Sub returns the per-tier difference c - prev (counter deltas over a
+// measurement interval). Mismatched depths return c unchanged.
+func (c CascadeStats) Sub(prev CascadeStats) CascadeStats {
+	if len(prev.TierRows) != len(c.TierRows) {
+		return c
+	}
+	out := CascadeStats{TierRows: make([]uint64, len(c.TierRows))}
+	for t := range c.TierRows {
+		out.TierRows[t] = c.TierRows[t] - prev.TierRows[t]
+	}
+	return out
 }
 
 // ShardedSearcher is the sharded, batch-oriented exact Hamming search
@@ -102,32 +194,33 @@ func (c CascadeStats) PruneRate() float64 {
 // are merged deterministically (similarity descending, index
 // ascending — the same tie-break as the scalar Searcher).
 //
-// With a CascadeConfig the packed store is word-sliced into two tiers
-// per shard: the first PrefilterWords words of every row contiguous
-// (tier A), the rest contiguous (tier B). Scan paths sweep tier A
-// block-major exactly as the single-tier kernel does, maintain the
-// per-query running k-th-best distance, and complete against tier B
-// only the rows whose partial distance can still beat that bound —
-// remaining bits can only add distance, so the prune is exact and the
+// With a CascadeConfig the packed store is word-sliced into K tiers
+// per shard: tier t holds words [off[t], off[t]+tw[t]) of every row,
+// contiguous per tier. Scan paths sweep tier 0 block-major exactly as
+// the single-tier kernel does, maintain the per-query running
+// k-th-best distance, and descend the ladder only while a row's
+// partial distance can still beat that bound — remaining bits can
+// only add distance, so the prune is exact at every rung and the
 // results stay bit-identical to the single-tier kernel. Shortlist
 // mode trades that guarantee for a fixed completion budget per query.
 type ShardedSearcher struct {
-	d         int // hypervector dimension
-	words     int // packed words per hypervector, ceil(d/64)
-	n         int // total references
-	shardSize int // rows per shard (last shard may be shorter)
-	block     int // rows per kernel block (see kernelBlockBytes)
-	wa        int // tier-A words per row (== words when single-tier)
-	wb        int // tier-B words per row (0 when single-tier)
-	shortlist int // approximate completion budget per query (0 = exact)
+	d         int   // hypervector dimension
+	words     int   // packed words per hypervector, ceil(d/64)
+	n         int   // total references
+	shardSize int   // rows per shard (last shard may be shorter)
+	block     int   // rows per kernel block (see kernelBlockBytes)
+	tw        []int // words per tier (len K >= 1; K == 1 is single-tier)
+	off       []int // word offset of tier t within a full row
+	stride    []int // row stride within a shard's tier-t plane
+	shortlist int   // approximate completion budget per query (0 = exact)
 	shards    []shard
 
-	// Cascade pruning counters; zero when the layout is single-tier.
-	prefiltered atomic.Uint64
-	completed   atomic.Uint64
+	// tierRows[t] counts rows scored against tier t by cascade scan
+	// paths; nil when the layout is single-tier.
+	tierRows []atomic.Uint64
 
 	// swept counts candidate rows covered by the range-scan paths
-	// (single-tier rows, or tier-A prefixes under a cascade) — the
+	// (single-tier rows, or tier-0 prefixes under a cascade) — the
 	// serving stack's sweep-volume counter, live for every layout.
 	swept atomic.Uint64
 }
@@ -138,29 +231,36 @@ type shard struct {
 	start int
 	// rows is the number of references in this shard.
 	rows int
-	// a holds rows*wa words, row-major with stride wa: the tier-A
-	// prefix of reference r of the shard occupies a[r*wa : (r+1)*wa].
-	// Under a single-tier layout it is the whole packed row — and may
+	// planes[t] holds the tier-t words of every row with the
+	// searcher's per-tier row stride: reference r's tier-t words
+	// occupy planes[t][r*stride[t] : r*stride[t]+tw[t]]. Under a
+	// single-tier layout planes[0] is the whole packed row — and may
 	// alias a caller-owned block (NewShardedSearcherFromPacked) rather
-	// than a private copy.
-	a []uint64
-	// b holds the tier-B remainder of every row with row stride bs:
-	// reference r's tier-B words occupy b[r*bs : r*bs+wb]. Nil under a
-	// single-tier layout. bs == wb when the tier was packed into a
-	// private copy; bs == the full per-row word count when b aliases a
-	// caller-owned full-width block (the mmap-backed layout, where tier
-	// B stays in the mapping and faults in lazily).
-	b  []uint64
-	bs int
+	// than a private copy. Deeper tiers of a packed-block searcher
+	// alias the block with the full row width as stride (the
+	// mmap-backed layout, where they stay in the mapping and fault in
+	// lazily).
+	planes [][]uint64
 }
 
-// tierB returns reference row's tier-B words within the shard.
+// tierRow returns reference row's tier-t words within the shard.
 //
 //oms:hotpath
-func (s *ShardedSearcher) tierB(sh *shard, row int) []uint64 {
-	base := row * sh.bs
-	return sh.b[base : base+s.wb]
+func (s *ShardedSearcher) tierRow(sh *shard, t, row int) []uint64 {
+	base := row * s.stride[t]
+	return sh.planes[t][base : base+s.tw[t]]
 }
+
+// qtier returns the query words of tier t.
+//
+//oms:hotpath
+func (s *ShardedSearcher) qtier(qw []uint64, t int) []uint64 {
+	return qw[s.off[t] : s.off[t]+s.tw[t]]
+}
+
+// multiTier reports whether the store is word-sliced into a cascade
+// ladder (K >= 2).
+func (s *ShardedSearcher) multiTier() bool { return len(s.tw) > 1 }
 
 // NewShardedSearcher builds the engine over the reference
 // hypervectors (which must share one dimensionality), splitting them
@@ -191,40 +291,19 @@ func NewShardedSearcherCascade(refs []BinaryHV, shardSize int, cc CascadeConfig)
 	if shardSize <= 0 {
 		shardSize = DefaultShardSize
 	}
-	if cc.Shortlist < 0 {
-		return nil, fmt.Errorf("hdc: negative cascade shortlist %d", cc.Shortlist)
-	}
 	words := WordsPerHV(d)
-	wa, wb := words, 0
-	if cc.PrefilterWords > 0 && cc.PrefilterWords < words {
-		wa, wb = cc.PrefilterWords, words-cc.PrefilterWords
+	tiers, err := normalizeTiers(cc, words)
+	if err != nil {
+		return nil, err
 	}
-	if cc.Shortlist > 0 && wb == 0 {
-		return nil, fmt.Errorf("hdc: cascade shortlist %d requires a two-tier layout (prefilter words %d of %d leave no tier B)",
-			cc.Shortlist, cc.PrefilterWords, words)
-	}
-	s := &ShardedSearcher{
-		d:         d,
-		words:     words,
-		n:         len(refs),
-		shardSize: shardSize,
-		block:     blockRows(wa),
-		wa:        wa,
-		wb:        wb,
-		shortlist: cc.Shortlist,
-	}
+	s := newShardedShell(d, words, len(refs), shardSize, tiers, cc.Shortlist)
 	for start := 0; start < len(refs); start += shardSize {
 		rows := min(shardSize, len(refs)-start)
-		sh := shard{start: start, rows: rows, a: make([]uint64, rows*wa)}
-		if wb > 0 {
-			sh.b = make([]uint64, rows*wb)
-			sh.bs = wb
-		}
-		for r := 0; r < rows; r++ {
-			w := refs[start+r].Words
-			copy(sh.a[r*wa:(r+1)*wa], w[:wa])
-			if wb > 0 {
-				copy(sh.b[r*wb:(r+1)*wb], w[wa:])
+		sh := shard{start: start, rows: rows, planes: make([][]uint64, len(tiers))}
+		for t, tw := range tiers {
+			sh.planes[t] = make([]uint64, rows*tw)
+			for r := 0; r < rows; r++ {
+				copy(sh.planes[t][r*tw:(r+1)*tw], refs[start+r].Words[s.off[t]:s.off[t]+tw])
 			}
 		}
 		s.shards = append(s.shards, sh)
@@ -239,14 +318,13 @@ func NewShardedSearcherCascade(refs []BinaryHV, shardSize int, cc CascadeConfig)
 // index file). Unlike the copying constructors, the block is aliased,
 // not copied: under a single-tier layout every shard's rows are
 // zero-copy views into it, and under a cascade layout only the small
-// tier-A prefixes are repacked into private contiguous rows (the hot
-// prefilter tier, heap-resident by design) while tier B remains a
-// strided view over the block. With a memory-mapped block
-// (libindex.OpenFile) construction therefore touches only tier-A
-// pages; tier-B pages fault in lazily as the pruning bound admits
-// completions. The caller must keep the block alive — and, for a
-// mapped block, mapped — for the searcher's lifetime, and must not
-// mutate it.
+// tier-0 prefixes are repacked into private contiguous rows (the hot
+// prefilter tier, heap-resident by design) while the deeper tiers
+// remain strided views over the block. With a memory-mapped block
+// (libindex.OpenFile) construction therefore touches only tier-0
+// pages; deeper pages fault in lazily as the pruning bound admits
+// descents. The caller must keep the block alive — and, for a mapped
+// block, mapped — for the searcher's lifetime, and must not mutate it.
 func NewShardedSearcherFromPacked(block []uint64, d, shardSize int, cc CascadeConfig) (*ShardedSearcher, error) {
 	if d <= 0 {
 		return nil, fmt.Errorf("hdc: non-positive dimension %d", d)
@@ -259,46 +337,66 @@ func NewShardedSearcherFromPacked(block []uint64, d, shardSize int, cc CascadeCo
 	if shardSize <= 0 {
 		shardSize = DefaultShardSize
 	}
-	if cc.Shortlist < 0 {
-		return nil, fmt.Errorf("hdc: negative cascade shortlist %d", cc.Shortlist)
+	tiers, err := normalizeTiers(cc, words)
+	if err != nil {
+		return nil, err
 	}
-	wa, wb := words, 0
-	if cc.PrefilterWords > 0 && cc.PrefilterWords < words {
-		wa, wb = cc.PrefilterWords, words-cc.PrefilterWords
+	s := newShardedShell(d, words, n, shardSize, tiers, cc.Shortlist)
+	if len(tiers) > 1 {
+		// Deeper tiers alias the caller's full-width rows: stride is the
+		// whole row, width the tier's words.
+		for t := 1; t < len(tiers); t++ {
+			s.stride[t] = words
+		}
 	}
-	if cc.Shortlist > 0 && wb == 0 {
-		return nil, fmt.Errorf("hdc: cascade shortlist %d requires a two-tier layout (prefilter words %d of %d leave no tier B)",
-			cc.Shortlist, cc.PrefilterWords, words)
+	for start := 0; start < n; start += shardSize {
+		rows := min(shardSize, n-start)
+		sh := shard{start: start, rows: rows, planes: make([][]uint64, len(tiers))}
+		if len(tiers) == 1 {
+			// The searcher is the designed owner of this alias: the caller
+			// contract above pins the block (and its mapping) for the
+			// searcher's lifetime, and scan paths only ever read it.
+			sh.planes[0] = block[start*words : (start+rows)*words : (start+rows)*words] //oms:allow(mmapwrite) documented zero-copy ownership transfer
+		} else {
+			tw0 := tiers[0]
+			sh.planes[0] = make([]uint64, rows*tw0)
+			for r := 0; r < rows; r++ {
+				copy(sh.planes[0][r*tw0:(r+1)*tw0], block[(start+r)*words:(start+r)*words+tw0])
+			}
+			for t := 1; t < len(tiers); t++ {
+				sh.planes[t] = block[start*words+s.off[t] : (start+rows)*words : (start+rows)*words] //oms:allow(mmapwrite) documented zero-copy ownership transfer
+			}
+		}
+		s.shards = append(s.shards, sh)
 	}
+	return s, nil
+}
+
+// newShardedShell assembles the searcher metadata shared by both
+// constructors: tier offsets, private-copy strides (FromPacked
+// overrides the deep strides), kernel block size and counters.
+func newShardedShell(d, words, n, shardSize int, tiers []int, shortlist int) *ShardedSearcher {
 	s := &ShardedSearcher{
 		d:         d,
 		words:     words,
 		n:         n,
 		shardSize: shardSize,
-		block:     blockRows(wa),
-		wa:        wa,
-		wb:        wb,
-		shortlist: cc.Shortlist,
+		block:     blockRows(tiers[0]),
+		tw:        tiers,
+		off:       make([]int, len(tiers)),
+		stride:    make([]int, len(tiers)),
+		shortlist: shortlist,
 	}
-	for start := 0; start < n; start += shardSize {
-		rows := min(shardSize, n-start)
-		sh := shard{start: start, rows: rows}
-		if wb == 0 {
-			// The searcher is the designed owner of this alias: the caller
-			// contract above pins the block (and its mapping) for the
-			// searcher's lifetime, and scan paths only ever read it.
-			sh.a = block[start*words : (start+rows)*words : (start+rows)*words] //oms:allow(mmapwrite) documented zero-copy ownership transfer
-		} else {
-			sh.a = make([]uint64, rows*wa)
-			for r := 0; r < rows; r++ {
-				copy(sh.a[r*wa:(r+1)*wa], block[(start+r)*words:(start+r)*words+wa])
-			}
-			sh.b = block[start*words+wa : (start+rows)*words : (start+rows)*words] //oms:allow(mmapwrite) documented zero-copy ownership transfer
-			sh.bs = words
-		}
-		s.shards = append(s.shards, sh)
+	o := 0
+	for t, tw := range tiers {
+		s.off[t] = o
+		s.stride[t] = tw
+		o += tw
 	}
-	return s, nil
+	if len(tiers) > 1 {
+		s.tierRows = make([]atomic.Uint64, len(tiers))
+	}
+	return s
 }
 
 // D returns the hypervector dimension.
@@ -313,27 +411,50 @@ func (s *ShardedSearcher) NumShards() int { return len(s.shards) }
 // ShardSize returns the configured rows-per-shard.
 func (s *ShardedSearcher) ShardSize() int { return s.shardSize }
 
-// PrefilterWords returns the tier-A word count of the cascade layout,
-// 0 when the store is single-tier.
+// TierWords returns a copy of the cascade ladder (words per tier, in
+// descent order). A single-element ladder is the single-tier layout.
+func (s *ShardedSearcher) TierWords() []int {
+	return append([]int(nil), s.tw...)
+}
+
+// NumTiers returns the ladder depth (1 = single-tier).
+func (s *ShardedSearcher) NumTiers() int { return len(s.tw) }
+
+// PrefilterWords returns the tier-0 word count of the cascade layout,
+// 0 when the store is single-tier (the historical two-tier accessor).
 func (s *ShardedSearcher) PrefilterWords() int {
-	if s.wb == 0 {
+	if !s.multiTier() {
 		return 0
 	}
-	return s.wa
+	return s.tw[0]
 }
 
 // ShortlistPerQuery returns the approximate-mode completion budget
 // (0 = exact pruning bound).
 func (s *ShardedSearcher) ShortlistPerQuery() int { return s.shortlist }
 
-// CascadeStats returns a snapshot of the pruning counters; ok is
+// CascadeStats returns a snapshot of the per-tier row counters; ok is
 // false when the store is single-tier (no cascade runs, counters stay
 // zero).
 func (s *ShardedSearcher) CascadeStats() (CascadeStats, bool) {
-	if s.wb == 0 {
+	if !s.multiTier() {
 		return CascadeStats{}, false
 	}
-	return CascadeStats{Prefiltered: s.prefiltered.Load(), Completed: s.completed.Load()}, true
+	rows := make([]uint64, len(s.tierRows))
+	for t := range s.tierRows {
+		rows[t] = s.tierRows[t].Load()
+	}
+	return CascadeStats{TierRows: rows}, true
+}
+
+// addTierRows folds a scan's per-tier row counts into the cumulative
+// counters (no-op for single-tier layouts and all-zero deltas).
+func (s *ShardedSearcher) addTierRows(counts []uint64) {
+	for t, c := range counts {
+		if c > 0 {
+			s.tierRows[t].Add(c)
+		}
+	}
 }
 
 // RowsSwept returns the cumulative candidate rows covered by the
@@ -377,21 +498,20 @@ func (s *ShardedSearcher) PackedRow(i int) []uint64 {
 	sh := &s.shards[i/s.shardSize]
 	row := i - sh.start
 	out := make([]uint64, s.words)
-	copy(out[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
-	if s.wb > 0 {
-		copy(out[s.wa:], s.tierB(sh, row))
+	for t := range s.tw {
+		copy(out[s.off[t]:s.off[t]+s.tw[t]], s.tierRow(sh, t, row))
 	}
 	return out
 }
 
-// simRow scores one packed row against the query words across both
-// tiers.
+// simRow scores one packed row against the query words across every
+// tier.
 //
 //oms:hotpath
 func (s *ShardedSearcher) simRow(qw []uint64, sh *shard, row int) int {
-	dist := distRow(qw[:s.wa], sh.a[row*s.wa:(row+1)*s.wa])
-	if s.wb > 0 {
-		dist += distRow(qw[s.wa:], s.tierB(sh, row))
+	dist := 0
+	for t := range s.tw {
+		dist += distRow(s.qtier(qw, t), s.tierRow(sh, t, row))
 	}
 	return s.d - dist
 }
@@ -429,7 +549,7 @@ func scoreRows(qw, packed []uint64, words, rows, d int, sims []int) {
 }
 
 // distRow is the single-row XOR+popcount distance over one packed
-// word segment (same unroll as scoreRows). It is the tier-B
+// word segment (same unroll as scoreRows). It is the tier-descent
 // completion kernel and the per-row gather kernel.
 //
 //oms:hotpath
@@ -455,7 +575,7 @@ func distRow(qw, row []uint64) int {
 }
 
 // distRows writes the Hamming distances of rows [0, rows) of a packed
-// block (row stride words) against qw into dist — the tier-A
+// block (row stride words) against qw into dist — the tier-0
 // prefilter kernel.
 //
 //oms:hotpath
@@ -466,10 +586,10 @@ func distRows(qw, packed []uint64, words, rows int, dist []int) {
 	}
 }
 
-// distRowsAdd accumulates the distances of a second tier on top of
-// dist — the tier-B half of a full-similarity block score. stride is
-// the row stride within packed, width the words scored per row
-// (stride > width walks a tier-B view over a full-width block).
+// distRowsAdd accumulates the distances of a deeper tier on top of
+// dist — one rung of a full-similarity block score. stride is the row
+// stride within packed, width the words scored per row (stride >
+// width walks a tier view over a full-width block).
 //
 //oms:hotpath
 func distRowsAdd(qw, packed []uint64, stride, width, rows int, dist []int) {
@@ -481,16 +601,18 @@ func distRowsAdd(qw, packed []uint64, stride, width, rows int, dist []int) {
 
 // scoreBlockSims writes full Hamming similarities for shard rows
 // [r0, r0+rows) into sims: the single-tier kernel directly, or — under
-// a two-tier layout — one pass per tier with the distances summed.
+// a tiered layout — one pass per tier with the distances summed.
 //
 //oms:hotpath
 func (s *ShardedSearcher) scoreBlockSims(qw []uint64, sh *shard, r0, rows int, sims []int) {
-	if s.wb == 0 {
-		scoreRows(qw, sh.a[r0*s.wa:], s.wa, rows, s.d, sims)
+	if !s.multiTier() {
+		scoreRows(qw, sh.planes[0][r0*s.tw[0]:], s.tw[0], rows, s.d, sims)
 		return
 	}
-	distRows(qw[:s.wa], sh.a[r0*s.wa:], s.wa, rows, sims)
-	distRowsAdd(qw[s.wa:], sh.b[r0*sh.bs:], sh.bs, s.wb, rows, sims)
+	distRows(s.qtier(qw, 0), sh.planes[0][r0*s.stride[0]:], s.stride[0], rows, sims)
+	for t := 1; t < len(s.tw); t++ {
+		distRowsAdd(s.qtier(qw, t), sh.planes[t][r0*s.stride[t]:], s.stride[t], s.tw[t], rows, sims)
+	}
 	for r := 0; r < rows; r++ {
 		sims[r] = s.d - sims[r]
 	}
@@ -574,13 +696,17 @@ func (s *ShardedSearcher) SimilaritiesRangeInto(q BinaryHV, lo, hi int, dst []in
 }
 
 // searchScratch is the reusable per-worker state: the similarity
-// buffer the kernel writes into plus the top-k and tier-A shortlist
-// heaps, so steady-state search performs no per-query allocation
+// buffer the kernel writes into, the top-k and tier-0 shortlist
+// heaps, the ladder-descent survivor list and per-tier counter
+// buffers — so steady-state search performs no per-query allocation
 // beyond the returned matches.
 type searchScratch struct {
 	sims  []int
 	heap  []Match
 	pheap []Match
+	surv  []int32
+	tcnt  []uint64
+	tns   []int64
 }
 
 var scratchPool = sync.Pool{New: func() any { return &searchScratch{} }}
@@ -591,6 +717,38 @@ func (sc *searchScratch) simsBuf(n int) []int {
 		sc.sims = make([]int, n)
 	}
 	return sc.sims[:n]
+}
+
+// survBuf returns the empty survivor index buffer with capacity >= n.
+func (sc *searchScratch) survBuf(n int) []int32 {
+	if cap(sc.surv) < n {
+		sc.surv = make([]int32, 0, n)
+	}
+	return sc.surv[:0]
+}
+
+// tierCounts returns a zeroed per-tier row-count buffer of length k.
+func (sc *searchScratch) tierCounts(k int) []uint64 {
+	if cap(sc.tcnt) < k {
+		sc.tcnt = make([]uint64, k)
+	}
+	c := sc.tcnt[:k]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+// tierNanosBuf returns a zeroed per-tier nanosecond buffer of length k.
+func (sc *searchScratch) tierNanosBuf(k int) []int64 {
+	if cap(sc.tns) < k {
+		sc.tns = make([]int64, k)
+	}
+	c := sc.tns[:k]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
 }
 
 // --- allocation-free top-k heap ----------------------------------------
@@ -656,15 +814,19 @@ func sortedMatches(h []Match) []Match {
 	return out
 }
 
-// completeRow finishes a shortlisted tier-A partial match (Similarity
+// completeRow finishes a shortlisted tier-0 partial match (Similarity
 // carries the negated partial distance) into a full-similarity match
-// by scoring the row's tier-B remainder.
+// by scoring the row's remaining tiers. qw is the full query word
+// row.
 //
 //oms:hotpath
-func (s *ShardedSearcher) completeRow(qb []uint64, pm Match) Match {
+func (s *ShardedSearcher) completeRow(qw []uint64, pm Match) Match {
 	sh := &s.shards[pm.Index/s.shardSize]
 	row := pm.Index - sh.start
-	full := -pm.Similarity + distRow(qb, s.tierB(sh, row))
+	full := -pm.Similarity
+	for t := 1; t < len(s.tw); t++ {
+		full += distRow(s.qtier(qw, t), s.tierRow(sh, t, row))
+	}
 	return Match{Index: pm.Index, Similarity: s.d - full}
 }
 
@@ -696,7 +858,7 @@ func (s *ShardedSearcher) topKScratch(q BinaryHV, candidates []int, k int, sc *s
 	if candidates == nil {
 		return s.topKRangeScratch(q, RowRange{Lo: 0, Hi: s.n}, k, sc)
 	}
-	if s.wb > 0 {
+	if s.multiTier() {
 		return s.topKGatherCascade(q, candidates, k, sc)
 	}
 	h := sc.heap[:0]
@@ -711,15 +873,17 @@ func (s *ShardedSearcher) topKScratch(q BinaryHV, candidates []int, k int, sc *s
 	return sortedMatches(h)
 }
 
-// topKGatherCascade is the candidate-gather path over a two-tier
-// store: every candidate's tier-A prefix is scored, and tier B only
-// for rows the running bound (or the shortlist) admits. Exact mode is
-// bit-identical to the single-tier gather: a skipped row has partial
-// distance above the current k-th-best total distance, so offerTopK
-// would have rejected it anyway.
+// topKGatherCascade is the candidate-gather path over a tiered store:
+// every candidate's tier-0 prefix is scored, and the deeper rungs
+// only while the running bound (or the shortlist) admits the descent.
+// Exact mode is bit-identical to the single-tier gather: a skipped
+// row has partial distance above the current k-th-best total
+// distance, so offerTopK would have rejected it anyway.
 func (s *ShardedSearcher) topKGatherCascade(q BinaryHV, candidates []int, k int, sc *searchScratch) []Match {
-	qa, qb := q.Words[:s.wa], q.Words[s.wa:]
-	var pre, comp uint64
+	qw := q.Words
+	q0 := s.qtier(qw, 0)
+	nt := len(s.tw)
+	tcnt := sc.tierCounts(nt)
 	h := sc.heap[:0]
 	if s.shortlist > 0 {
 		ph := sc.pheap[:0]
@@ -729,13 +893,15 @@ func (s *ShardedSearcher) topKGatherCascade(q BinaryHV, candidates []int, k int,
 			}
 			sh := &s.shards[i/s.shardSize]
 			row := i - sh.start
-			pre++
-			ph = offerTopK(ph, Match{Index: i, Similarity: -distRow(qa, sh.a[row*s.wa:(row+1)*s.wa])}, s.shortlist)
+			tcnt[0]++
+			ph = offerTopK(ph, Match{Index: i, Similarity: -distRow(q0, s.tierRow(sh, 0, row))}, s.shortlist)
 		}
 		sc.pheap = ph
-		comp = uint64(len(ph))
+		for t := 1; t < nt; t++ {
+			tcnt[t] += uint64(len(ph))
+		}
 		for _, pm := range sortedMatches(ph) {
-			h = offerTopK(h, s.completeRow(qb, pm), k)
+			h = offerTopK(h, s.completeRow(qw, pm), k)
 		}
 	} else {
 		bound := math.MaxInt
@@ -745,22 +911,28 @@ func (s *ShardedSearcher) topKGatherCascade(q BinaryHV, candidates []int, k int,
 			}
 			sh := &s.shards[i/s.shardSize]
 			row := i - sh.start
-			pre++
-			da := distRow(qa, sh.a[row*s.wa:(row+1)*s.wa])
-			if da > bound {
+			tcnt[0]++
+			partial := distRow(q0, s.tierRow(sh, 0, row))
+			pruned := false
+			for t := 1; t < nt; t++ {
+				if partial > bound {
+					pruned = true
+					break
+				}
+				tcnt[t]++
+				partial += distRow(s.qtier(qw, t), s.tierRow(sh, t, row))
+			}
+			if pruned {
 				continue
 			}
-			comp++
-			full := da + distRow(qb, s.tierB(sh, row))
-			h = offerTopK(h, Match{Index: i, Similarity: s.d - full}, k)
+			h = offerTopK(h, Match{Index: i, Similarity: s.d - partial}, k)
 			if len(h) == k {
 				bound = s.d - h[0].Similarity
 			}
 		}
 	}
 	sc.heap = h
-	s.prefiltered.Add(pre)
-	s.completed.Add(comp)
+	s.addTierRows(tcnt)
 	return sortedMatches(h)
 }
 
@@ -862,7 +1034,7 @@ func (s *ShardedSearcher) TopKRange(q BinaryHV, lo, hi, k int) []Match {
 // topKRangeScratch is the sequential range top-k path over a worker's
 // scratch: shard by shard, kernel block by kernel block.
 func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *searchScratch) []Match {
-	if s.wb > 0 {
+	if s.multiTier() {
 		return s.topKRangeCascade(q, r, k, sc)
 	}
 	h := sc.heap[:0]
@@ -872,7 +1044,7 @@ func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *se
 		end := min(r.Hi, sh.start+sh.rows)
 		for b := row; b < end; b += s.block {
 			rows := min(s.block, end-b)
-			scoreRows(q.Words, sh.a[(b-sh.start)*s.wa:], s.wa, rows, s.d, sims)
+			scoreRows(q.Words, sh.planes[0][(b-sh.start)*s.tw[0]:], s.tw[0], rows, s.d, sims)
 			for j := 0; j < rows; j++ {
 				h = offerTopK(h, Match{Index: b + j, Similarity: sims[j]}, k)
 			}
@@ -885,15 +1057,22 @@ func (s *ShardedSearcher) topKRangeScratch(q BinaryHV, r RowRange, k int, sc *se
 }
 
 // topKRangeCascade is the sequential cascade sweep of a row range:
-// tier A block-major, tier B per surviving row. In exact mode the
-// pruning bound is the running k-th-best total distance (remaining
-// bits can only add distance, so a row with partial distance above it
-// can never enter the heap); shortlist mode completes only the best
-// Shortlist partials.
+// tier 0 block-major, the deeper rungs per surviving row. In exact
+// mode the pruning bound is the running k-th-best total distance
+// (remaining bits can only add distance, so a row with partial
+// distance above it can never enter the heap): each block's tier-0
+// distances are filtered into a survivor list against the bound as of
+// the block start, intermediate tiers re-filter the survivors, and
+// the final tier re-checks the live bound before completing — the
+// completion decisions are identical to a per-row descent because the
+// bound only ever tightens. Shortlist mode completes only the best
+// Shortlist tier-0 partials.
 func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *searchScratch) []Match {
-	qa, qb := q.Words[:s.wa], q.Words[s.wa:]
+	qw := q.Words
+	q0 := s.qtier(qw, 0)
+	nt := len(s.tw)
 	dists := sc.simsBuf(s.block)
-	var pre, comp uint64
+	tcnt := sc.tierCounts(nt)
 	h := sc.heap[:0]
 	if s.shortlist > 0 {
 		ph := sc.pheap[:0]
@@ -902,8 +1081,8 @@ func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *se
 			end := min(r.Hi, sh.start+sh.rows)
 			for b := row; b < end; b += s.block {
 				rows := min(s.block, end-b)
-				distRows(qa, sh.a[(b-sh.start)*s.wa:], s.wa, rows, dists)
-				pre += uint64(rows)
+				distRows(q0, sh.planes[0][(b-sh.start)*s.stride[0]:], s.stride[0], rows, dists)
+				tcnt[0] += uint64(rows)
 				for j := 0; j < rows; j++ {
 					ph = offerTopK(ph, Match{Index: b + j, Similarity: -dists[j]}, s.shortlist)
 				}
@@ -911,9 +1090,11 @@ func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *se
 			row = end
 		}
 		sc.pheap = ph
-		comp = uint64(len(ph))
+		for t := 1; t < nt; t++ {
+			tcnt[t] += uint64(len(ph))
+		}
 		for _, pm := range sortedMatches(ph) {
-			h = offerTopK(h, s.completeRow(qb, pm), k)
+			h = offerTopK(h, s.completeRow(qw, pm), k)
 		}
 	} else {
 		bound := math.MaxInt
@@ -922,28 +1103,57 @@ func (s *ShardedSearcher) topKRangeCascade(q BinaryHV, r RowRange, k int, sc *se
 			end := min(r.Hi, sh.start+sh.rows)
 			for b := row; b < end; b += s.block {
 				rows := min(s.block, end-b)
-				distRows(qa, sh.a[(b-sh.start)*s.wa:], s.wa, rows, dists)
-				pre += uint64(rows)
+				distRows(q0, sh.planes[0][(b-sh.start)*s.stride[0]:], s.stride[0], rows, dists)
+				tcnt[0] += uint64(rows)
+				// Survivors of tier 0 at the bound as of the block start
+				// (a superset of the rows a live bound would admit; the
+				// final rung re-checks the live bound, so completion
+				// decisions match the per-row descent exactly).
+				surv := sc.survBuf(rows)
 				for j, da := range dists[:rows] {
-					if da > bound {
-						continue
-					}
-					comp++
-					brow := b + j - sh.start
-					full := da + distRow(qb, s.tierB(sh, brow))
-					h = offerTopK(h, Match{Index: b + j, Similarity: s.d - full}, k)
-					if len(h) == k {
-						bound = s.d - h[0].Similarity
+					if da <= bound {
+						surv = append(surv, int32(j))
 					}
 				}
+				for t := 1; t < nt-1 && len(surv) > 0; t++ {
+					tcnt[t] += uint64(len(surv))
+					qt := s.qtier(qw, t)
+					w := 0
+					for _, j := range surv {
+						brow := b + int(j) - sh.start
+						nd := dists[j] + distRow(qt, s.tierRow(sh, t, brow))
+						if nd <= bound {
+							dists[j] = nd
+							surv[w] = j
+							w++
+						}
+					}
+					surv = surv[:w]
+				}
+				if len(surv) > 0 {
+					last := nt - 1
+					qt := s.qtier(qw, last)
+					for _, j := range surv {
+						if dists[j] > bound {
+							continue
+						}
+						tcnt[last]++
+						brow := b + int(j) - sh.start
+						full := dists[j] + distRow(qt, s.tierRow(sh, last, brow))
+						h = offerTopK(h, Match{Index: b + int(j), Similarity: s.d - full}, k)
+						if len(h) == k {
+							bound = s.d - h[0].Similarity
+						}
+					}
+				}
+				sc.surv = surv[:0]
 			}
 			row = end
 		}
 	}
 	sc.heap = h
-	s.prefiltered.Add(pre)
-	s.completed.Add(comp)
-	s.swept.Add(pre)
+	s.addTierRows(tcnt)
+	s.swept.Add(tcnt[0])
 	return sortedMatches(h)
 }
 
@@ -963,10 +1173,10 @@ func (s *ShardedSearcher) BatchTopKRange(queries []BinaryHV, ranges []RowRange, 
 }
 
 // BatchTopKRangeTraced is BatchTopKRange with per-stage tracing: when
-// tr is non-nil the scan accumulates tier-A/tier-B/merge nanoseconds
-// and row counters into it. Timing never alters control flow, so
-// results are bit-identical to the untraced call; a nil tr makes
-// every recording site a no-op branch.
+// tr is non-nil the scan accumulates per-tier sweep nanoseconds and
+// row counters into it. Timing never alters control flow, so results
+// are bit-identical to the untraced call; a nil tr makes every
+// recording site a no-op branch.
 func (s *ShardedSearcher) BatchTopKRangeTraced(queries []BinaryHV, ranges []RowRange, k int, tr *obsv.Trace) [][]Match {
 	if len(ranges) != len(queries) {
 		panic(fmt.Sprintf("hdc: %d queries with %d ranges", len(queries), len(ranges)))
@@ -1014,9 +1224,9 @@ func (s *ShardedSearcher) BatchTopKRangeTraced(queries []BinaryHV, ranges []RowR
 // Under an exact cascade, workers additionally share one atomic
 // pruning bound per query: any full heap's k-th-best distance is a
 // valid upper bound on the final range-global k-th-best distance, so
-// the tightest published bound prunes tier-B completions across
-// shard boundaries without touching the merge logic. Under shortlist
-// mode the per-shard lists hold tier-A partials; the merge keeps the
+// the tightest published bound prunes ladder descents across shard
+// boundaries without touching the merge logic. Under shortlist mode
+// the per-shard lists hold tier-0 partials; the merge keeps the
 // global best Shortlist of them and completes only those.
 func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, active []int, k int, out [][]Match, tr *obsv.Trace) {
 	// perQuery[j][t] is query active[j]'s sorted per-shard list within
@@ -1031,7 +1241,7 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 		perQuery[j] = make([][]Match, (r.Hi-1)/s.shardSize-firstShard[j]+1)
 	}
 	var bounds []atomic.Int64
-	if s.wb > 0 && s.shortlist == 0 {
+	if s.multiTier() && s.shortlist == 0 {
 		bounds = make([]atomic.Int64, len(active))
 		for j := range bounds {
 			bounds[j].Store(math.MaxInt64)
@@ -1056,7 +1266,7 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 		}()
 	}
 	wg.Wait()
-	// Trace the merge wall time, splitting out the shortlist tier-B
+	// Trace the merge wall time, splitting out the shortlist ladder
 	// completions (clock reads gated on tr, so untraced scans pay one
 	// branch per query at most).
 	var mergeT0 time.Time
@@ -1070,12 +1280,12 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 		for _, part := range perQuery[j] {
 			merged = append(merged, part...)
 		}
-		if s.wb > 0 && s.shortlist > 0 {
+		if s.multiTier() && s.shortlist > 0 {
 			var ct0 time.Time
 			if tr != nil {
 				ct0 = time.Now()
 			}
-			// The per-shard lists hold tier-A partials ranked by
+			// The per-shard lists hold tier-0 partials ranked by
 			// negated partial distance; the global shortlist is the
 			// best Shortlist of their union (identical to a
 			// single-heap sweep of the whole range), completed here.
@@ -1083,9 +1293,9 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 			if len(merged) > s.shortlist {
 				merged = merged[:s.shortlist]
 			}
-			qb := queries[qi].Words[s.wa:]
+			qw := queries[qi].Words
 			for x, pm := range merged {
-				merged[x] = s.completeRow(qb, pm)
+				merged[x] = s.completeRow(qw, pm)
 			}
 			completedShortlist += uint64(len(merged))
 			if tr != nil {
@@ -1099,10 +1309,15 @@ func (s *ShardedSearcher) batchRangeScan(queries []BinaryHV, ranges []RowRange, 
 		out[qi] = merged
 	}
 	if completedShortlist > 0 {
-		s.completed.Add(completedShortlist)
+		// A shortlist completion scores every tier past tier 0.
+		for t := 1; t < len(s.tw); t++ {
+			s.tierRows[t].Add(completedShortlist)
+		}
 	}
 	if tr != nil {
-		tr.AddNanos(obsv.StageTierB, tbNanos)
+		// Shortlist completion time lands in the final tier's slot —
+		// the deepest rung dominates the completion cost.
+		tr.AddTierNanos(len(s.tw)-1, tbNanos)
 		tr.AddNanos(obsv.StageMerge, int64(time.Since(mergeT0))-tbNanos)
 		tr.AddRows(0, int64(completedShortlist))
 	}
@@ -1121,16 +1336,22 @@ func storeMin(a *atomic.Int64, v int64) {
 
 // scanShardRanges sweeps one shard's kernel blocks with every query
 // whose range intersects the shard, writing per-shard sorted lists
-// into perQuery (top-k matches, or tier-A shortlist partials under
+// into perQuery (top-k matches, or tier-0 shortlist partials under
 // shortlist mode). bounds carries the shared per-query pruning bounds
 // of an exact cascade scan, nil otherwise.
 //
-// When tr is non-nil the sweep's wall time lands in StageTierA and
-// StageTierB: the clock is read once at entry and once at exit, plus
-// one lazy pair around each tier-B completion burst (first completion
-// of a block/query pair to the end of that pair's sweep), so the
-// traced kernel adds a handful of clock reads per shard visit, never
-// per row. Tier A is the remainder — sweep total minus the bursts.
+// The exact ladder descent is block-structured: tier-0 distances for
+// the whole block are filtered into a survivor list against the bound
+// as of the block start, intermediate tiers re-filter the survivors
+// in place, and the final tier re-checks the live bound (tightening
+// as completions land) before scoring — completion decisions are
+// identical to a per-row descent because bounds only ever tighten.
+//
+// When tr is non-nil the sweep's wall time lands in the per-tier
+// slots: the clock is read once at entry and once at exit, plus one
+// lazy pair around each deeper tier's survivor burst per (block,
+// query) pair — a handful of clock reads per shard visit, never per
+// row. Tier 0 is the remainder: sweep total minus the deeper bursts.
 func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []RowRange, active []int, k int, perQuery [][][]Match, firstShard []int, bounds []atomic.Int64, sc *searchScratch, tr *obsv.Trace) {
 	sh := &s.shards[si]
 	shLo, shHi := sh.start, sh.start+sh.rows
@@ -1158,23 +1379,25 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 	if tr != nil {
 		t0 = time.Now()
 	}
-	var tb int64
+	nt := len(s.tw)
 	sims := sc.simsBuf(s.block)
-	var swept, comp uint64
+	tcnt := sc.tierCounts(nt)
+	tns := sc.tierNanosBuf(nt)
+	var deepNanos int64
 	for b0 := 0; b0 < sh.rows; b0 += s.block {
 		blockLo := shLo + b0
 		blockHi := blockLo + min(s.block, sh.rows-b0)
-		for t := range qs {
-			sq := &qs[t]
+		for qi := range qs {
+			sq := &qs[qi]
 			r0, r1 := max(sq.lo, blockLo), min(sq.hi, blockHi)
 			if r0 >= r1 {
 				continue
 			}
 			qw := queries[active[sq.j]].Words
 			switch {
-			case s.wb == 0:
-				scoreRows(qw, sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, s.d, sims)
-				swept += uint64(r1 - r0)
+			case !s.multiTier():
+				scoreRows(qw, sh.planes[0][(r0-shLo)*s.tw[0]:], s.tw[0], r1-r0, s.d, sims)
+				tcnt[0] += uint64(r1 - r0)
 				h := sq.heap
 				if len(h) < k {
 					for x := 0; x < r1-r0; x++ {
@@ -1196,17 +1419,16 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 				}
 				sq.heap = h
 			case s.shortlist > 0:
-				distRows(qw[:s.wa], sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, sims)
-				swept += uint64(r1 - r0)
+				distRows(s.qtier(qw, 0), sh.planes[0][(r0-shLo)*s.stride[0]:], s.stride[0], r1-r0, sims)
+				tcnt[0] += uint64(r1 - r0)
 				h := sq.heap
 				for x, da := range sims[:r1-r0] {
 					h = offerTopK(h, Match{Index: r0 + x, Similarity: -da}, s.shortlist)
 				}
 				sq.heap = h
 			default:
-				distRows(qw[:s.wa], sh.a[(r0-shLo)*s.wa:], s.wa, r1-r0, sims)
-				swept += uint64(r1 - r0)
-				qb := qw[s.wa:]
+				distRows(s.qtier(qw, 0), sh.planes[0][(r0-shLo)*s.stride[0]:], s.stride[0], r1-r0, sims)
+				tcnt[0] += uint64(r1 - r0)
 				h := sq.heap
 				// The pruning bound is the tighter of this heap's
 				// k-th-best distance and the bound other shards have
@@ -1218,30 +1440,67 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 					local = int64(s.d - h[0].Similarity)
 				}
 				db := min(gb, local)
-				var bt time.Time
-				timed := false
+				surv := sc.survBuf(r1 - r0)
 				for x, da := range sims[:r1-r0] {
-					if int64(da) > db {
-						continue
+					if int64(da) <= db {
+						surv = append(surv, int32(x))
 					}
-					if tr != nil && !timed {
+				}
+				for t := 1; t < nt-1 && len(surv) > 0; t++ {
+					var bt time.Time
+					if tr != nil {
 						bt = time.Now()
-						timed = true
 					}
-					comp++
-					row := r0 + x - shLo
-					full := da + distRow(qb, s.tierB(sh, row))
-					h = offerTopK(h, Match{Index: r0 + x, Similarity: s.d - full}, k)
-					if len(h) == k {
-						if l := int64(s.d - h[0].Similarity); l < local {
-							local = l
-							db = min(gb, local)
+					tcnt[t] += uint64(len(surv))
+					qt := s.qtier(qw, t)
+					w := 0
+					for _, x := range surv {
+						row := r0 + int(x) - shLo
+						nd := sims[x] + distRow(qt, s.tierRow(sh, t, row))
+						if int64(nd) <= db {
+							sims[x] = nd
+							surv[w] = x
+							w++
 						}
 					}
+					surv = surv[:w]
+					if tr != nil {
+						n := int64(time.Since(bt))
+						tns[t] += n
+						deepNanos += n
+					}
 				}
-				if timed {
-					tb += int64(time.Since(bt))
+				if len(surv) > 0 {
+					last := nt - 1
+					var bt time.Time
+					if tr != nil {
+						bt = time.Now()
+					}
+					qt := s.qtier(qw, last)
+					for _, x := range surv {
+						// Re-check the live bound: completions below
+						// tightened it past the block-start filter.
+						if int64(sims[x]) > db {
+							continue
+						}
+						tcnt[last]++
+						row := r0 + int(x) - shLo
+						full := sims[x] + distRow(qt, s.tierRow(sh, last, row))
+						h = offerTopK(h, Match{Index: r0 + int(x), Similarity: s.d - full}, k)
+						if len(h) == k {
+							if l := int64(s.d - h[0].Similarity); l < local {
+								local = l
+								db = min(gb, local)
+							}
+						}
+					}
+					if tr != nil {
+						n := int64(time.Since(bt))
+						tns[last] += n
+						deepNanos += n
+					}
 				}
+				sc.surv = surv[:0]
 				sq.heap = h
 				if local < gb {
 					storeMin(&bounds[sq.j], local)
@@ -1249,18 +1508,23 @@ func (s *ShardedSearcher) scanShardRanges(si int, queries []BinaryHV, ranges []R
 			}
 		}
 	}
-	for t := range qs {
-		sq := &qs[t]
+	for qi := range qs {
+		sq := &qs[qi]
 		perQuery[sq.j][si-firstShard[sq.j]] = sortedMatches(sq.heap)
 	}
-	if s.wb > 0 {
-		s.prefiltered.Add(swept)
-		s.completed.Add(comp)
+	if s.multiTier() {
+		s.addTierRows(tcnt)
 	}
-	s.swept.Add(swept)
+	s.swept.Add(tcnt[0])
 	if tr != nil {
-		tr.AddNanos(obsv.StageTierB, tb)
-		tr.AddNanos(obsv.StageTierA, int64(time.Since(t0))-tb)
-		tr.AddRows(int64(swept), int64(comp))
+		tr.AddTierNanos(0, int64(time.Since(t0))-deepNanos)
+		for t := 1; t < nt; t++ {
+			tr.AddTierNanos(t, tns[t])
+		}
+		var comp int64
+		if s.multiTier() && s.shortlist == 0 {
+			comp = int64(tcnt[nt-1])
+		}
+		tr.AddRows(int64(tcnt[0]), comp)
 	}
 }

@@ -45,6 +45,20 @@ func FuzzIndexLoad(f *testing.F) {
 		}
 		f.Add(img)
 	}
+	// Version-3 permutation-section seeds: a valid permuted image, the
+	// same image with a duplicated perm entry (a checksummed
+	// non-bijection both loaders must reject descriptively), and a
+	// natural image claiming a nonzero perm length it does not carry.
+	permuted := permutedIndexImage(f)
+	f.Add(permuted)
+	dup := append([]byte(nil), permuted...)
+	off := permSectionOffset(dup)
+	copy(dup[off+8:off+12], dup[off+4:off+8])
+	fixCRC(dup)
+	f.Add(dup)
+	badLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badLen[permSectionOffset(badLen):], 7)
+	f.Add(badLen)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lp, llib, lerr := Load(bytes.NewReader(data))
 		pp, plib, _, perr := parseIndex(data)
@@ -61,6 +75,10 @@ func FuzzIndexLoad(f *testing.F) {
 			t.Fatalf("loaders disagree: load D=%d n=%d, parse D=%d n=%d",
 				lp.Accel.D, llib.Len(), pp.Accel.D, plib.Len())
 		}
+		if !permsEqual(llib.DimPerm, plib.DimPerm) {
+			t.Fatalf("loaders disagree on bit-layout permutation: %d vs %d entries",
+				len(llib.DimPerm), len(plib.DimPerm))
+		}
 		for i := 0; i < llib.Len(); i++ {
 			if llib.Entries[i] != plib.Entries[i] || !llib.HVs[i].Equal(plib.HVs[i]) {
 				t.Fatalf("loaders disagree on entry %d", i)
@@ -75,6 +93,27 @@ func FuzzIndexLoad(f *testing.F) {
 func validIndexImage(f *testing.F) []byte {
 	f.Helper()
 	p, lib := syntheticLibrary(f, 6, 128)
+	var buf bytes.Buffer
+	if err := Save(&buf, p, lib); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// permutedIndexImage is validIndexImage under a non-identity bit
+// layout (dimension reversal — any bijection exercises the perm
+// section equally).
+func permutedIndexImage(f *testing.F) []byte {
+	f.Helper()
+	p, lib := syntheticLibrary(f, 6, 128)
+	d := lib.HVs[0].D
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = d - 1 - i
+	}
+	if err := lib.SetDimPerm(perm); err != nil {
+		f.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Save(&buf, p, lib); err != nil {
 		f.Fatal(err)

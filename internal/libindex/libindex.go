@@ -6,16 +6,18 @@
 // resident search service (cmd/omsd) economical: one library write is
 // amortized across arbitrarily many queries.
 //
-// # File format (version 2, all integers little-endian)
+// # File format (version 3, all integers little-endian)
 //
 //	magic      [6]byte  "OMSIDX"
-//	version    uint16   2
+//	version    uint16   3
 //	d          uint32   hypervector dimension
 //	shardSize  uint32   search shard size hint (0 = default)
 //	n          uint64   entry count
 //	skipped    uint64   spectra rejected by preprocessing at build time
 //	paramsLen  uint32   length of the params JSON
 //	params     []byte   JSON-encoded core.Params the library was built with
+//	permLen    uint32   bit-layout permutation length (0 = natural layout, else = d)
+//	perm       permLen×u32  dimension permutation (stored position j holds original dim perm[j])
 //	masses     n×f64    ascending precursor masses (entry order = mass rank)
 //	srcPos     n×u64    mass-rank → build-order permutation (Library.SourcePositions)
 //	entries    n×{flags u8, idLen u32, id, pepLen u32, pep}
@@ -26,6 +28,13 @@
 // The pad section (new in version 2) puts the bulk word section on an
 // 8-byte file offset, so a memory-mapped index (OpenFile) can expose
 // the words as an aligned []uint64 view with zero copying.
+//
+// The perm section (new in version 3) records the entropy-guided
+// bit-layout permutation the stored hypervector words were packed
+// under. Queries must be permuted identically before scoring, so the
+// permutation is part of the index, not a serving-time option; both
+// loaders validate it is a true bijection over [0, d) before any
+// search engine is built on the words.
 //
 // The trailing checksum covers the header too, so truncation, bit rot
 // and partial writes are all detected; Load additionally validates the
@@ -50,10 +59,11 @@ import (
 
 var magic = [6]byte{'O', 'M', 'S', 'I', 'D', 'X'}
 
-// Version is the current index file format version. Version 2 added
-// the alignment pad before the words section; version-1 files (no pad)
-// are rejected — rebuild them with omsbuild.
-const Version = 2
+// Version is the current index file format version. Version 3 added
+// the bit-layout permutation section; version 2 added the alignment
+// pad before the words section. Older files are rejected with a
+// version-specific message — rebuild them with omsbuild.
+const Version = 3
 
 // Sanity bounds on header fields, so a corrupted length can't drive a
 // huge allocation before the payload bytes confirm it. Metadata
@@ -108,6 +118,13 @@ func Save(w io.Writer, p core.Params, lib *core.Library) error {
 	if len(paramsJSON) > maxParamsLen {
 		return fmt.Errorf("libindex: params JSON of %d bytes exceeds limit %d", len(paramsJSON), maxParamsLen)
 	}
+	perm := lib.DimPerm
+	if len(perm) != 0 {
+		// Refuse to persist a permutation Load would reject.
+		if err := hdc.ValidatePermutation(perm, d); err != nil {
+			return fmt.Errorf("libindex: library bit-layout permutation: %w", err)
+		}
+	}
 
 	bw := bufio.NewWriterSize(w, 1<<16)
 	crc := crc32.New(castagnoli)
@@ -122,6 +139,10 @@ func Save(w io.Writer, p core.Params, lib *core.Library) error {
 	enc.u64(uint64(lib.Skipped))
 	enc.u32(uint32(len(paramsJSON)))
 	enc.bytes(paramsJSON)
+	enc.u32(uint32(len(perm)))
+	for _, dim := range perm {
+		enc.u32(uint32(dim))
+	}
 	for _, e := range lib.Entries {
 		enc.f64(e.Mass)
 	}
@@ -229,7 +250,7 @@ func load(r io.Reader) (core.Params, *core.Library, []uint64, error) {
 	}
 	version := dec.u16()
 	if dec.err == nil && version != Version {
-		return core.Params{}, nil, nil, fmt.Errorf("libindex: unsupported index version %d (this build reads version %d)", version, Version)
+		return core.Params{}, nil, nil, versionErr(version)
 	}
 	d := int(dec.u32())
 	shardSize := int(dec.u32())
@@ -256,6 +277,17 @@ func load(r io.Reader) (core.Params, *core.Library, []uint64, error) {
 
 	paramsJSON := make([]byte, paramsLen)
 	dec.bytes(paramsJSON)
+	permLen := int(dec.u32())
+	if dec.err == nil && permLen != 0 && permLen != d {
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: bit-layout permutation has %d entries, want 0 (natural layout) or %d", permLen, d)
+	}
+	var perm []int
+	if permLen > 0 {
+		perm = make([]int, 0, min(permLen, allocChunk))
+		for len(perm) < permLen && dec.err == nil {
+			perm = append(perm, int(dec.u32()))
+		}
+	}
 	masses := make([]float64, 0, min(n, allocChunk))
 	for len(masses) < n && dec.err == nil {
 		masses = append(masses, dec.f64())
@@ -345,7 +377,21 @@ func load(r io.Reader) (core.Params, *core.Library, []uint64, error) {
 	if err != nil {
 		return core.Params{}, nil, nil, err
 	}
+	if err := lib.SetDimPerm(perm); err != nil {
+		return core.Params{}, nil, nil, fmt.Errorf("libindex: %w", err)
+	}
 	return p, lib, block, nil
+}
+
+// versionErr renders a version mismatch with enough history to tell
+// the operator what to do about it.
+func versionErr(version uint16) error {
+	switch {
+	case version < Version:
+		return fmt.Errorf("libindex: index version %d predates the bit-layout permutation section (this build reads version %d): rebuild the index with omsbuild", version, Version)
+	default:
+		return fmt.Errorf("libindex: index version %d is newer than this build understands (version %d): upgrade the reader or rebuild the index", version, Version)
+	}
 }
 
 // LoadFile loads a library index from path.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"os"
 	"strings"
 	"testing"
 
@@ -193,7 +195,7 @@ func TestRoundTripCascadeParams(t *testing.T) {
 			t.Fatalf("PSM %d mismatch:\nloaded %+v\nbuilt  %+v", i, got[i], want[i])
 		}
 	}
-	if cs, ok := loaded.CascadeStats(); !ok || cs.Prefiltered == 0 {
+	if cs, ok := loaded.CascadeStats(); !ok || cs.Prefiltered() == 0 {
 		t.Fatalf("loaded engine did not run the cascade: stats %+v ok=%v", cs, ok)
 	}
 	// Loader overrides: -prefilter-words 0 must fall back to the
@@ -261,6 +263,117 @@ func TestRoundTripSingleEntry(t *testing.T) {
 	}
 }
 
+// TestRoundTripEntropyLayout pins the version-3 permutation section:
+// an entropy-laid-out library round-trips its bit-layout permutation
+// through Save/Load, the loaded engine searches PSM-for-PSM
+// identically to the built one, and — the exactness claim — both agree
+// with a natural-layout build of the same library.
+func TestRoundTripEntropyLayout(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(1024, 64, 3)
+	p.Tiers = []int{2, 4, 10}
+	p.BitLayout = core.BitLayoutEntropy
+	built := buildEngine(t, p, ds.Library)
+	if len(built.Library().DimPerm) == 0 {
+		t.Fatal("entropy build produced no bit-layout permutation")
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, p, built.Library()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	lp, lib, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if lp.BitLayout != core.BitLayoutEntropy || len(lp.Tiers) != 3 {
+		t.Fatalf("layout knobs did not round-trip: %+v", lp)
+	}
+	if !permsEqual(lib.DimPerm, built.Library().DimPerm) {
+		t.Fatalf("bit-layout permutation did not round-trip: %d vs %d entries",
+			len(lib.DimPerm), len(built.Library().DimPerm))
+	}
+	loaded, _, err := core.NewExactEngineFromLibrary(lp, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural := p
+	natural.BitLayout = core.BitLayoutNatural
+	natEngine := buildEngine(t, natural, ds.Library)
+	natPSMs, err := natEngine.SearchAll(ds.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(natPSMs) != len(want) {
+		t.Fatalf("PSM counts diverge: loaded %d, built %d, natural %d", len(got), len(want), len(natPSMs))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PSM %d mismatch after round trip:\nloaded %+v\nbuilt  %+v", i, got[i], want[i])
+		}
+		if natPSMs[i] != want[i] {
+			t.Fatalf("entropy layout changed PSM %d vs natural layout:\nentropy %+v\nnatural %+v", i, want[i], natPSMs[i])
+		}
+	}
+}
+
+// fixCRC recomputes the CRC-32C trailer after a deliberate mutation,
+// so a test can craft a structurally valid but semantically bad image.
+func fixCRC(img []byte) {
+	binary.LittleEndian.PutUint32(img[len(img)-4:], crc32.Checksum(img[:len(img)-4], castagnoli))
+}
+
+// permSectionOffset locates the version-3 perm-length field in an
+// index image (fixed 36-byte header, then the params JSON).
+func permSectionOffset(img []byte) int {
+	return 36 + int(binary.LittleEndian.Uint32(img[32:36]))
+}
+
+// TestLoadRejectsNonBijectivePerm pins that both loaders reject a
+// checksummed image whose stored permutation is not a bijection — the
+// invariant that keeps permuted search exact.
+func TestLoadRejectsNonBijectivePerm(t *testing.T) {
+	ds := testWorkload(t)
+	p := testParams(512, 0, 3)
+	p.BitLayout = core.BitLayoutEntropy
+	built := buildEngine(t, p, ds.Library)
+	if len(built.Library().DimPerm) == 0 {
+		t.Fatal("entropy build produced no bit-layout permutation")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, p, built.Library()); err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte(nil), buf.Bytes()...)
+	// Duplicate perm entry 0 into entry 1 and re-seal the checksum:
+	// structurally perfect, semantically a non-bijection.
+	off := permSectionOffset(img)
+	copy(img[off+8:off+12], img[off+4:off+8])
+	fixCRC(img)
+	if _, _, err := Load(bytes.NewReader(img)); err == nil || !strings.Contains(err.Error(), "not a bijection") {
+		t.Fatalf("streaming loader: got %v, want a not-a-bijection rejection", err)
+	}
+	path := t.TempDir() + "/dup.omsidx"
+	if err := writeFile(path, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil || !strings.Contains(err.Error(), "not a bijection") {
+		t.Fatalf("mmap loader: got %v, want a not-a-bijection rejection", err)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
 // corruptionCase mutates a valid index image and names the failure it
 // should provoke.
 type corruptionCase struct {
@@ -293,9 +406,14 @@ func TestLoadRejectsCorruption(t *testing.T) {
 			wantSub: "bad magic",
 		},
 		{
-			name:    "wrong version",
+			name:    "newer version",
 			mutate:  func(img []byte) []byte { img[6] = 99; return img },
-			wantSub: "unsupported index version 99",
+			wantSub: "index version 99 is newer",
+		},
+		{
+			name:    "older version",
+			mutate:  func(img []byte) []byte { img[6] = 2; return img },
+			wantSub: "index version 2 predates the bit-layout permutation",
 		},
 		{
 			name:    "truncated header",
@@ -349,6 +467,17 @@ func TestLoadRejectsCorruption(t *testing.T) {
 				return img
 			},
 			wantSub: "truncated",
+		},
+		{
+			// A perm length that is neither 0 nor d fails before any perm
+			// entry is read (and before the checksum, so no re-CRC here).
+			name: "bad perm length",
+			mutate: func(img []byte) []byte {
+				off := permSectionOffset(img)
+				binary.LittleEndian.PutUint32(img[off:off+4], 7)
+				return img
+			},
+			wantSub: "bit-layout permutation has 7 entries",
 		},
 	}
 	for _, tc := range cases {

@@ -12,18 +12,35 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/hdc"
 )
+
+// permsEqual reports whether two bit-layout permutations are the same
+// (both empty counts as equal: natural layout).
+func permsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // ManifestFormat identifies a partition manifest JSON document.
 const ManifestFormat = "oms-library-manifest"
 
-// ManifestVersion is the current manifest document version. Version 2
-// changed the meaning of PartitionInfo.CRC32C from a whole-file
-// checksum to the content checksum (image minus the CRC trailer):
-// a CRC over data that ends with its own CRC folds to the same residue
-// constant for every well-formed file, so the version-1 record could
-// never distinguish two internally consistent builds.
-const ManifestVersion = 2
+// ManifestVersion is the current manifest document version. Version 3
+// added the shared bit-layout permutation (dim_perm) every partition
+// was packed under. Version 2 changed the meaning of
+// PartitionInfo.CRC32C from a whole-file checksum to the content
+// checksum (image minus the CRC trailer): a CRC over data that ends
+// with its own CRC folds to the same residue constant for every
+// well-formed file, so the version-1 record could never distinguish
+// two internally consistent builds.
+const ManifestVersion = 3
 
 // PartitionInfo describes one partition file of a partitioned library
 // index. Partitions tile the mass-sorted library: partition i holds
@@ -70,6 +87,13 @@ type Manifest struct {
 	// Params is the JSON-encoded core.Params the library was built
 	// with, identical to the params section of every partition file.
 	Params json.RawMessage `json:"params"`
+	// DimPerm is the bit-layout permutation shared by every partition
+	// (empty = natural layout). All partitions of one build are packed
+	// under the same permutation — queries are permuted once and swept
+	// against every partition — so the manifest records it globally and
+	// OpenManifest rejects a partition whose own stored permutation
+	// disagrees.
+	DimPerm []int `json:"dim_perm,omitempty"`
 	// Partitions lists the partition files in ascending mass order.
 	Partitions []PartitionInfo `json:"partitions"`
 }
@@ -124,6 +148,7 @@ func SavePartitioned(manifestPath string, p core.Params, lib *core.Library, part
 		TotalRefs: n,
 		Skipped:   lib.Skipped,
 		Params:    paramsJSON,
+		DimPerm:   lib.DimPerm,
 	}
 	for i := 0; i < parts; i++ {
 		lo, hi := i*n/parts, (i+1)*n/parts
@@ -138,6 +163,12 @@ func SavePartitioned(manifestPath string, p core.Params, lib *core.Library, part
 			skipped,
 		)
 		if err != nil {
+			return fmt.Errorf("libindex: assembling partition %d: %w", i, err)
+		}
+		// Every partition was packed under the library's shared
+		// bit-layout permutation; each file must carry it so a partition
+		// opened on its own still permutes queries correctly.
+		if err := sub.SetDimPerm(lib.DimPerm); err != nil {
 			return fmt.Errorf("libindex: assembling partition %d: %w", i, err)
 		}
 		path := PartitionFileName(manifestPath, i)
@@ -338,10 +369,18 @@ func LoadManifest(path string) (Manifest, error) {
 		return Manifest{}, fmt.Errorf("libindex: %s is not a library manifest (format %q)", path, m.Format)
 	}
 	if m.Version != ManifestVersion {
-		return Manifest{}, fmt.Errorf("libindex: unsupported manifest version %d (this build reads version %d)", m.Version, ManifestVersion)
+		if m.Version < ManifestVersion {
+			return Manifest{}, fmt.Errorf("libindex: manifest version %d predates the shared bit-layout permutation (this build reads version %d): rebuild the partitioned index with omsbuild", m.Version, ManifestVersion)
+		}
+		return Manifest{}, fmt.Errorf("libindex: manifest version %d is newer than this build understands (version %d): upgrade the reader or rebuild the index", m.Version, ManifestVersion)
 	}
 	if len(m.Partitions) == 0 {
 		return Manifest{}, fmt.Errorf("libindex: manifest %s lists no partitions", path)
+	}
+	if len(m.DimPerm) != 0 {
+		if err := hdc.ValidatePermutation(m.DimPerm, m.D); err != nil {
+			return Manifest{}, fmt.Errorf("libindex: manifest bit-layout permutation: %w", err)
+		}
 	}
 	total := 0
 	for i, part := range m.Partitions {
@@ -428,6 +467,13 @@ func OpenManifest(path string) (*PartitionedIndex, error) {
 		if string(partParams) != string(manifestParams) {
 			pi.Close()
 			return nil, fmt.Errorf("libindex: partition %d (%s) was built with different params than the manifest (mixed build generations?)", i, info.File)
+		}
+		// Same for the bit-layout permutation: a partition packed under a
+		// different permutation than the manifest advertises would be
+		// swept with wrongly-permuted queries.
+		if !permsEqual(lib.DimPerm, m.DimPerm) {
+			pi.Close()
+			return nil, fmt.Errorf("libindex: partition %d (%s) was packed under a different bit-layout permutation than the manifest records (mixed build generations?)", i, info.File)
 		}
 		if lib.Len() != info.Refs {
 			pi.Close()

@@ -219,7 +219,7 @@ func parseIndex(data []byte) (core.Params, *core.Library, []uint64, error) {
 		return fail("not an OMS library index (bad magic %q)", hdr[:])
 	}
 	if version := c.u16(); c.err == nil && version != Version {
-		return fail("unsupported index version %d (this build reads version %d)", version, Version)
+		return core.Params{}, nil, nil, versionErr(version)
 	}
 	d := int(c.u32())
 	shardSize := int(c.u32())
@@ -246,13 +246,29 @@ func parseIndex(data []byte) (core.Params, *core.Library, []uint64, error) {
 	// The whole image is in hand, so the claimed entry count can be
 	// checked against the bytes actually present before any allocation:
 	// every entry costs at least 8 (mass) + 8 (srcPos) + 9 (metadata)
-	// bytes plus its words, and the params and CRC trailer are fixed.
-	minSize := int64(c.off) + int64(paramsLen) + int64(n)*(8+8+9) + int64(n)*int64(words)*8 + 4
+	// bytes plus its words, and the params, perm-length field and CRC
+	// trailer are fixed (the perm section itself is re-checked once its
+	// length field is read).
+	minSize := int64(c.off) + int64(paramsLen) + 4 + int64(n)*(8+8+9) + int64(n)*int64(words)*8 + 4
 	if minSize > int64(len(data)) {
 		return fail("truncated index: %d entries need at least %d bytes, file has %d", n, minSize, len(data))
 	}
 
 	paramsJSON := c.take(paramsLen)
+	permLen := int(c.u32())
+	if c.err == nil && permLen != 0 && permLen != d {
+		return fail("bit-layout permutation has %d entries, want 0 (natural layout) or %d", permLen, d)
+	}
+	var perm []int
+	if permLen > 0 {
+		if int64(c.off)+int64(permLen)*4 > int64(len(data)) {
+			return fail("truncated index: %d-entry bit-layout permutation needs %d bytes at offset %d, file has %d", permLen, permLen*4, c.off, len(data))
+		}
+		perm = make([]int, permLen)
+		for i := range perm {
+			perm[i] = int(c.u32())
+		}
+	}
 	masses := make([]float64, n)
 	for i := range masses {
 		masses[i] = math.Float64frombits(c.u64())
@@ -327,6 +343,9 @@ func parseIndex(data []byte) (core.Params, *core.Library, []uint64, error) {
 	lib, err := core.RestoreLibrary(entries, hvs, srcPos, int(skipped))
 	if err != nil {
 		return core.Params{}, nil, nil, err
+	}
+	if err := lib.SetDimPerm(perm); err != nil {
+		return fail("%v", err)
 	}
 	return p, lib, block, nil
 }

@@ -129,7 +129,8 @@ func TestOpenFileRejectsCorruption(t *testing.T) {
 	cases := []corruptionCase{
 		{"empty", func(img []byte) []byte { return nil }, "truncated"},
 		{"bad magic", func(img []byte) []byte { img[0] = 'X'; return img }, "bad magic"},
-		{"wrong version", func(img []byte) []byte { img[6] = 99; return img }, "unsupported index version 99"},
+		{"newer version", func(img []byte) []byte { img[6] = 99; return img }, "index version 99 is newer"},
+		{"older version", func(img []byte) []byte { img[6] = 2; return img }, "index version 2 predates"},
 		{"truncated header", func(img []byte) []byte { return img[:10] }, "truncated"},
 		{"truncated mid-body", func(img []byte) []byte { return img[:len(img)/2] }, "truncated"},
 		{"trailing garbage", func(img []byte) []byte { return append(img, 0xAA) }, "trailing data"},

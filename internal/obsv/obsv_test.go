@@ -14,8 +14,6 @@ func TestStageNames(t *testing.T) {
 		StageEncode:    "encode",
 		StageAssemble:  "assemble",
 		StageSweep:     "sweep",
-		StageTierA:     "tier_a",
-		StageTierB:     "tier_b",
 		StageMerge:     "merge",
 	}
 	if len(want) != int(NumStages) {
@@ -28,6 +26,62 @@ func TestStageNames(t *testing.T) {
 	}
 	if NumStages.String() != "invalid" {
 		t.Errorf("out-of-range stage renders %q, want invalid", NumStages.String())
+	}
+}
+
+// TestTierNames pins the per-tier slot names and the clamp behavior of
+// deep ladders.
+func TestTierNames(t *testing.T) {
+	for i := 0; i < MaxTierSlots; i++ {
+		want := "tier_" + string(rune('0'+i))
+		if TierName(i) != want {
+			t.Errorf("TierName(%d) = %q, want %q", i, TierName(i), want)
+		}
+	}
+	if TierName(MaxTierSlots+3) != TierName(MaxTierSlots-1) {
+		t.Errorf("deep tier name %q did not clamp to last slot %q", TierName(MaxTierSlots+3), TierName(MaxTierSlots-1))
+	}
+	if TierName(-1) != "invalid" {
+		t.Errorf("TierName(-1) = %q, want invalid", TierName(-1))
+	}
+}
+
+// TestTierAccumulation exercises the per-tier slot recording: depth
+// tracking, clamping past MaxTierSlots, snapshot and reset.
+func TestTierAccumulation(t *testing.T) {
+	tr := &Trace{}
+	if tr.NumTiers() != 0 {
+		t.Fatalf("fresh trace NumTiers = %d", tr.NumTiers())
+	}
+	tr.AddTierNanos(0, 100)
+	tr.AddTierNanos(2, 30)
+	tr.AddTierNanos(2, 10)
+	if got := tr.TierNanos(0); got != 100 {
+		t.Errorf("TierNanos(0) = %d, want 100", got)
+	}
+	if got := tr.TierNanos(2); got != 40 {
+		t.Errorf("TierNanos(2) = %d, want 40", got)
+	}
+	if got := tr.NumTiers(); got != 3 {
+		t.Errorf("NumTiers = %d, want 3", got)
+	}
+	// Slots past the cap fold into the last one.
+	tr.AddTierNanos(MaxTierSlots+5, 7)
+	if got := tr.TierNanos(MaxTierSlots - 1); got != 7 {
+		t.Errorf("clamped tier slot = %d, want 7", got)
+	}
+	if got := tr.NumTiers(); got != MaxTierSlots {
+		t.Errorf("NumTiers after deep add = %d, want %d", got, MaxTierSlots)
+	}
+	tr.AddTierNanos(-1, 99) // dropped
+	var qt QueryTrace
+	tr.Snapshot(&qt)
+	if qt.NumTiers != MaxTierSlots || qt.TierNanos[0] != 100 || qt.TierNanos[2] != 40 {
+		t.Errorf("Snapshot tiers = %d %v", qt.NumTiers, qt.TierNanos)
+	}
+	tr.Reset()
+	if tr.NumTiers() != 0 || tr.TierNanos(0) != 0 {
+		t.Errorf("after Reset: NumTiers=%d TierNanos(0)=%d", tr.NumTiers(), tr.TierNanos(0))
 	}
 }
 
@@ -98,6 +152,7 @@ func TestNilTraceSafe(t *testing.T) {
 	var tr *Trace
 	tr.Reset()
 	tr.AddNanos(StageSweep, 5)
+	tr.AddTierNanos(0, 5)
 	tr.AddRows(1, 1)
 	tr.AddPartition(0, 1, 1)
 	sp := tr.Start(StageSweep)
@@ -106,6 +161,9 @@ func TestNilTraceSafe(t *testing.T) {
 	tr.Snapshot(&qt)
 	if tr.StageNanos(StageSweep) != 0 {
 		t.Error("nil trace reported nonzero stage")
+	}
+	if tr.TierNanos(0) != 0 || tr.NumTiers() != 0 {
+		t.Error("nil trace reported tier time")
 	}
 	if s, c := tr.Rows(); s != 0 || c != 0 {
 		t.Error("nil trace reported rows")
@@ -144,15 +202,15 @@ func TestTraceConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < adds; i++ {
-				tr.AddNanos(StageTierA, 1)
+				tr.AddTierNanos(0, 1)
 				tr.AddRows(2, 1)
 			}
 			tr.AddPartition(w, 1, 1)
 		}(w)
 	}
 	wg.Wait()
-	if got := tr.StageNanos(StageTierA); got != workers*adds {
-		t.Errorf("concurrent AddNanos lost updates: %d, want %d", got, workers*adds)
+	if got := tr.TierNanos(0); got != workers*adds {
+		t.Errorf("concurrent AddTierNanos lost updates: %d, want %d", got, workers*adds)
 	}
 	swept, comp := tr.Rows()
 	if swept != 2*workers*adds || comp != workers*adds {
@@ -171,9 +229,10 @@ func TestSpanZeroAlloc(t *testing.T) {
 	tr := &Trace{}
 	var qt QueryTrace
 	allocs := testing.AllocsPerRun(200, func() {
-		sp := tr.Start(StageTierB)
+		sp := tr.Start(StageSweep)
 		sp.End()
-		tr.AddNanos(StageTierA, 1)
+		tr.AddTierNanos(1, 1)
+		tr.AddTierNanos(0, 1)
 		tr.AddRows(128, 2)
 		tr.AddPartition(0, 128, 1)
 		tr.Snapshot(&qt)
@@ -184,8 +243,9 @@ func TestSpanZeroAlloc(t *testing.T) {
 	}
 	var nilTr *Trace
 	allocs = testing.AllocsPerRun(200, func() {
-		sp := nilTr.Start(StageTierB)
+		sp := nilTr.Start(StageSweep)
 		sp.End()
+		nilTr.AddTierNanos(0, 1)
 		nilTr.AddRows(1, 0)
 	})
 	if allocs != 0 {

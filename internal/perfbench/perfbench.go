@@ -1,16 +1,17 @@
 // Package perfbench runs the repo's canonical performance operating
-// points as a tracked trajectory: four benchmarks (sharded full-scan
-// batch, exact pruned cascade, partitioned fan-out, served
-// micro-batching) measured via testing.Benchmark and emitted as one
-// schema-versioned JSON document (BENCH_<date>.json). CI runs the
-// quick variant on every push and uploads the document as an
-// artifact, so ns/op, allocs/op, pruning rate and serving latency
-// quantiles accumulate a history that regressions stand out against.
+// points as a tracked trajectory: five benchmarks (sharded full-scan
+// batch, exact pruned cascade, entropy-layout ladder vs natural
+// order, partitioned fan-out, served micro-batching) measured via
+// testing.Benchmark and emitted as one schema-versioned JSON document
+// (BENCH_<date>.json). CI runs the quick variant on every push and
+// uploads the document as an artifact, so ns/op, allocs/op, per-tier
+// pruning rates and serving latency quantiles accumulate a history
+// that regressions stand out against.
 //
 // The operating points are deliberately smaller than the paper-scale
 // benchmarks in bench_test.go — a trajectory is only useful when
-// every CI run can afford it — but they exercise the same four code
-// paths at the same shapes (block-major sweep, tier-A/tier-B split,
+// every CI run can afford it — but they exercise the same code paths
+// at the same shapes (block-major sweep, tier-ladder descent,
 // mass-fence routing + exact merge, coalesced serving).
 package perfbench
 
@@ -34,11 +35,13 @@ import (
 )
 
 // Schema identifies the document layout; bump on incompatible change.
-const Schema = "oms-bench/1"
+// /2 added per-tier prune rates and the entropy-vs-natural ladder
+// point.
+const Schema = "oms-bench/2"
 
 // RequiredPoints is the canonical operating-point set; Validate
 // rejects a document missing any of them.
-var RequiredPoints = []string{"sharded", "cascade", "partitioned", "served"}
+var RequiredPoints = []string{"sharded", "cascade", "ladder", "partitioned", "served"}
 
 // Point is one operating point's measurement.
 type Point struct {
@@ -49,9 +52,20 @@ type Point struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 
-	// PruneRate is the cascade's measured pruning fraction over the
-	// benchmark run; present only for the cascade point.
+	// PruneRate is the cascade's measured end-to-end pruning fraction
+	// over the benchmark run; present only for the cascade points.
 	PruneRate *float64 `json:"prune_rate,omitempty"`
+
+	// TierPruneRates[t] is the measured fraction of tier-t rows pruned
+	// before tier t+1 (one entry per non-final ladder tier); present
+	// only for the cascade points.
+	TierPruneRates []float64 `json:"tier_prune_rates,omitempty"`
+
+	// Ladder-point comparison against the natural-order baseline at
+	// the same tier budget: wall-clock speedup (natural ns / entropy
+	// ns) and the baseline's per-tier prune rates.
+	SpeedupVsNatural      *float64  `json:"speedup_vs_natural,omitempty"`
+	NaturalTierPruneRates []float64 `json:"natural_tier_prune_rates,omitempty"`
 
 	// Latency quantiles from the serving collector; present only for
 	// the served point.
@@ -106,7 +120,7 @@ func Run(o Options) (*Doc, error) {
 		Quick:       o.Quick,
 	}
 	for _, run := range []func(Options) (Point, error){
-		runSharded, runCascade, runPartitioned, runServed,
+		runSharded, runCascade, runLadder, runPartitioned, runServed,
 	} {
 		pt, err := run(o)
 		if err != nil {
@@ -193,12 +207,123 @@ func runCascade(o Options) (Point, error) {
 	})
 	after, _ := s.CascadeStats()
 	pt := point("cascade", r, nQueries)
-	delta := hdc.CascadeStats{
-		Prefiltered: after.Prefiltered - before.Prefiltered,
-		Completed:   after.Completed - before.Completed,
-	}
+	delta := after.Sub(before)
 	rate := delta.PruneRate()
 	pt.PruneRate = &rate
+	pt.TierPruneRates = tierPruneRates(delta)
+	return pt, nil
+}
+
+// tierPruneRates extracts the per-tier prune-rate vector (one entry
+// per non-final tier; nil for a single-tier layout).
+func tierPruneRates(cs hdc.CascadeStats) []float64 {
+	if cs.NumTiers() < 2 {
+		return nil
+	}
+	out := make([]float64, cs.NumTiers()-1)
+	for t := range out {
+		out[t] = cs.TierPruneRate(t)
+	}
+	return out
+}
+
+// skewedHVs builds a reference set and query batch over a
+// dimension-heterogeneous distribution: even dimensions are heavily
+// skewed (ones with probability 0.02, nearly constant across the
+// set), odd dimensions balanced. Interleaving them means every
+// natural-order packed word is half wasted on near-constant bits —
+// the workload shape the entropy layout exists for.
+func skewedHVs(nRefs, nQueries int) ([]hdc.BinaryHV, []hdc.BinaryHV) {
+	rng := rand.New(rand.NewSource(23))
+	gen := func() hdc.BinaryHV {
+		hv := hdc.NewBinaryHV(benchD)
+		for j := 0; j < benchD; j++ {
+			p := 0.5
+			if j%2 == 0 {
+				p = 0.02
+			}
+			if rng.Float64() < p {
+				hv.SetBit(j, true)
+			}
+		}
+		return hv
+	}
+	refs := make([]hdc.BinaryHV, nRefs)
+	for i := range refs {
+		refs[i] = gen()
+	}
+	queries := make([]hdc.BinaryHV, nQueries)
+	for i := range queries {
+		queries[i] = gen()
+	}
+	return refs, queries
+}
+
+// runLadder measures the entropy-guided bit layout against the
+// natural order at the same tier budget, on the dim-skewed workload:
+// both sides run the identical tier ladder and planted-match ranges;
+// the entropy side additionally permutes references and queries so
+// the discriminative dimensions pack into tier 0. The emitted point
+// is the entropy side, carrying the wall-clock speedup and both
+// prune-rate vectors.
+func runLadder(o Options) (Point, error) {
+	nRefs, nQueries, k, prefilterWords := sizes(o)
+	refs, queries := skewedHVs(nRefs, nQueries)
+	rng := rand.New(rand.NewSource(29))
+	width := nRefs / 4
+	ranges := make([]hdc.RowRange, nQueries)
+	for i := range ranges {
+		lo := i * (nRefs - width) / nQueries
+		ranges[i] = hdc.RowRange{Lo: lo, Hi: lo + width}
+		for j := 0; j < k; j++ {
+			refs[lo+j] = queries[i].Clone()
+			refs[lo+j].FlipBits(0.03, rng)
+		}
+	}
+	tiers := []int{prefilterWords, hdc.WordsPerHV(benchD) - prefilterWords}
+
+	perm := hdc.EntropyPermutation(refs)
+	prefs := make([]hdc.BinaryHV, len(refs))
+	for i := range refs {
+		prefs[i] = hdc.PermuteBits(refs[i], perm)
+	}
+	pqueries := make([]hdc.BinaryHV, len(queries))
+	for i := range queries {
+		pqueries[i] = hdc.PermuteBits(queries[i], perm)
+	}
+
+	measure := func(rs, qs []hdc.BinaryHV) (testing.BenchmarkResult, hdc.CascadeStats, error) {
+		s, err := hdc.NewSearcherCascade(rs, 0, hdc.CascadeConfig{Tiers: tiers})
+		if err != nil {
+			return testing.BenchmarkResult{}, hdc.CascadeStats{}, err
+		}
+		before, _ := s.CascadeStats()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.BatchTopKRange(qs, ranges, k)
+			}
+		})
+		after, _ := s.CascadeStats()
+		return r, after.Sub(before), nil
+	}
+
+	natR, natStats, err := measure(refs, queries)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench ladder (natural): %v", err)
+	}
+	entR, entStats, err := measure(prefs, pqueries)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench ladder (entropy): %v", err)
+	}
+
+	pt := point("ladder", entR, nQueries)
+	rate := entStats.PruneRate()
+	pt.PruneRate = &rate
+	pt.TierPruneRates = tierPruneRates(entStats)
+	speedup := float64(natR.NsPerOp()) / float64(entR.NsPerOp())
+	pt.SpeedupVsNatural = &speedup
+	pt.NaturalTierPruneRates = tierPruneRates(natStats)
 	return pt, nil
 }
 
@@ -446,10 +571,29 @@ func Validate(data []byte) error {
 			return fmt.Errorf("perfbench: point %q: negative allocation counts", name)
 		}
 	}
-	if pr := byName["cascade"].PruneRate; pr == nil {
-		return fmt.Errorf("perfbench: cascade point missing prune_rate")
-	} else if *pr < 0 || *pr > 1 {
-		return fmt.Errorf("perfbench: cascade prune_rate %g outside [0, 1]", *pr)
+	for _, name := range []string{"cascade", "ladder"} {
+		pt := byName[name]
+		if pt.PruneRate == nil {
+			return fmt.Errorf("perfbench: %s point missing prune_rate", name)
+		}
+		if *pt.PruneRate < 0 || *pt.PruneRate > 1 {
+			return fmt.Errorf("perfbench: %s prune_rate %g outside [0, 1]", name, *pt.PruneRate)
+		}
+		if len(pt.TierPruneRates) == 0 {
+			return fmt.Errorf("perfbench: %s point missing tier_prune_rates", name)
+		}
+		for t, r := range pt.TierPruneRates {
+			if r < 0 || r > 1 {
+				return fmt.Errorf("perfbench: %s tier_prune_rates[%d] = %g outside [0, 1]", name, t, r)
+			}
+		}
+	}
+	ladder := byName["ladder"]
+	if ladder.SpeedupVsNatural == nil || *ladder.SpeedupVsNatural <= 0 {
+		return fmt.Errorf("perfbench: ladder point missing (or non-positive) speedup_vs_natural")
+	}
+	if len(ladder.NaturalTierPruneRates) == 0 {
+		return fmt.Errorf("perfbench: ladder point missing natural_tier_prune_rates")
 	}
 	served := byName["served"]
 	if served.LatencyP50US == nil || served.LatencyP99US == nil {

@@ -34,6 +34,13 @@ func validDoc() *Doc {
 		switch name {
 		case "cascade":
 			pt.PruneRate = &rate
+			pt.TierPruneRates = []float64{0.85}
+		case "ladder":
+			speedup := 1.4
+			pt.PruneRate = &rate
+			pt.TierPruneRates = []float64{0.9, 0.5}
+			pt.SpeedupVsNatural = &speedup
+			pt.NaturalTierPruneRates = []float64{0.3, 0.5}
 		case "served":
 			pt.QueriesPerOp = 1
 			pt.NsPerQuery = 64_000
@@ -77,10 +84,14 @@ func TestValidateRejections(t *testing.T) {
 		{"negative allocs", func(d *Doc) { d.Points[0].AllocsPerOp = -1 }, "negative allocation"},
 		{"cascade without prune rate", func(d *Doc) { d.Points[1].PruneRate = nil }, "prune_rate"},
 		{"prune rate above 1", func(d *Doc) { r := 1.5; d.Points[1].PruneRate = &r }, "outside [0, 1]"},
-		{"served without quantiles", func(d *Doc) { d.Points[3].LatencyP50US = nil }, "latency quantiles"},
+		{"cascade without tier rates", func(d *Doc) { d.Points[1].TierPruneRates = nil }, "tier_prune_rates"},
+		{"tier rate above 1", func(d *Doc) { d.Points[2].TierPruneRates = []float64{0.9, 1.5} }, "tier_prune_rates[1]"},
+		{"ladder without speedup", func(d *Doc) { d.Points[2].SpeedupVsNatural = nil }, "speedup_vs_natural"},
+		{"ladder without natural baseline", func(d *Doc) { d.Points[2].NaturalTierPruneRates = nil }, "natural_tier_prune_rates"},
+		{"served without quantiles", func(d *Doc) { d.Points[4].LatencyP50US = nil }, "latency quantiles"},
 		{"p99 below p50", func(d *Doc) {
 			p50, p99 := int64(500), int64(100)
-			d.Points[3].LatencyP50US, d.Points[3].LatencyP99US = &p50, &p99
+			d.Points[4].LatencyP50US, d.Points[4].LatencyP99US = &p50, &p99
 		}, "inconsistent"},
 	}
 	for _, tc := range cases {

@@ -255,15 +255,19 @@ func (s *Server) searchPrepared(ctx context.Context, pq core.PreparedQuery, encN
 }
 
 // Stats returns a snapshot of the serving counters, including the
-// engine's cascade pruning telemetry when its searcher runs the
-// two-tier layout.
+// engine's per-tier cascade pruning telemetry when its searcher runs
+// a multi-tier layout.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot(int(s.pending.Load()))
 	if cs, ok := s.engine.CascadeStats(); ok {
 		st.CascadeEnabled = true
-		st.CascadePrefiltered = cs.Prefiltered
-		st.CascadeCompleted = cs.Completed
+		st.CascadePrefiltered = cs.Prefiltered()
+		st.CascadeCompleted = cs.Completed()
 		st.CascadePruneRate = cs.PruneRate()
+		st.CascadeTierRows = append([]uint64(nil), cs.TierRows...)
+		for t := 0; t+1 < cs.NumTiers(); t++ {
+			st.CascadeTierPruneRates = append(st.CascadeTierPruneRates, cs.TierPruneRate(t))
+		}
 	}
 	return st
 }
