@@ -25,18 +25,33 @@
 // bit-identical to the natural layout.
 //
 // With -partitions N the library is instead split into N
-// mass-contiguous partition index files (<out>.part000 …) plus a JSON
-// manifest at <out> recording the global mass fences, row offsets and
-// per-partition checksums. omsearch -index and omsd -index accept the
-// manifest wherever they accept a single index; partitions are opened
-// memory-mapped, so a partitioned library larger than RAM serves
-// queries with only the touched pages resident.
+// mass-contiguous partition index files (<out>.part000 …) plus a
+// generation-log manifest at <out> recording the global mass fences,
+// row offsets and per-partition checksums. omsearch -index and omsd
+// -index accept the manifest wherever they accept a single index;
+// partitions are opened memory-mapped, so a partitioned library larger
+// than RAM serves queries with only the touched pages resident.
+//
+// A partitioned library is incrementally updatable:
+//
+//	omsbuild -append  -library new.mgf -out lib.manifest [-max-part-refs N]
+//	omsbuild -retract -ids id1,id2,... -out lib.manifest
+//
+// -append encodes the new spectra with the library's stored params
+// (encoder identity, binner, bit layout — the structural flags above
+// are rejected) and publishes them as small delta partitions under
+// one new manifest generation; -retract publishes tombstones hiding
+// the listed source ids. Both publish by appending one fsynced record
+// to the manifest log — a running omsd picks the new generation up on
+// SIGHUP, and omscompact folds accumulated deltas back into the base
+// tier.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/libindex"
@@ -44,8 +59,8 @@ import (
 )
 
 func main() {
-	libPath := flag.String("library", "", "library MGF/MSP path (required)")
-	out := flag.String("out", "", "output index path (default: library path + .omsidx)")
+	libPath := flag.String("library", "", "library MGF/MSP path (required unless -retract)")
+	out := flag.String("out", "", "output index path (default: library path + .omsidx); with -append/-retract: the existing manifest")
 	d := flag.Int("d", 8192, "HD dimension")
 	precision := flag.Int("precision", 3, "ID hypervector precision in bits (1-3)")
 	shardSize := flag.Int("shardsize", 0, "reference rows per search shard (0 = default)")
@@ -54,7 +69,17 @@ func main() {
 	bitLayout := flag.String("bit-layout", "", "bit layout: natural (default) or entropy (pack the most discriminative dimensions into the leading words; persisted in the index)")
 	prefilterWords := flag.Int("prefilter-words", -1, "deprecated two-tier alias for -tiers N,rest (-1 = unset)")
 	partitions := flag.Int("partitions", 0, "split the index into N mass-contiguous partitions plus a manifest (0 = single file)")
+	appendMode := flag.Bool("append", false, "append -library as delta partitions to the existing partitioned index at -out (new manifest generation)")
+	retractIDs := flag.String("retract", "", "publish tombstones for these comma-separated source ids to the partitioned index at -out")
+	maxPartRefs := flag.Int("max-part-refs", 0, "with -append: max references per delta partition (0 = one partition per append)")
 	flag.Parse()
+
+	if *appendMode || *retractIDs != "" {
+		incremental(*out, *libPath, *appendMode, *retractIDs, *maxPartRefs,
+			*d != 8192 || *precision != 3 || *shardSize != 0 || *seed != 1 ||
+				*tiersSpec != "" || *bitLayout != "" || *prefilterWords >= 0 || *partitions != 0)
+		return
+	}
 
 	if *libPath == "" {
 		flag.Usage()
@@ -88,15 +113,16 @@ func main() {
 	lib := engine.Library()
 	if *partitions > 0 {
 		fatalIf(libindex.SavePartitioned(*out, p, lib, *partitions))
-		m, err := libindex.LoadManifest(*out)
+		st, err := libindex.LoadManifestLog(*out)
 		fatalIf(err)
 		var total int64
-		for _, part := range m.Partitions {
+		parts := st.Partitions()
+		for _, part := range parts {
 			total += part.Bytes
 		}
 		fmt.Fprintf(os.Stderr,
 			"omsbuild: %s: %d references encoded (%d skipped), D=%d, %d partitions, %.1f MiB\n",
-			*out, lib.Len(), lib.Skipped, *d, len(m.Partitions), float64(total)/(1<<20))
+			*out, lib.Len(), lib.Skipped, *d, len(parts), float64(total)/(1<<20))
 		return
 	}
 	fatalIf(libindex.SaveFile(*out, p, lib))
@@ -106,6 +132,65 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"omsbuild: %s: %d references encoded (%d skipped), D=%d, %.1f MiB\n",
 		*out, lib.Len(), lib.Skipped, *d, float64(info.Size())/(1<<20))
+}
+
+// incremental handles -append and -retract: both load the manifest's
+// stored identity instead of taking structural flags, so a delta batch
+// can never silently diverge from the base build.
+func incremental(out, libPath string, appendMode bool, retractIDs string, maxPartRefs int, structuralFlags bool) {
+	if out == "" {
+		fatalIf(fmt.Errorf("-append/-retract require -out pointing at the existing manifest"))
+	}
+	if appendMode && retractIDs != "" {
+		fatalIf(fmt.Errorf("-append and -retract are separate publishes; run them one at a time"))
+	}
+	if structuralFlags {
+		fatalIf(fmt.Errorf("-append/-retract use the library's stored params; -d/-precision/-shardsize/-seed/-tiers/-bit-layout/-prefilter-words/-partitions must not be set"))
+	}
+	if kind, err := libindex.DetectKind(out); err != nil {
+		fatalIf(err)
+	} else if kind != libindex.KindManifest {
+		fatalIf(fmt.Errorf("%s is a single-file index; incremental updates need a partitioned index (rebuild with -partitions)", out))
+	}
+
+	if !appendMode {
+		var ids []string
+		for _, id := range strings.Split(retractIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		pi, err := libindex.OpenManifest(out)
+		fatalIf(err)
+		known := pi.LiveIDs()
+		st := pi.State
+		fatalIf(pi.Close())
+		gen, err := libindex.AppendRetract(out, st, ids, known)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "omsbuild: %s: generation %d retracts %d ids (%d tombstones outstanding)\n",
+			out, gen, len(ids), len(st.Tombstones))
+		return
+	}
+
+	if libPath == "" {
+		fatalIf(fmt.Errorf("-append requires -library"))
+	}
+	spectra, err := spectrum.ReadSpectraFile(libPath)
+	fatalIf(err)
+	st, err := libindex.LoadManifestLog(out)
+	fatalIf(err)
+	p, err := st.DecodeParams()
+	fatalIf(err)
+	lib, err := libindex.BuildDeltaLibrary(spectra, p, st.DimPerm)
+	fatalIf(err)
+	if lib.Len() == 0 {
+		fatalIf(fmt.Errorf("every spectrum in %s was rejected by preprocessing; nothing to append", libPath))
+	}
+	gen, err := libindex.AppendDelta(out, st, lib, maxPartRefs)
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr,
+		"omsbuild: %s: generation %d appends %d references (%d skipped); %d delta partitions live\n",
+		out, gen, lib.Len(), lib.Skipped, len(st.Deltas))
 }
 
 func fatalIf(err error) {

@@ -1,0 +1,83 @@
+// Command omscompact folds a partitioned library's delta tier back
+// into its base tier: every delta partition published by omsbuild
+// -append, every partition holding rows shadowed by tombstones or
+// newer re-additions, and (transitively) every base partition whose
+// mass fences touch one of those is merged, re-tiled into
+// mass-contiguous base partitions, and published atomically as one new
+// manifest generation — a single fsynced record append that a running
+// omsd picks up on SIGHUP (or via its own -compact-interval loop)
+// without dropping a query:
+//
+//	omscompact -index lib.manifest [-max-part-refs N] [-sweep] [-gc]
+//
+// Retired partition files are dropped from the manifest but left on
+// disk, because a not-yet-reloaded omsd may still be serving from
+// them. -sweep removes orphaned files no manifest record ever
+// referenced (the leftovers of a writer that crashed between writing
+// its partition files and publishing its record) — always safe when no
+// writer is running. -gc additionally removes files that earlier
+// generations referenced but the current one no longer does; run it
+// only once every reader has reloaded past the compaction.
+//
+// omscompact is a manifest writer: run at most one writer (omsbuild
+// -append/-retract, omscompact, or omsd -compact-interval) at a time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/libindex"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "partitioned index manifest path (required)")
+	maxPartRefs := flag.Int("max-part-refs", 0, "max references per compacted partition (0 = one partition per mass gap)")
+	sweep := flag.Bool("sweep", false, "after compacting, remove orphaned partition files no manifest record ever referenced (crash leftovers; safe when no writer is running)")
+	gc := flag.Bool("gc", false, "after compacting, also remove retired partition files dropped by earlier generations (UNSAFE while readers of older generations are live)")
+	flag.Parse()
+
+	if *indexPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if kind, err := libindex.DetectKind(*indexPath); err != nil {
+		fatalIf(err)
+	} else if kind != libindex.KindManifest {
+		fatalIf(fmt.Errorf("%s is a single-file index; only partitioned indexes compact", *indexPath))
+	}
+
+	stats, err := libindex.Compact(*indexPath, *maxPartRefs)
+	fatalIf(err)
+	if stats.Noop {
+		fmt.Fprintf(os.Stderr, "omscompact: %s: nothing to compact (no deltas, no tombstones, no shadowed rows)\n", *indexPath)
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"omscompact: %s: generation %d: %d partitions -> %d (%d refs merged, %d shadowed refs dropped, %d tombstones cleared)\n",
+			*indexPath, stats.Generation, stats.DroppedPartitions, stats.NewPartitions,
+			stats.MergedRefs, stats.RemovedRefs, stats.ClearedTombstones)
+	}
+
+	if *sweep || *gc {
+		st, err := libindex.LoadManifestLog(*indexPath)
+		fatalIf(err)
+		removed, err := libindex.SweepOrphans(*indexPath, st)
+		fatalIf(err)
+		if *gc {
+			retired, err := libindex.SweepRetired(*indexPath, st)
+			fatalIf(err)
+			removed = append(removed, retired...)
+		}
+		if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "omscompact: removed %d unreferenced partition files\n", len(removed))
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omscompact: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -234,14 +234,20 @@ func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sv.release()
-	writeJSON(w, map[string]any{
+	health := map[string]any{
 		"status":            "ok",
 		"references":        sv.engine.NumRefs(),
 		"skipped":           sv.engine.Skipped(),
 		"partitions":        sv.partitions,
 		"index_age_seconds": int64(time.Since(sv.loaded).Seconds()),
 		"uptime_seconds":    int64(time.Since(d.started).Seconds()),
-	})
+	}
+	if sv.partitions > 0 {
+		health["manifest_generation"] = sv.overlay.Generation
+		health["delta_partitions"] = sv.overlay.DeltaPartitions
+		health["tombstones"] = sv.overlay.Tombstones
+	}
+	writeJSON(w, health)
 }
 
 // statsView maps serve.Stats onto stable wire names.
@@ -276,6 +282,11 @@ type statsView struct {
 	// partition with its global row span, mass fences and pruning
 	// counters.
 	Partitions []partitionView `json:"partitions,omitempty"`
+
+	// Overlay is present for a partitioned index: the incremental-update
+	// state the generation serves (manifest generation, delta tier,
+	// outstanding tombstones and the rows they shadow).
+	Overlay *overlayView `json:"overlay,omitempty"`
 }
 
 // partitionView maps core.PartitionStat onto stable wire names.
@@ -284,10 +295,22 @@ type partitionView struct {
 	Refs        int      `json:"refs"`
 	MinMass     float64  `json:"min_mass"`
 	MaxMass     float64  `json:"max_mass"`
+	Generation  uint64   `json:"generation"`
+	Delta       bool     `json:"delta,omitempty"`
+	HiddenRefs  int      `json:"hidden_refs,omitempty"`
 	Prefiltered uint64   `json:"cascade_prefiltered"`
 	Completed   uint64   `json:"cascade_completed"`
 	PruneRate   float64  `json:"cascade_prune_rate"`
 	TierRows    []uint64 `json:"cascade_tier_rows,omitempty"`
+}
+
+// overlayView maps core.OverlayStats onto stable wire names.
+type overlayView struct {
+	Generation      uint64 `json:"generation"`
+	DeltaPartitions int    `json:"delta_partitions"`
+	DeltaRefs       int    `json:"delta_refs"`
+	Tombstones      int    `json:"tombstones"`
+	HiddenRefs      int    `json:"hidden_refs"`
 }
 
 // handleStats renders the serving counters.
@@ -329,11 +352,22 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 				Refs:        ps.Refs,
 				MinMass:     ps.MinMass,
 				MaxMass:     ps.MaxMass,
+				Generation:  ps.Gen,
+				Delta:       ps.Delta,
+				HiddenRefs:  ps.HiddenRefs,
 				Prefiltered: ps.Cascade.Prefiltered(),
 				Completed:   ps.Cascade.Completed(),
 				PruneRate:   ps.Cascade.PruneRate(),
 				TierRows:    ps.Cascade.TierRows,
 			})
+		}
+		ov := sv.overlay
+		view.Overlay = &overlayView{
+			Generation:      ov.Generation,
+			DeltaPartitions: ov.DeltaPartitions,
+			DeltaRefs:       ov.DeltaRefs,
+			Tombstones:      ov.Tombstones,
+			HiddenRefs:      ov.HiddenRefs,
 		}
 	}
 	writeJSON(w, view)

@@ -22,6 +22,15 @@
 // after its last search returns. A failed reload leaves the current
 // index serving.
 //
+// A partitioned index is incrementally updatable while omsd serves it:
+// omsbuild -append publishes delta partitions (SIGHUP picks them up),
+// and -compact-interval D runs the in-process compactor every D,
+// folding accumulated deltas and tombstones back into the base tier
+// and hot-reloading the compacted generation — all without dropping a
+// query. With -compact-interval set, omsd must be the manifest's only
+// writer; use the standalone omscompact when compaction is driven
+// externally.
+//
 // -tiers selects the K-tier pruned cascade ladder (exact for any
 // ladder; -shortlist M switches it to approximate best-M completion);
 // -prefilter-words N is the deprecated two-tier alias, mutually
@@ -70,6 +79,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/libindex"
 )
 
 func main() {
@@ -86,6 +96,8 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log a structured line for requests at or above this latency (0 = off)")
 	accessLog := flag.Bool("access-log", false, "log one structured line per HTTP request")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+	compactInterval := flag.Duration("compact-interval", 0, "run the in-process compactor this often on a partitioned index, folding delta partitions and tombstones into the base tier and hot-reloading the result (0 = off; omsd must be the only manifest writer)")
+	compactMaxRefs := flag.Int("compact-max-part-refs", 0, "with -compact-interval: max references per compacted partition (0 = one partition per mass gap)")
 	flag.Parse()
 
 	if *indexPath == "" {
@@ -146,6 +158,42 @@ func main() {
 		go func() {
 			if err := http.Serve(dln, debugMux); err != nil && !errors.Is(err, net.ErrClosed) {
 				fmt.Fprintf(os.Stderr, "omsd: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *compactInterval > 0 {
+		if kind, err := libindex.DetectKind(*indexPath); err != nil || kind != libindex.KindManifest {
+			fatalIf(fmt.Errorf("-compact-interval needs a partitioned index manifest at -index"))
+		}
+		go func() {
+			// The in-process compactor presumes omsd is the only manifest
+			// writer (see libindex: single-writer publish). Each pass that
+			// actually publishes a generation is followed by a hot reload,
+			// exactly like a SIGHUP — in-flight searches finish against the
+			// generation that admitted them.
+			ticker := time.NewTicker(*compactInterval)
+			defer ticker.Stop()
+			for range ticker.C {
+				stats, err := libindex.Compact(*indexPath, *compactMaxRefs)
+				if err != nil {
+					d.compactFailures.Add(1)
+					fmt.Fprintf(os.Stderr, "omsd: compaction failed, index unchanged: %v\n", err)
+					continue
+				}
+				if stats.Noop {
+					continue
+				}
+				d.compactions.Add(1)
+				fmt.Fprintf(os.Stderr,
+					"omsd: compacted to generation %d: %d partitions -> %d (%d refs merged, %d shadowed refs dropped, %d tombstones cleared)\n",
+					stats.Generation, stats.DroppedPartitions, stats.NewPartitions,
+					stats.MergedRefs, stats.RemovedRefs, stats.ClearedTombstones)
+				nsv, err := d.reload()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "omsd: post-compaction reload failed, keeping current index: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "omsd: reloaded %s\n", nsv.desc)
 			}
 		}()
 	}

@@ -109,6 +109,17 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if sv.partitions > 0 {
+		ov := sv.overlay
+		p.Gauge("oms_manifest_generation", "Manifest-log generation the current index serves.", float64(ov.Generation))
+		p.Gauge("oms_delta_partitions", "Delta-tier partitions in the current generation.", float64(ov.DeltaPartitions))
+		p.Gauge("oms_delta_refs", "References in the delta tier.", float64(ov.DeltaRefs))
+		p.Gauge("oms_tombstones", "Outstanding retractions (tombstones).", float64(ov.Tombstones))
+		p.Gauge("oms_hidden_refs", "Physical rows shadowed by tombstones or newer-generation re-additions.", float64(ov.HiddenRefs))
+	}
+	p.Counter("oms_compactions_total", "In-process compactions published (omsd -compact-interval).", float64(d.compactions.Load()))
+	p.Counter("oms_compaction_failures_total", "In-process compaction attempts that failed.", float64(d.compactFailures.Load()))
+
 	p.Gauge("oms_reload_generation", "Serving generation id (1 = initial load, +1 per successful reload).", float64(d.generation.Load()))
 	p.Counter("oms_reload_total", "Successful index loads, including the initial one.", float64(d.generation.Load()))
 	p.Counter("oms_reload_failures_total", "Failed reload attempts (the previous index kept serving).", float64(d.reloadFailures.Load()))

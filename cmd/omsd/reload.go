@@ -56,6 +56,10 @@ type serving struct {
 	prefilterWords int
 	shortlist      int
 	loaded         time.Time
+	// overlay is the incremental-update state of a partitioned index
+	// (manifest generation, delta tier, tombstones); zero for
+	// single-file indexes.
+	overlay core.OverlayStats
 
 	refs atomic.Int64
 }
@@ -112,7 +116,8 @@ func buildServing(cfg servingConfig) (*serving, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine, _, err := core.NewPartitionedExactEngine(record(override(pi.Params)), pi.Libraries(), pi.Blocks())
+		set := pi.PartitionSet()
+		engine, _, err := core.NewPartitionedEngine(record(override(pi.Params)), set)
 		if err != nil {
 			pi.Close()
 			return nil, err
@@ -120,8 +125,10 @@ func buildServing(cfg servingConfig) (*serving, error) {
 		sv.engine = engine //oms:transfer the serving generation owns the mapping; release() closes engine and index together
 		sv.closeIndex = pi.Close
 		sv.partitions = engine.NumPartitions()
-		sv.desc = fmt.Sprintf("%s: %d references in %d partitions, D=%d",
-			cfg.indexPath, engine.NumRefs(), engine.NumPartitions(), pi.Params.Accel.D)
+		sv.overlay = engine.OverlayStats()
+		sv.desc = fmt.Sprintf("%s: manifest generation %d, %d references in %d partitions (%d deltas, %d tombstones), D=%d",
+			cfg.indexPath, sv.overlay.Generation, engine.NumRefs(), engine.NumPartitions(),
+			sv.overlay.DeltaPartitions, sv.overlay.Tombstones, pi.Params.Accel.D)
 	default:
 		ix, err := libindex.OpenFile(cfg.indexPath)
 		if err != nil {
@@ -167,6 +174,11 @@ type daemon struct {
 	// /metrics.
 	generation     atomic.Uint64
 	reloadFailures atomic.Uint64
+	// compactions / compactFailures count in-process compactor runs
+	// that published a generation, and runs that errored (-compact-
+	// interval; no-op passes count as neither).
+	compactions     atomic.Uint64
+	compactFailures atomic.Uint64
 }
 
 // newDaemon wires a daemon around a serving builder; call reload once

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fdr"
+	"repro/internal/libindex"
 	"repro/internal/msdata"
 	"repro/internal/serve"
 	"repro/internal/spectrum"
@@ -142,4 +145,198 @@ func TestReloadSwapConsistency(t *testing.T) {
 		sv.release()
 		t.Fatal("acquire returned a generation after shutdown")
 	}
+}
+
+// TestIncrementalReloadSwapConsistency is the hot-reload race test for
+// the incremental-update pipeline (run under -race in CI): search
+// traffic hammers the daemon through the REAL serving path — on-disk
+// partitioned manifest, mmap-backed engine, micro-batcher — while a
+// publisher thread appends delta generations (each planting an exact
+// clone of one query spectrum, so consecutive generations answer that
+// query differently), compacts, and hot-swaps after every publish.
+// Every response must be the complete answer of exactly one published
+// generation — never a torn mix — and never older than the newest
+// generation whose reload had completed before the search was
+// admitted.
+func TestIncrementalReloadSwapConsistency(t *testing.T) {
+	const generations = 6
+	ds, err := msdata.Generate(msdata.Config{
+		Name: "incr-swap", NumReferences: 260, NumQueries: 16,
+		DecoyFraction: 0.5, ModifiedFraction: 0.3, ForeignFraction: 0.1,
+		PeptideLenMin: 7, PeptideLenMax: 20, NoisePeaks: 8,
+		PeakJitterDa: 0.02, IntensityJitter: 0.25, DropPeakProb: 0.1,
+		MaxFragmentCharge: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = 512
+	p.Accel.NumChunks = 32
+	queries := ds.Queries[:8]
+	base := ds.Library[:200]
+	pool := ds.Library[200:]
+
+	manifest := filepath.Join(t.TempDir(), "lib.manifest")
+	baseEngine, _, err := core.BuildExact(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libindex.SavePartitioned(manifest, p, baseEngine.Library(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	type expectation struct {
+		ok  bool
+		psm fdr.PSM
+	}
+	// snapshot answers every query against the manifest as it stands —
+	// the complete per-generation truth a served response must match.
+	snapshot := func() map[string]expectation {
+		pi, err := libindex.OpenManifest(manifest)
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		defer pi.Close()
+		sp := pi.Params
+		sp.Open = true // mirror buildServing's flag override
+		pe, _, err := core.NewPartitionedEngine(sp, pi.PartitionSet())
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		exp := make(map[string]expectation, len(queries))
+		for _, q := range queries {
+			psm, ok, err := pe.SearchOne(q)
+			if err != nil {
+				t.Fatalf("snapshot %s: %v", q.ID, err)
+			}
+			exp[q.ID] = expectation{ok: ok, psm: psm}
+		}
+		return exp
+	}
+
+	plan := make([]map[string]expectation, generations+1)
+	plan[0] = snapshot()
+
+	cfg := servingConfig{
+		indexPath: manifest, maxBatch: 8, maxDelay: 200 * time.Microsecond,
+		maxQueue: 1024, prefilterWords: -1, shortlist: -1,
+	}
+	d := newDaemon(func() (*serving, error) { return buildServing(cfg) })
+	if _, err := d.reload(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.shutdown()
+
+	// planned is the index of the newest generation whose snapshot is
+	// in plan (stored before its reload, so a racing worker that lands
+	// on the just-swapped generation finds its answers); reloaded is
+	// the newest generation whose hot swap has completed (a search
+	// admitted after that must not see anything older).
+	var planned, reloaded atomic.Int64
+
+	stop := make(chan struct{})
+	var publisher sync.WaitGroup
+	publisher.Add(1)
+	go func() {
+		defer publisher.Done()
+		for g := 1; g <= generations; g++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if g == generations/2 || g == generations {
+				// Compaction publishes a new generation with the same
+				// visible set: answers must not move by a bit.
+				if _, err := libindex.Compact(manifest, 48); err != nil {
+					t.Errorf("compact (gen %d): %v", g, err)
+					return
+				}
+			} else {
+				q := queries[(g-1)%len(queries)]
+				plant := *q
+				plant.ID = fmt.Sprintf("plant-%d", g)
+				plant.Peptide = fmt.Sprintf("PLANT@%d", g)
+				plant.Peaks = append([]spectrum.Peak(nil), q.Peaks...)
+				chunk := []*spectrum.Spectrum{&plant}
+				chunk = append(chunk, pool[(g-1)*4:(g-1)*4+4]...)
+				st, err := libindex.LoadManifestLog(manifest)
+				if err != nil {
+					t.Errorf("publish gen %d: %v", g, err)
+					return
+				}
+				mp, err := st.DecodeParams()
+				if err != nil {
+					t.Errorf("publish gen %d: %v", g, err)
+					return
+				}
+				lib, err := libindex.BuildDeltaLibrary(chunk, mp, st.DimPerm)
+				if err != nil {
+					t.Errorf("publish gen %d: %v", g, err)
+					return
+				}
+				if _, err := libindex.AppendDelta(manifest, st, lib, 32); err != nil {
+					t.Errorf("publish gen %d: %v", g, err)
+					return
+				}
+			}
+			plan[g] = snapshot()
+			planned.Store(int64(g))
+			if _, err := d.reload(); err != nil {
+				t.Errorf("reload gen %d: %v", g, err)
+				return
+			}
+			reloaded.Store(int64(g))
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 60; round++ {
+				q := queries[(w+round)%len(queries)]
+				floor := reloaded.Load()
+				sv := d.acquire()
+				if sv == nil {
+					t.Error("acquire returned nil while the daemon is live")
+					return
+				}
+				psm, ok, err := sv.srv.Search(context.Background(), q)
+				sv.release()
+				if err != nil {
+					t.Errorf("search %s across swap: %v", q.ID, err)
+					return
+				}
+				ceil := planned.Load()
+				// The response must reproduce some published generation's
+				// answer exactly, and a fresh-enough one: at or above the
+				// newest generation already swapped in when we started.
+				matched := int64(-1)
+				for g := ceil; g >= 0; g-- {
+					exp := plan[g][q.ID]
+					if ok == exp.ok && (!ok || psm == exp.psm) {
+						matched = g
+						break
+					}
+				}
+				if matched < 0 {
+					t.Errorf("query %s returned %+v ok=%v, consistent with no published generation 0..%d",
+						q.ID, psm, ok, ceil)
+					return
+				}
+				if matched < floor {
+					t.Errorf("query %s answered by generation %d, but generation %d had already been swapped in",
+						q.ID, matched, floor)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	publisher.Wait()
 }

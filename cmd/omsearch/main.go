@@ -131,7 +131,7 @@ func main() {
 		case libindex.KindManifest:
 			pi, perr := libindex.OpenManifest(*indexPath)
 			fatalIf(perr)
-			engine, _, err = core.NewPartitionedExactEngine(override(pi.Params), pi.Libraries(), pi.Blocks())
+			engine, _, err = core.NewPartitionedEngine(override(pi.Params), pi.PartitionSet())
 			fatalIf(err)
 		default:
 			ix, oerr := libindex.OpenFile(*indexPath)

@@ -94,7 +94,7 @@ func TestGoldenEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pi.Close()
-	partEngine, _, err := core.NewPartitionedExactEngine(pi.Params, pi.Libraries(), pi.Blocks())
+	partEngine, _, err := core.NewPartitionedEngine(pi.Params, pi.PartitionSet())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,9 +60,10 @@ const FactReturnsMmapView = "returns-mmap-view"
 // sourceCalls are the API points whose results alias the mapping,
 // keyed by types.Func.FullName.
 var sourceCalls = map[string]bool{
-	"(*repro/internal/libindex.Index).Words":             true,
-	"(*repro/internal/libindex.PartitionedIndex).Blocks": true,
-	"(*repro/internal/hdc.ShardedSearcher).PackedRow":    true,
+	"(*repro/internal/libindex.Index).Words":                   true,
+	"(*repro/internal/libindex.PartitionedIndex).Blocks":       true,
+	"(*repro/internal/libindex.PartitionedIndex).PartitionSet": true,
+	"(*repro/internal/hdc.ShardedSearcher).PackedRow":          true,
 }
 
 // sinkParams maps the aliasing constructors to the indices of the
@@ -71,6 +72,7 @@ var sinkParams = map[string][]int{
 	"repro/internal/hdc.NewShardedSearcherFromPacked": {0},
 	"repro/internal/core.NewExactEngineFromPacked":    {2},
 	"repro/internal/core.NewPartitionedExactEngine":   {2},
+	"repro/internal/core.NewPartitionedEngine":        {1},
 }
 
 // IsViewSource reports whether call yields a view of the mapping: one

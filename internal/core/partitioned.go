@@ -15,8 +15,8 @@ import (
 )
 
 // partition is one mass-contiguous slice of a partitioned library:
-// its own library and packed searcher, plus the global row offset and
-// mass fences the router consults.
+// its own library and packed searcher, plus the routing and
+// generation coordinates the router and the dedup merge consult.
 type partition struct {
 	lib      *Library
 	searcher *hdc.ShardedSearcher
@@ -26,23 +26,37 @@ type partition struct {
 	// minMass, maxMass are the partition's mass fences (first and last
 	// entry mass — entries are mass-sorted).
 	minMass, maxMass float64
+	// gen is the manifest generation that introduced the rows and
+	// genRow the partition's row offset within that generation:
+	// (gen, genRow+r) totally orders rows by append order.
+	gen    uint64
+	genRow int
+	// delta marks a delta-tier partition whose fences may overlap the
+	// base tiling.
+	delta bool
+	// hidden is the set of local rows excluded from the visible set
+	// (re-added in a newer generation, or tombstoned); nil when none.
+	hidden map[int]struct{}
 }
 
 // PartitionedEngine serves OMS queries over a partitioned library —
-// N mass-contiguous partitions, each with its own packed searcher
+// N mass-contiguous base partitions plus any number of delta
+// partitions (incremental appends), each with its own packed searcher
 // (typically zero-copy views over a memory-mapped index partition, see
 // libindex.OpenManifest). A query's precursor window is routed to the
 // overlapping partitions via the mass fences, BatchTopKRange fans out
 // across partitions in parallel, and the per-partition top-k lists are
 // merged exactly: a global top-k member is necessarily in the top-k of
-// the partition holding it, so merging by (similarity descending,
-// global index ascending) reproduces, bit for bit, what a single-file
-// engine over the concatenated library returns. That exactness claim
-// holds for single-tier and exact-cascade layouts; shortlist mode
-// (Params.ShortlistPerQuery) applies its completion budget per
-// partition, a different — strictly wider — approximation than one
-// global shortlist, so shortlisted results are not comparable across
-// partition counts.
+// the partition holding it (widened by the partition's hidden-row
+// count, so shadowed rows can never crowd a visible one out), and the
+// merge comparator (similarity descending, then mass, generation,
+// generation-row ascending) reproduces, bit for bit, what a
+// single-file engine over the mass-sorted visible set returns. That
+// exactness claim holds for single-tier and exact-cascade layouts;
+// shortlist mode (Params.ShortlistPerQuery) applies its completion
+// budget per partition, a different — strictly wider — approximation
+// than one global shortlist, so shortlisted results are not comparable
+// across partition counts.
 type PartitionedEngine struct {
 	params  Params
 	enc     Encoder
@@ -54,23 +68,58 @@ type PartitionedEngine struct {
 	// (validated identical at construction); queries are permuted with
 	// it at Prepare time. nil = natural layout.
 	dimPerm []int
+	// nBase is the number of base-tier partitions (a prefix of parts);
+	// generation is the manifest generation the engine serves.
+	nBase      int
+	generation uint64
+	// tombstoneCount and hiddenTotal size the overlay: outstanding
+	// retractions and the rows they (or newer re-additions) shadow.
+	tombstoneCount int
+	hiddenTotal    int
 }
 
 // NewPartitionedExactEngine wires the exact engine over a partitioned
-// library: libs are the per-partition libraries in ascending mass
-// order, and blocks — when non-nil — the contiguous packed word blocks
-// their hypervectors are views over (libindex.PartitionedIndex.Blocks),
-// aliased into each partition's searcher without copying. A nil blocks
-// slice (or a nil element) falls back to packing that partition from
-// its library's hypervectors. The query encoder is rebuilt
-// deterministically from p.Accel, exactly as NewExactEngineFromLibrary
-// does.
+// library without incremental state: libs are the per-partition
+// libraries in ascending mass order, and blocks — when non-nil — the
+// contiguous packed word blocks their hypervectors are views over
+// (libindex.PartitionedIndex.Blocks), aliased into each partition's
+// searcher without copying. A nil blocks slice (or a nil element)
+// falls back to packing that partition from its library's
+// hypervectors. All partitions are treated as generation-1 base tier
+// with no tombstones — the pure tiling case, where the dedup merge
+// reduces exactly to (similarity, global index) order. The query
+// encoder is rebuilt deterministically from p.Accel, exactly as
+// NewExactEngineFromLibrary does.
 func NewPartitionedExactEngine(p Params, libs []*Library, blocks [][]uint64) (*PartitionedEngine, *hdc.Encoder, error) {
-	if len(libs) == 0 {
-		return nil, nil, fmt.Errorf("core: no partitions")
-	}
 	if blocks != nil && len(blocks) != len(libs) {
 		return nil, nil, fmt.Errorf("core: %d partitions with %d packed blocks", len(libs), len(blocks))
+	}
+	set := PartitionSet{Specs: make([]PartitionSpec, len(libs)), Generation: 1}
+	row := 0
+	for i, lib := range libs {
+		spec := PartitionSpec{Lib: lib, Gen: 1, GenRow: row}
+		if blocks != nil {
+			spec.Block = blocks[i] //oms:allow(mmapwrite) zero-copy view; the engine never outlives its index's Close
+		}
+		set.Specs[i] = spec
+		if lib != nil {
+			row += lib.Len()
+			set.Skipped += lib.Skipped
+		}
+	}
+	return NewPartitionedEngine(p, set)
+}
+
+// NewPartitionedEngine wires the exact engine over a full partition
+// set: base-tier specs first (ascending, non-overlapping mass
+// fences), then delta-tier specs in publish order. Tombstones and
+// cross-generation re-additions are resolved at construction into
+// per-partition hidden-row sets, so every search serves exactly the
+// visible set.
+func NewPartitionedEngine(p Params, set PartitionSet) (*PartitionedEngine, *hdc.Encoder, error) {
+	specs := set.Specs
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("core: no partitions")
 	}
 	ids, levels, err := accel.NewEncoderComponents(p.Accel)
 	if err != nil {
@@ -83,8 +132,17 @@ func NewPartitionedExactEngine(p Params, libs []*Library, blocks [][]uint64) (*P
 	if p.TopK < 1 {
 		p.TopK = 1
 	}
-	pe := &PartitionedEngine{params: p, enc: enc, normD: float64(p.Accel.D)}
-	for i, lib := range libs {
+	pe := &PartitionedEngine{
+		params:         p,
+		enc:            enc,
+		normD:          float64(p.Accel.D),
+		generation:     set.Generation,
+		skipped:        set.Skipped,
+		tombstoneCount: len(set.Tombstones),
+	}
+	hidden := HiddenRows(specs, set.Tombstones)
+	for i, spec := range specs {
+		lib := spec.Lib
 		if lib == nil || lib.Len() == 0 {
 			return nil, nil, fmt.Errorf("core: partition %d is empty", i)
 		}
@@ -106,13 +164,19 @@ func NewPartitionedExactEngine(p Params, libs []*Library, blocks [][]uint64) (*P
 		}
 		minMass := lib.Entries[0].Mass
 		maxMass := lib.Entries[lib.Len()-1].Mass
-		if i > 0 && minMass < pe.parts[i-1].maxMass {
-			return nil, nil, fmt.Errorf("core: partition %d starts at mass %g, below partition %d's last mass %g (partitions must be in ascending mass order)",
-				i, minMass, i-1, pe.parts[i-1].maxMass)
+		if !spec.Delta {
+			if i != pe.nBase {
+				return nil, nil, fmt.Errorf("core: base partition %d listed after a delta partition (base tier must come first)", i)
+			}
+			if i > 0 && minMass < pe.parts[i-1].maxMass {
+				return nil, nil, fmt.Errorf("core: partition %d starts at mass %g, below partition %d's last mass %g (base partitions must be in ascending mass order)",
+					i, minMass, i-1, pe.parts[i-1].maxMass)
+			}
+			pe.nBase++
 		}
 		var searcher *hdc.ShardedSearcher
-		if blocks != nil && blocks[i] != nil {
-			searcher, err = hdc.NewShardedSearcherFromPacked(blocks[i], p.Accel.D, p.ShardSize, p.cascadeConfig())
+		if spec.Block != nil {
+			searcher, err = hdc.NewShardedSearcherFromPacked(spec.Block, p.Accel.D, p.ShardSize, p.cascadeConfig())
 			if err == nil && searcher.Len() != lib.Len() {
 				err = fmt.Errorf("core: partition %d block holds %d rows but library has %d entries", i, searcher.Len(), lib.Len())
 			}
@@ -128,23 +192,65 @@ func NewPartitionedExactEngine(p Params, libs []*Library, blocks [][]uint64) (*P
 			start:    pe.total,
 			minMass:  minMass,
 			maxMass:  maxMass,
+			gen:      spec.Gen,
+			genRow:   spec.GenRow,
+			delta:    spec.Delta,
+			hidden:   hidden[i],
 		})
 		pe.total += lib.Len()
-		pe.skipped += lib.Skipped
+		pe.hiddenTotal += len(hidden[i])
+	}
+	if pe.hiddenTotal >= pe.total {
+		return nil, nil, fmt.Errorf("core: every reference row is shadowed (all %d rows hidden)", pe.total)
 	}
 	return pe, enc, nil
+}
+
+// overlay reports whether any incremental state is in play — delta
+// partitions or hidden rows. Without it every path below reduces to
+// the original pure-tiling engine, allocation for allocation.
+func (pe *PartitionedEngine) overlay() bool {
+	return pe.nBase < len(pe.parts) || pe.hiddenTotal > 0
 }
 
 // NumPartitions returns the partition count.
 func (pe *PartitionedEngine) NumPartitions() int { return len(pe.parts) }
 
-// NumRefs returns the total reference count across partitions.
+// NumRefs returns the total reference count across partitions
+// (physical rows, including shadowed ones).
 func (pe *PartitionedEngine) NumRefs() int { return pe.total }
 
-// Skipped returns the build-time skipped-spectra count (summed over
-// partitions; the partition writer stores the library-wide count in
-// partition 0).
+// Skipped returns the build-time skipped-spectra count (carried by
+// the partition set: base build plus every delta batch).
 func (pe *PartitionedEngine) Skipped() int { return pe.skipped }
+
+// OverlayStats describes the engine's incremental-update state: the
+// manifest generation it serves, the delta tier's size, and the
+// overlay resolved at construction.
+type OverlayStats struct {
+	// Generation is the manifest generation the engine was built from.
+	Generation uint64
+	// DeltaPartitions and DeltaRefs size the delta tier.
+	DeltaPartitions, DeltaRefs int
+	// Tombstones counts outstanding retractions; HiddenRefs the rows
+	// shadowed by tombstones or newer-generation re-additions.
+	Tombstones, HiddenRefs int
+}
+
+// OverlayStats snapshots the incremental-update state — the serving
+// layer's delta/compaction telemetry for /stats and /metrics.
+func (pe *PartitionedEngine) OverlayStats() OverlayStats {
+	st := OverlayStats{
+		Generation: pe.generation,
+		Tombstones: pe.tombstoneCount,
+		HiddenRefs: pe.hiddenTotal,
+	}
+	for i := pe.nBase; i < len(pe.parts); i++ {
+		st.DeltaPartitions++
+		st.DeltaRefs += pe.parts[i].lib.Len()
+	}
+	return st
+}
 
 // CascadeStats sums the per-tier cascade pruning counters across
 // partitions (element-wise over tier slots; a rebuilt engine always
@@ -176,6 +282,11 @@ type PartitionStat struct {
 	StartRow, Refs int
 	// MinMass, MaxMass are the partition's mass fences.
 	MinMass, MaxMass float64
+	// Gen is the generation that introduced the partition; Delta marks
+	// the delta tier; HiddenRefs counts its shadowed rows.
+	Gen        uint64
+	Delta      bool
+	HiddenRefs int
 	// CascadeEnabled reports whether the partition's searcher runs a
 	// multi-tier layout; Cascade holds its per-tier counters when so.
 	CascadeEnabled bool
@@ -192,7 +303,11 @@ func (pe *PartitionedEngine) PartitionStats() []PartitionStat {
 	out := make([]PartitionStat, len(pe.parts))
 	for i := range pe.parts {
 		p := &pe.parts[i]
-		st := PartitionStat{StartRow: p.start, Refs: p.lib.Len(), MinMass: p.minMass, MaxMass: p.maxMass}
+		st := PartitionStat{
+			StartRow: p.start, Refs: p.lib.Len(),
+			MinMass: p.minMass, MaxMass: p.maxMass,
+			Gen: p.gen, Delta: p.delta, HiddenRefs: len(p.hidden),
+		}
 		st.Cascade, st.CascadeEnabled = p.searcher.CascadeStats()
 		st.RowsSwept = p.searcher.RowsSwept()
 		out[i] = st
@@ -201,17 +316,19 @@ func (pe *PartitionedEngine) PartitionStats() []PartitionStat {
 }
 
 // candidateRange resolves a query's precursor window to a global row
-// range by routing it through the partition mass fences: partitions
+// range by routing it through the base-tier mass fences: partitions
 // whose fences cannot overlap the window are skipped without a binary
-// search. Partitions tile the mass-sorted library, so the union of the
-// per-partition candidate ranges is one contiguous global range —
-// exactly what Library.CandidateRange returns over the concatenated
-// library.
+// search. Base partitions tile the mass-sorted initial build, so the
+// union of the per-partition candidate ranges is one contiguous
+// global range — exactly what Library.CandidateRange returns over the
+// concatenated library. Delta partitions are excluded: their fences
+// may overlap the base tiling, so their local ranges are resolved per
+// partition at sweep time (partRange).
 func (pe *PartitionedEngine) candidateRange(queryMass float64, w units.MassWindow) (lo, hi int) {
 	mLo := queryMass - w.Upper
 	mHi := queryMass - w.Lower
 	found := false
-	for i := range pe.parts {
+	for i := 0; i < pe.nBase; i++ {
 		p := &pe.parts[i]
 		if p.maxMass < mLo || p.minMass > mHi {
 			continue
@@ -232,6 +349,47 @@ func (pe *PartitionedEngine) candidateRange(queryMass float64, w units.MassWindo
 	return lo, hi
 }
 
+// partRange resolves one partition's local candidate range for a
+// prepared query: base partitions clip the query's precomputed global
+// range (bit-compatible with the pure tiling path), delta partitions
+// binary-search their own mass-sorted rows under the precursor
+// window, since an overlapping fence cannot be expressed as a slice
+// of the base tier's contiguous range.
+func (pe *PartitionedEngine) partRange(p *partition, pq *PreparedQuery) (int, int) {
+	if !p.delta {
+		return p.clip(pq.Lo, pq.Hi)
+	}
+	w := pe.params.queryWindow(pq.Mass)
+	if p.maxMass < pq.Mass-w.Upper || p.minMass > pq.Mass-w.Lower {
+		return 0, 0
+	}
+	return p.lib.CandidateRange(pq.Mass, w)
+}
+
+// kEff is the per-partition retrieval depth: the global k widened by
+// the partition's hidden-row count, so that after shadowed rows are
+// filtered out the partition still surfaces its full visible top-k —
+// the containment argument the dedup merge's exactness rests on.
+func (p *partition) kEff(k int) int { return k + len(p.hidden) }
+
+// ResolvePrepared assembles a prepared query from an already encoded
+// (and, under an entropy layout, already permuted) hypervector: the
+// base-tier candidate range is resolved through the mass fences, and
+// ok reports whether any partition — base or delta — holds candidate
+// rows. It is Prepare without the preprocessing and encoding stages,
+// for callers that build hypervectors directly (conformance harness,
+// benchmarks).
+func (pe *PartitionedEngine) ResolvePrepared(id string, hv hdc.BinaryHV, mass float64) (PreparedQuery, bool) {
+	lo, hi := pe.candidateRange(mass, pe.params.queryWindow(mass))
+	pq := PreparedQuery{QueryID: id, HV: hv, Mass: mass, Lo: lo, Hi: hi}
+	ok := lo < hi
+	for i := pe.nBase; !ok && i < len(pe.parts); i++ {
+		plo, phi := pe.partRange(&pe.parts[i], &pq)
+		ok = plo < phi
+	}
+	return pq, ok
+}
+
 // Prepare preprocesses and encodes one query and resolves its global
 // candidate row range — the partitioned mirror of Engine.Prepare, with
 // identical skip conditions.
@@ -247,12 +405,11 @@ func (pe *PartitionedEngine) Prepare(q *spectrum.Spectrum) (PreparedQuery, bool,
 	if len(pe.dimPerm) > 0 {
 		hv = hdc.PermuteBits(hv, pe.dimPerm)
 	}
-	mass := q.PrecursorMass()
-	lo, hi := pe.candidateRange(mass, pe.params.queryWindow(mass))
-	if lo >= hi {
+	pq, ok := pe.ResolvePrepared(q.ID, hv, q.PrecursorMass())
+	if !ok {
 		return PreparedQuery{}, false, nil
 	}
-	return PreparedQuery{QueryID: q.ID, HV: hv, Mass: mass, Lo: lo, Hi: hi}, true, nil
+	return pq, true, nil
 }
 
 // clip intersects a global row range with the partition, returning the
@@ -264,8 +421,8 @@ func (p *partition) clip(lo, hi int) (int, int) {
 }
 
 // rankBefore reports whether a outranks b: higher similarity, ties by
-// ascending global index — the merge comparator that makes the
-// partitioned merge bit-identical to a single-store scan.
+// ascending global index — the merge comparator of the pure tiling
+// path, where global index order IS mass-then-append order.
 func rankBefore(a, b hdc.Match) bool {
 	if a.Similarity != b.Similarity {
 		return a.Similarity > b.Similarity
@@ -274,7 +431,7 @@ func rankBefore(a, b hdc.Match) bool {
 }
 
 // mergeTopK merges per-partition top-k lists (already offset to global
-// indices) into the exact global top-k.
+// indices) into the exact global top-k — the pure tiling path.
 func mergeTopK(merged []hdc.Match, k int) []hdc.Match {
 	sort.Slice(merged, func(i, j int) bool { return rankBefore(merged[i], merged[j]) })
 	if len(merged) > k {
@@ -283,25 +440,98 @@ func mergeTopK(merged []hdc.Match, k int) []hdc.Match {
 	return merged
 }
 
+// cand is one surviving candidate in the dedup merge: its global
+// match plus the (mass, gen, seq) coordinates the canonical visible
+// order is defined by.
+type cand struct {
+	m    hdc.Match
+	mass float64
+	gen  uint64
+	seq  int
+}
+
+// candBefore is the dedup merge comparator: similarity descending,
+// ties by ascending (mass, generation, generation-row). Over the
+// visible set this is exactly the order a from-scratch build yields —
+// a stable mass sort of the entries in append order — so the merge is
+// bit-identical to the single-file engine over that build. On a pure
+// single-generation tiling it degenerates to rankBefore: gen is
+// constant and seq is the global row, which ascends with mass.
+func candBefore(a, b cand) bool {
+	if a.m.Similarity != b.m.Similarity {
+		return a.m.Similarity > b.m.Similarity
+	}
+	if a.mass != b.mass {
+		return a.mass < b.mass
+	}
+	if a.gen != b.gen {
+		return a.gen < b.gen
+	}
+	return a.seq < b.seq
+}
+
+// collectCands appends a partition's per-query matches to the merge
+// set, dropping hidden rows and attaching the merge coordinates.
+func (p *partition) collectCands(out []cand, top []hdc.Match) []cand {
+	for _, m := range top {
+		if _, shadowed := p.hidden[m.Index]; shadowed {
+			continue
+		}
+		out = append(out, cand{
+			m:    hdc.Match{Index: m.Index + p.start, Similarity: m.Similarity},
+			mass: p.lib.Entries[m.Index].Mass,
+			gen:  p.gen,
+			seq:  p.genRow + m.Index,
+		})
+	}
+	return out
+}
+
+// mergeCands sorts the merge set under the canonical visible order
+// and trims to the global k.
+func mergeCands(cands []cand, k int) []hdc.Match {
+	sort.Slice(cands, func(i, j int) bool { return candBefore(cands[i], cands[j]) })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]hdc.Match, len(cands))
+	for i, c := range cands {
+		out[i] = c.m
+	}
+	return out
+}
+
 // TopKPrepared returns the full top-k match list of one prepared
 // query: each overlapping partition's range is scored with its own
 // searcher and the per-partition lists merge exactly (see the type
 // comment). Indices are global rows.
 func (pe *PartitionedEngine) TopKPrepared(pq PreparedQuery) []hdc.Match {
 	k := pe.params.TopK
-	var merged []hdc.Match
+	if !pe.overlay() {
+		var merged []hdc.Match
+		for i := range pe.parts {
+			p := &pe.parts[i]
+			lo, hi := p.clip(pq.Lo, pq.Hi)
+			if lo >= hi {
+				continue
+			}
+			for _, m := range p.searcher.TopKRange(pq.HV, lo, hi, k) {
+				m.Index += p.start
+				merged = append(merged, m)
+			}
+		}
+		return mergeTopK(merged, k)
+	}
+	var cands []cand
 	for i := range pe.parts {
 		p := &pe.parts[i]
-		lo, hi := p.clip(pq.Lo, pq.Hi)
+		lo, hi := pe.partRange(p, &pq)
 		if lo >= hi {
 			continue
 		}
-		for _, m := range p.searcher.TopKRange(pq.HV, lo, hi, k) {
-			m.Index += p.start
-			merged = append(merged, m)
-		}
+		cands = p.collectCands(cands, p.searcher.TopKRange(pq.HV, lo, hi, p.kEff(k)))
 	}
-	return mergeTopK(merged, k)
+	return mergeCands(cands, k)
 }
 
 // batchTopKPrepared scores a prepared batch: queries fan out across
@@ -314,6 +544,7 @@ func (pe *PartitionedEngine) TopKPrepared(pq PreparedQuery) []hdc.Match {
 // control flow.
 func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery, tr *obsv.Trace) [][]hdc.Match {
 	k := pe.params.TopK
+	overlay := pe.overlay()
 	type partBatch struct {
 		qIdx   []int
 		hvs    []hdc.BinaryHV
@@ -324,11 +555,15 @@ func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery, tr *obsv.Trac
 	for i := range pe.parts {
 		p := &pe.parts[i]
 		b := &batches[i]
-		for qi, pq := range qs {
-			if pq.Lo >= pq.Hi {
+		for qi := range qs {
+			pq := &qs[qi]
+			// On a pure tiling an empty global range means no candidates
+			// anywhere; with deltas in play a query may hold delta-only
+			// candidates, so each partition resolves its own range.
+			if !overlay && pq.Lo >= pq.Hi {
 				continue
 			}
-			lo, hi := p.clip(pq.Lo, pq.Hi)
+			lo, hi := pe.partRange(p, pq)
 			if lo >= hi {
 				continue
 			}
@@ -346,12 +581,13 @@ func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery, tr *obsv.Trac
 		go func(i int) {
 			defer wg.Done()
 			b := &batches[i]
+			kPart := pe.parts[i].kEff(k)
 			if tr == nil {
-				b.tops = pe.parts[i].searcher.BatchTopKRange(b.hvs, b.ranges, k)
+				b.tops = pe.parts[i].searcher.BatchTopKRange(b.hvs, b.ranges, kPart)
 				return
 			}
 			t0 := time.Now()
-			b.tops = pe.parts[i].searcher.BatchTopKRangeTraced(b.hvs, b.ranges, k, tr)
+			b.tops = pe.parts[i].searcher.BatchTopKRangeTraced(b.hvs, b.ranges, kPart, tr)
 			rows := 0
 			for _, r := range b.ranges {
 				rows += r.Len()
@@ -365,19 +601,35 @@ func (pe *PartitionedEngine) batchTopKPrepared(qs []PreparedQuery, tr *obsv.Trac
 		mergeT0 = time.Now()
 	}
 	out := make([][]hdc.Match, len(qs))
-	for i := range pe.parts {
-		start := pe.parts[i].start
-		b := &batches[i]
-		for j, qi := range b.qIdx {
-			for _, m := range b.tops[j] {
-				m.Index += start
-				out[qi] = append(out[qi], m)
+	if !overlay {
+		for i := range pe.parts {
+			start := pe.parts[i].start
+			b := &batches[i]
+			for j, qi := range b.qIdx {
+				for _, m := range b.tops[j] {
+					m.Index += start
+					out[qi] = append(out[qi], m)
+				}
 			}
 		}
-	}
-	for qi := range out {
-		if out[qi] != nil {
-			out[qi] = mergeTopK(out[qi], k)
+		for qi := range out {
+			if out[qi] != nil {
+				out[qi] = mergeTopK(out[qi], k)
+			}
+		}
+	} else {
+		cands := make([][]cand, len(qs))
+		for i := range pe.parts {
+			p := &pe.parts[i]
+			b := &batches[i]
+			for j, qi := range b.qIdx {
+				cands[qi] = p.collectCands(cands[qi], b.tops[j])
+			}
+		}
+		for qi := range cands {
+			if cands[qi] != nil {
+				out[qi] = mergeCands(cands[qi], k)
+			}
 		}
 	}
 	if tr != nil {
@@ -399,6 +651,12 @@ func (pe *PartitionedEngine) psmFor(pq PreparedQuery, best hdc.Match) fdr.PSM {
 	}
 }
 
+// EntryAt returns the library entry behind a global match index as
+// reported by TopKPrepared. Global indexes depend on the engine's
+// partition layout, so cross-engine comparisons (the build-equivalence
+// conformance harness) resolve matches to entries before comparing.
+func (pe *PartitionedEngine) EntryAt(global int) LibraryEntry { return pe.entryAt(global) }
+
 // entryAt returns the library entry at a global row.
 func (pe *PartitionedEngine) entryAt(global int) LibraryEntry {
 	i := sort.Search(len(pe.parts), func(i int) bool { return pe.parts[i].start > global }) - 1
@@ -409,7 +667,7 @@ func (pe *PartitionedEngine) entryAt(global int) LibraryEntry {
 // SearchPrepared scores prepared queries through one partitioned batch
 // sweep; ok[i] is false when query i's range produced no match. With
 // the exact searcher, results are bit-identical to the single-store
-// Engine.SearchPrepared over the concatenated library.
+// Engine.SearchPrepared over the concatenated (visible) library.
 func (pe *PartitionedEngine) SearchPrepared(qs []PreparedQuery) ([]fdr.PSM, []bool) {
 	return pe.SearchPreparedTraced(qs, nil)
 }

@@ -12,7 +12,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/hdc"
 )
 
 // permsEqual reports whether two bit-layout permutations are the same
@@ -29,36 +28,42 @@ func permsEqual(a, b []int) bool {
 	return true
 }
 
-// ManifestFormat identifies a partition manifest JSON document.
+// ManifestFormat identifies a partition manifest document.
 const ManifestFormat = "oms-library-manifest"
 
-// ManifestVersion is the current manifest document version. Version 3
-// added the shared bit-layout permutation (dim_perm) every partition
-// was packed under. Version 2 changed the meaning of
+// ManifestVersion is the current manifest version. Version 4 turned
+// the manifest into an append-able generation log (one CRC'd JSON
+// record per line — base, delta, retract, compact; see log.go), so
+// incremental library updates publish by appending one fsynced line
+// instead of rewriting the document. Version 3 added the shared
+// bit-layout permutation (dim_perm); version 2 changed the meaning of
 // PartitionInfo.CRC32C from a whole-file checksum to the content
 // checksum (image minus the CRC trailer): a CRC over data that ends
 // with its own CRC folds to the same residue constant for every
 // well-formed file, so the version-1 record could never distinguish
 // two internally consistent builds.
-const ManifestVersion = 3
+const ManifestVersion = 4
 
 // PartitionInfo describes one partition file of a partitioned library
-// index. Partitions tile the mass-sorted library: partition i holds
-// global rows [StartRow, StartRow+Refs) and its masses span
-// [MinMass, MaxMass] — the mass fences a query's precursor window is
-// routed by.
+// index. Base-tier partitions tile the mass-sorted library:
+// base partition i holds record rows [StartRow, StartRow+Refs) and its
+// masses span [MinMass, MaxMass] — the mass fences a query's
+// precursor window is routed by. Delta-tier partitions (published by
+// omsbuild -append) carry the same fields but their fences may
+// overlap the base tiling.
 type PartitionInfo struct {
 	// File is the partition index file name, relative to the manifest's
 	// directory.
 	File string `json:"file"`
 	// Refs is the number of references in the partition.
 	Refs int `json:"refs"`
-	// StartRow is the partition's first global row (= mass rank in the
-	// concatenated library).
+	// StartRow is the partition's first row within its log record (for
+	// the base record that equals the global mass rank of the initial
+	// build).
 	StartRow int `json:"start_row"`
 	// MinMass and MaxMass are the partition's precursor-mass fences
-	// (the first and last entry's mass; partitions are mass-contiguous
-	// and non-overlapping up to equal-mass boundary ties).
+	// (the first and last entry's mass; each partition is internally
+	// mass-sorted).
 	MinMass float64 `json:"min_mass"`
 	MaxMass float64 `json:"max_mass"`
 	// Bytes is the partition file's size, cross-checked cheaply on
@@ -73,42 +78,28 @@ type PartitionInfo struct {
 	CRC32C uint32 `json:"crc32c"`
 }
 
-// Manifest is the partitioned-index manifest document: global library
-// identity plus the mass-fenced partition table.
-type Manifest struct {
-	Format  string `json:"format"`
-	Version int    `json:"version"`
-	// D is the hypervector dimension shared by every partition.
-	D int `json:"d"`
-	// TotalRefs is the reference count of the concatenated library.
-	TotalRefs int `json:"total_refs"`
-	// Skipped counts spectra rejected by preprocessing at build time.
-	Skipped int `json:"skipped"`
-	// Params is the JSON-encoded core.Params the library was built
-	// with, identical to the params section of every partition file.
-	Params json.RawMessage `json:"params"`
-	// DimPerm is the bit-layout permutation shared by every partition
-	// (empty = natural layout). All partitions of one build are packed
-	// under the same permutation — queries are permuted once and swept
-	// against every partition — so the manifest records it globally and
-	// OpenManifest rejects a partition whose own stored permutation
-	// disagrees.
-	DimPerm []int `json:"dim_perm,omitempty"`
-	// Partitions lists the partition files in ascending mass order.
-	Partitions []PartitionInfo `json:"partitions"`
+// DecodeParams decodes the engine parameters the base record stored.
+func (st *ManifestState) DecodeParams() (core.Params, error) {
+	var p core.Params
+	if err := json.Unmarshal(st.Params, &p); err != nil {
+		return core.Params{}, fmt.Errorf("libindex: decoding manifest params: %w", err)
+	}
+	return p, nil
 }
 
-// PartitionFileName returns the conventional partition file name for a
-// manifest path: "<base>.part%03d".
+// PartitionFileName returns the conventional base-build partition
+// file name for a manifest path: "<base>.part%03d". Later generations
+// name their files with GenPartitionFileName.
 func PartitionFileName(manifestPath string, i int) string {
 	return fmt.Sprintf("%s.part%03d", manifestPath, i)
 }
 
 // SavePartitioned splits a built library into parts mass-contiguous
-// partition index files plus a manifest at manifestPath. Partition i
-// is written to PartitionFileName(manifestPath, i) as an ordinary
+// partition index files plus a generation-log manifest at
+// manifestPath (generation 1, the base record). Partition i is
+// written to PartitionFileName(manifestPath, i) as an ordinary
 // single-file index over its slice of the mass-sorted library (each
-// partition is loadable on its own), and the manifest records the
+// partition is loadable on its own), and the base record captures the
 // global mass fences, row offsets and per-file checksums that let a
 // partitioned engine route precursor windows and verify integrity.
 // parts is clamped to the library size; parts <= 1 still produces a
@@ -141,14 +132,15 @@ func SavePartitioned(manifestPath string, p core.Params, lib *core.Library, part
 		return fmt.Errorf("libindex: library has %d entries but %d source positions (SortByMass never ran?)", n, len(srcPos))
 	}
 
-	m := Manifest{
-		Format:    ManifestFormat,
-		Version:   ManifestVersion,
-		D:         lib.HVs[0].D,
-		TotalRefs: n,
-		Skipped:   lib.Skipped,
-		Params:    paramsJSON,
-		DimPerm:   lib.DimPerm,
+	rec := LogRecord{
+		Type:       recordBase,
+		Format:     ManifestFormat,
+		Version:    ManifestVersion,
+		Generation: 1,
+		D:          lib.HVs[0].D,
+		Skipped:    lib.Skipped,
+		Params:     paramsJSON,
+		DimPerm:    lib.DimPerm,
 	}
 	for i := 0; i < parts; i++ {
 		lo, hi := i*n/parts, (i+1)*n/parts
@@ -176,7 +168,7 @@ func SavePartitioned(manifestPath string, p core.Params, lib *core.Library, part
 		if err != nil {
 			return fmt.Errorf("libindex: writing partition %d: %w", i, err)
 		}
-		m.Partitions = append(m.Partitions, PartitionInfo{
+		rec.Partitions = append(rec.Partitions, PartitionInfo{
 			File:     filepath.Base(path),
 			Refs:     hi - lo,
 			StartRow: lo,
@@ -186,19 +178,19 @@ func SavePartitioned(manifestPath string, p core.Params, lib *core.Library, part
 			CRC32C:   crc,
 		})
 	}
-	doc, err := json.MarshalIndent(&m, "", "  ")
+	line, err := marshalRecord(rec)
 	if err != nil {
-		return fmt.Errorf("libindex: encoding manifest: %w", err)
+		return err
 	}
-	doc = append(doc, '\n')
 	tmp := manifestPath + ".tmp"
-	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+	if err := os.WriteFile(tmp, line, 0o644); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, manifestPath); err != nil {
 		os.Remove(tmp)
 		return err
 	}
+	syncDir(filepath.Dir(manifestPath))
 	return nil
 }
 
@@ -261,18 +253,20 @@ func savePartitionFile(path string, p core.Params, lib *core.Library) (uint32, i
 	return binary.LittleEndian.Uint32(trailer[:]), st.Size(), nil
 }
 
-// PartitionedIndex is an opened partitioned library: the manifest, the
-// decoded shared params, and one Index handle per partition in mass
-// order. Partitions are opened through OpenFile, so on unix each one
-// is a lazy memory mapping — opening a library far bigger than RAM is
-// metadata-bound, and only the partitions (indeed only the pages) a
-// query load actually touches become resident.
+// PartitionedIndex is an opened partitioned library: the folded
+// manifest state, the decoded shared params, and one Index handle per
+// live partition in engine order (base tier ascending by mass, then
+// the delta tier in publish order). Partitions are opened through
+// OpenFile, so on unix each one is a lazy memory mapping — opening a
+// library far bigger than RAM is metadata-bound, and only the
+// partitions (indeed only the pages) a query load actually touches
+// become resident.
 type PartitionedIndex struct {
-	// Manifest is the manifest document as read from disk.
-	Manifest Manifest
-	// Params are the shared engine parameters from the manifest.
+	// State is the folded generation-log state the index was opened at.
+	State *ManifestState
+	// Params are the shared engine parameters from the base record.
 	Params core.Params
-	// Parts are the opened partitions, ascending mass order.
+	// Parts are the opened partitions, aligned with State.Partitions().
 	Parts []*Index
 
 	path string
@@ -281,8 +275,8 @@ type PartitionedIndex struct {
 // Path returns the manifest path the index was opened from.
 func (pi *PartitionedIndex) Path() string { return pi.path }
 
-// Libraries returns the per-partition libraries in mass order — with
-// Blocks, the inputs of core.NewPartitionedExactEngine.
+// Libraries returns the per-partition libraries in engine order —
+// with Blocks, the inputs of core.NewPartitionedExactEngine.
 func (pi *PartitionedIndex) Libraries() []*core.Library {
 	libs := make([]*core.Library, len(pi.Parts))
 	for i, part := range pi.Parts {
@@ -292,7 +286,7 @@ func (pi *PartitionedIndex) Libraries() []*core.Library {
 }
 
 // Blocks returns the per-partition contiguous packed word blocks in
-// mass order (views over the mappings when the partitions are
+// engine order (views over the mappings when the partitions are
 // mmap-backed).
 func (pi *PartitionedIndex) Blocks() [][]uint64 {
 	blocks := make([][]uint64, len(pi.Parts))
@@ -300,6 +294,35 @@ func (pi *PartitionedIndex) Blocks() [][]uint64 {
 		blocks[i] = part.Words()
 	}
 	return blocks
+}
+
+// PartitionSet assembles the core engine inputs: every live partition
+// with its generation coordinates and packed block view, the
+// outstanding tombstones, and the manifest generation — what
+// core.NewPartitionedEngine needs to serve the visible set exactly.
+func (pi *PartitionedIndex) PartitionSet() core.PartitionSet {
+	states := pi.State.Partitions()
+	set := core.PartitionSet{
+		Specs:      make([]core.PartitionSpec, len(pi.Parts)),
+		Generation: pi.State.Generation,
+		Skipped:    pi.State.Skipped,
+	}
+	for i, part := range pi.Parts {
+		set.Specs[i] = core.PartitionSpec{
+			Lib:    part.Lib,
+			Block:  part.Words(), //oms:allow(mmapwrite) zero-copy view; PartitionSet consumers live inside the index's refcounted generation
+			Gen:    states[i].Gen,
+			GenRow: states[i].GenRow,
+			Delta:  states[i].Delta,
+		}
+	}
+	if len(pi.State.Tombstones) > 0 {
+		set.Tombstones = make(map[string]uint64, len(pi.State.Tombstones))
+		for id, gen := range pi.State.Tombstones {
+			set.Tombstones[id] = gen
+		}
+	}
+	return set
 }
 
 // Close releases every partition mapping and poisons every partition:
@@ -328,8 +351,9 @@ func (pi *PartitionedIndex) Close() error {
 // constant for every self-consistent file).
 func (pi *PartitionedIndex) VerifyPartitions() error {
 	dir := filepath.Dir(pi.path)
+	states := pi.State.Partitions()
 	for i, part := range pi.Parts {
-		info := pi.Manifest.Partitions[i]
+		info := states[i].PartitionInfo
 		if err := part.Verify(); err != nil {
 			return fmt.Errorf("libindex: partition %d (%s): %w", i, info.File, err)
 		}
@@ -354,77 +378,25 @@ func (pi *PartitionedIndex) VerifyPartitions() error {
 	return nil
 }
 
-// LoadManifest reads and structurally validates a manifest document
-// without opening any partition file.
-func LoadManifest(path string) (Manifest, error) {
-	doc, err := os.ReadFile(path)
-	if err != nil {
-		return Manifest{}, err
-	}
-	var m Manifest
-	if err := json.Unmarshal(doc, &m); err != nil {
-		return Manifest{}, fmt.Errorf("libindex: decoding manifest %s: %w", path, err)
-	}
-	if m.Format != ManifestFormat {
-		return Manifest{}, fmt.Errorf("libindex: %s is not a library manifest (format %q)", path, m.Format)
-	}
-	if m.Version != ManifestVersion {
-		if m.Version < ManifestVersion {
-			return Manifest{}, fmt.Errorf("libindex: manifest version %d predates the shared bit-layout permutation (this build reads version %d): rebuild the partitioned index with omsbuild", m.Version, ManifestVersion)
-		}
-		return Manifest{}, fmt.Errorf("libindex: manifest version %d is newer than this build understands (version %d): upgrade the reader or rebuild the index", m.Version, ManifestVersion)
-	}
-	if len(m.Partitions) == 0 {
-		return Manifest{}, fmt.Errorf("libindex: manifest %s lists no partitions", path)
-	}
-	if len(m.DimPerm) != 0 {
-		if err := hdc.ValidatePermutation(m.DimPerm, m.D); err != nil {
-			return Manifest{}, fmt.Errorf("libindex: manifest bit-layout permutation: %w", err)
-		}
-	}
-	total := 0
-	for i, part := range m.Partitions {
-		if part.File == "" || part.File != filepath.Base(part.File) {
-			return Manifest{}, fmt.Errorf("libindex: partition %d file %q is not a bare file name", i, part.File)
-		}
-		if part.Refs <= 0 {
-			return Manifest{}, fmt.Errorf("libindex: partition %d has %d refs", i, part.Refs)
-		}
-		if part.StartRow != total {
-			return Manifest{}, fmt.Errorf("libindex: partition %d starts at row %d, want %d (partitions must tile the library)", i, part.StartRow, total)
-		}
-		if part.MinMass > part.MaxMass {
-			return Manifest{}, fmt.Errorf("libindex: partition %d has inverted mass fences [%g, %g]", i, part.MinMass, part.MaxMass)
-		}
-		if i > 0 && part.MinMass < m.Partitions[i-1].MaxMass {
-			return Manifest{}, fmt.Errorf("libindex: partition %d fence %g below partition %d fence %g (mass order broken)",
-				i, part.MinMass, i-1, m.Partitions[i-1].MaxMass)
-		}
-		total += part.Refs
-	}
-	if total != m.TotalRefs {
-		return Manifest{}, fmt.Errorf("libindex: manifest claims %d total refs but partitions sum to %d", m.TotalRefs, total)
-	}
-	return m, nil
-}
-
-// OpenManifest opens a partitioned library index: the manifest is
-// validated, every partition file is opened via OpenFile (mmap-backed
-// where supported) and cross-checked against the manifest's fences,
-// row offsets and sizes. Like OpenFile, the bulk word payloads are not
+// OpenManifest opens a partitioned library index: the generation log
+// is folded and validated, every live partition file is opened via
+// OpenFile (mmap-backed where supported) and cross-checked against
+// its record's fences, row counts and sizes, and every outstanding
+// tombstone must name an id that some older-generation partition
+// actually carries. Like OpenFile, the bulk word payloads are not
 // checksummed here — call VerifyPartitions for the full integrity
 // pass.
 func OpenManifest(path string) (*PartitionedIndex, error) {
-	m, err := LoadManifest(path)
+	st, err := LoadManifestLog(path)
 	if err != nil {
 		return nil, err
 	}
-	var p core.Params
-	if err := json.Unmarshal(m.Params, &p); err != nil {
-		return nil, fmt.Errorf("libindex: decoding manifest params: %w", err)
+	p, err := st.DecodeParams()
+	if err != nil {
+		return nil, err
 	}
-	if p.Accel.D != m.D {
-		return nil, fmt.Errorf("libindex: manifest params dimension D=%d disagrees with manifest dimension %d", p.Accel.D, m.D)
+	if p.Accel.D != st.D {
+		return nil, fmt.Errorf("libindex: manifest params dimension D=%d disagrees with manifest dimension %d", p.Accel.D, st.D)
 	}
 	// Canonical form of the manifest's params for the per-partition
 	// build-generation check below.
@@ -433,15 +405,16 @@ func OpenManifest(path string) (*PartitionedIndex, error) {
 		return nil, fmt.Errorf("libindex: re-encoding manifest params: %w", err)
 	}
 	dir := filepath.Dir(path)
-	pi := &PartitionedIndex{Manifest: m, Params: p, path: path}
-	for i, info := range m.Partitions {
+	pi := &PartitionedIndex{State: st, Params: p, path: path}
+	for i, ps := range st.Partitions() {
+		info := ps.PartitionInfo
 		partPath := filepath.Join(dir, info.File)
-		if st, err := os.Stat(partPath); err != nil {
+		if fst, err := os.Stat(partPath); err != nil {
 			pi.Close()
-			return nil, fmt.Errorf("libindex: partition %d: %w", i, err)
-		} else if st.Size() != info.Bytes {
+			return nil, fmt.Errorf("libindex: partition %d (generation %d): %w", i, ps.Gen, err)
+		} else if fst.Size() != info.Bytes {
 			pi.Close()
-			return nil, fmt.Errorf("libindex: partition %d (%s) is %d bytes, manifest records %d", i, info.File, st.Size(), info.Bytes)
+			return nil, fmt.Errorf("libindex: partition %d (%s) is %d bytes, manifest records %d", i, info.File, fst.Size(), info.Bytes)
 		}
 		part, err := OpenFile(partPath)
 		if err != nil {
@@ -450,9 +423,9 @@ func OpenManifest(path string) (*PartitionedIndex, error) {
 		}
 		pi.Parts = append(pi.Parts, part)
 		lib := part.Lib
-		if part.Params.Accel.D != m.D {
+		if part.Params.Accel.D != st.D {
 			pi.Close()
-			return nil, fmt.Errorf("libindex: partition %d has D=%d, manifest says %d", i, part.Params.Accel.D, m.D)
+			return nil, fmt.Errorf("libindex: partition %d has D=%d, manifest says %d", i, part.Params.Accel.D, st.D)
 		}
 		// The full params — encoder identity above all (seed, precision,
 		// chunks, binner, preprocessing) — must agree with the manifest,
@@ -471,7 +444,7 @@ func OpenManifest(path string) (*PartitionedIndex, error) {
 		// Same for the bit-layout permutation: a partition packed under a
 		// different permutation than the manifest advertises would be
 		// swept with wrongly-permuted queries.
-		if !permsEqual(lib.DimPerm, m.DimPerm) {
+		if !permsEqual(lib.DimPerm, st.DimPerm) {
 			pi.Close()
 			return nil, fmt.Errorf("libindex: partition %d (%s) was packed under a different bit-layout permutation than the manifest records (mixed build generations?)", i, info.File)
 		}
@@ -485,7 +458,38 @@ func OpenManifest(path string) (*PartitionedIndex, error) {
 				i, lo, hi, info.MinMass, info.MaxMass)
 		}
 	}
+	if err := pi.checkTombstones(); err != nil {
+		pi.Close()
+		return nil, err
+	}
 	return pi, nil
+}
+
+// checkTombstones verifies every outstanding tombstone retracts an id
+// that exists in some strictly older generation — a tombstone for an
+// unknown id hides nothing and signals a corrupt or mis-assembled
+// log, so it is rejected rather than silently carried.
+func (pi *PartitionedIndex) checkTombstones() error {
+	tombs := pi.State.Tombstones
+	if len(tombs) == 0 {
+		return nil
+	}
+	known := make(map[string]bool, len(tombs))
+	states := pi.State.Partitions()
+	for i, part := range pi.Parts {
+		gen := states[i].Gen
+		for _, e := range part.Lib.Entries {
+			if tgen, ok := tombs[e.ID]; ok && gen < tgen {
+				known[e.ID] = true
+			}
+		}
+	}
+	for id, gen := range tombs {
+		if !known[id] {
+			return fmt.Errorf("libindex: tombstone for unknown id %q (retracted at generation %d, but no older generation carries it)", id, gen)
+		}
+	}
+	return nil
 }
 
 // Kind distinguishes the two on-disk index layouts an -index flag can
@@ -495,7 +499,7 @@ type Kind int
 const (
 	// KindIndex is a single binary index file ("OMSIDX" magic).
 	KindIndex Kind = iota
-	// KindManifest is a partitioned-index JSON manifest.
+	// KindManifest is a partitioned-index manifest (generation log).
 	KindManifest
 )
 

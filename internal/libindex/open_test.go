@@ -2,6 +2,7 @@ package libindex
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,22 @@ import (
 
 	"repro/internal/core"
 )
+
+// resealRecordLine re-seals a tampered manifest log line (recomputes
+// its CRC) so the per-record checksum passes and the deeper
+// cross-checks are the ones exercised.
+func resealRecordLine(t *testing.T, line string) []byte {
+	t.Helper()
+	var rec LogRecord
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(line, "\n")), &rec); err != nil {
+		t.Fatalf("resealing tampered record: %v", err)
+	}
+	out, err := marshalRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
 
 // TestOpenFileMatchesLoad pins that the mmap-backed open path yields a
 // library, params and packed block bit-identical to the copying
@@ -202,16 +219,17 @@ func TestSavePartitionedRoundTrip(t *testing.T) {
 			if got := len(pi.Parts); got != parts {
 				t.Fatalf("%d partitions opened, want %d", got, parts)
 			}
-			if pi.Manifest.TotalRefs != lib.Len() || pi.Manifest.Skipped != lib.Skipped {
+			if pi.State.TotalRefs() != lib.Len() || pi.State.Skipped != lib.Skipped {
 				t.Fatalf("manifest identity %d/%d, want %d/%d",
-					pi.Manifest.TotalRefs, pi.Manifest.Skipped, lib.Len(), lib.Skipped)
+					pi.State.TotalRefs(), pi.State.Skipped, lib.Len(), lib.Skipped)
 			}
 			if err := pi.VerifyPartitions(); err != nil {
 				t.Fatalf("VerifyPartitions: %v", err)
 			}
 			skippedSum, row := 0, 0
+			states := pi.State.Partitions()
 			for pidx, part := range pi.Parts {
-				info := pi.Manifest.Partitions[pidx]
+				info := states[pidx]
 				if info.StartRow != row {
 					t.Fatalf("partition %d starts at %d, want %d", pidx, info.StartRow, row)
 				}
@@ -260,9 +278,9 @@ func TestOpenManifestRejectsTampering(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			tampered := strings.Replace(string(doc), tc.from, tc.to, 1)
+			tampered := resealRecordLine(t, strings.Replace(string(doc), tc.from, tc.to, 1))
 			path := filepath.Join(dir, "tampered.manifest")
-			if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+			if err := os.WriteFile(path, tampered, 0o644); err != nil {
 				t.Fatal(err)
 			}
 			// Tampered manifests reference the same partition files.
@@ -274,6 +292,19 @@ func TestOpenManifestRejectsTampering(t *testing.T) {
 			}
 		})
 	}
+
+	t.Run("edit without resealing the record CRC", func(t *testing.T) {
+		// Any byte-level edit that is not re-sealed trips the per-record
+		// checksum before the structural checks even run.
+		tampered := strings.Replace(string(doc), `"refs"`, `"refsx"`, 1)
+		path := filepath.Join(dir, "unsealed.manifest")
+		if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenManifest(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("OpenManifest(unsealed edit) = %v, want checksum error", err)
+		}
+	})
 
 	t.Run("mixed build generation", func(t *testing.T) {
 		// A partition file rebuilt with a different encoder seed is the
@@ -308,8 +339,8 @@ func TestOpenManifestRejectsTampering(t *testing.T) {
 		if err := os.WriteFile(PartitionFileName(mixed, 1), orig, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		mixedDoc := strings.ReplaceAll(string(doc), filepath.Base(manifest), filepath.Base(mixed))
-		if err := os.WriteFile(mixed, []byte(mixedDoc), 0o644); err != nil {
+		mixedDoc := resealRecordLine(t, strings.ReplaceAll(string(doc), filepath.Base(manifest), filepath.Base(mixed)))
+		if err := os.WriteFile(mixed, mixedDoc, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := OpenManifest(mixed); err == nil || !strings.Contains(err.Error(), "different params") {

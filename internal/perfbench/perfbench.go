@@ -1,7 +1,8 @@
 // Package perfbench runs the repo's canonical performance operating
-// points as a tracked trajectory: five benchmarks (sharded full-scan
+// points as a tracked trajectory: six benchmarks (sharded full-scan
 // batch, exact pruned cascade, entropy-layout ladder vs natural
-// order, partitioned fan-out, served micro-batching) measured via
+// order, partitioned fan-out, partitioned with a live delta overlay,
+// served micro-batching) measured via
 // testing.Benchmark and emitted as one schema-versioned JSON document
 // (BENCH_<date>.json). CI runs the quick variant on every push and
 // uploads the document as an artifact, so ns/op, allocs/op, per-tier
@@ -29,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hdc"
+	"repro/internal/libindex"
 	"repro/internal/serve"
 	"repro/internal/spectrum"
 	"repro/internal/units"
@@ -36,12 +38,13 @@ import (
 
 // Schema identifies the document layout; bump on incompatible change.
 // /2 added per-tier prune rates and the entropy-vs-natural ladder
-// point.
-const Schema = "oms-bench/2"
+// point. /3 added the incremental point (deltas-present partitioned
+// search) with its overlay shape fields.
+const Schema = "oms-bench/3"
 
 // RequiredPoints is the canonical operating-point set; Validate
 // rejects a document missing any of them.
-var RequiredPoints = []string{"sharded", "cascade", "ladder", "partitioned", "served"}
+var RequiredPoints = []string{"sharded", "cascade", "ladder", "partitioned", "incremental", "served"}
 
 // Point is one operating point's measurement.
 type Point struct {
@@ -66,6 +69,13 @@ type Point struct {
 	// ns) and the baseline's per-tier prune rates.
 	SpeedupVsNatural      *float64  `json:"speedup_vs_natural,omitempty"`
 	NaturalTierPruneRates []float64 `json:"natural_tier_prune_rates,omitempty"`
+
+	// Overlay shape for the incremental point: live delta partitions
+	// and rows shadowed by tombstones or newer re-additions at
+	// measurement time — the work the dedup merge pays for on top of
+	// the plain partitioned sweep.
+	DeltaPartitions *int   `json:"delta_partitions,omitempty"`
+	HiddenRefs      *int64 `json:"hidden_refs,omitempty"`
 
 	// Latency quantiles from the serving collector; present only for
 	// the served point.
@@ -120,7 +130,7 @@ func Run(o Options) (*Doc, error) {
 		Quick:       o.Quick,
 	}
 	for _, run := range []func(Options) (Point, error){
-		runSharded, runCascade, runLadder, runPartitioned, runServed,
+		runSharded, runCascade, runLadder, runPartitioned, runIncremental, runServed,
 	} {
 		pt, err := run(o)
 		if err != nil {
@@ -404,6 +414,112 @@ func runPartitioned(o Options) (Point, error) {
 	return point("partitioned", r, nQueries), nil
 }
 
+// runIncremental measures the partitioned engine with a live delta
+// overlay — the state omsd serves between an omsbuild -append and the
+// next compaction. The same library shape as the partitioned point is
+// published incrementally through a real on-disk manifest: 90% as the
+// base build, the rest appended as delta partitions whose fences
+// overlap the base, plus a slice of base ids retracted and re-added
+// so the merge pays for tombstone and shadowed-row dedup. The gap to
+// the partitioned point is the standing cost of deferred compaction.
+func runIncremental(o Options) (Point, error) {
+	nRefs, nQueries, k, _ := sizes(o)
+	rng := rand.New(rand.NewSource(23))
+	lib, hvs, err := benchLibrary(nRefs, rng)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	p := core.DefaultParams()
+	p.Accel.D = benchD
+	p.TopK = k
+
+	dir, err := os.MkdirTemp("", "perfbench-incr-")
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	manifest := filepath.Join(dir, "lib.manifest")
+
+	seq := func(n int) []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i
+		}
+		return s
+	}
+	nBase := nRefs * 9 / 10
+	nChurn := nRefs / 50
+	churnLo := nBase / 2
+	baseLib, err := core.RestoreLibrary(lib.Entries[:nBase], hvs[:nBase], seq(nBase), 0)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	if err := libindex.SavePartitioned(manifest, p, baseLib, 3); err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	var churn []string
+	known := make(map[string]bool, nChurn)
+	for _, e := range lib.Entries[churnLo : churnLo+nChurn] {
+		churn = append(churn, e.ID)
+		known[e.ID] = true
+	}
+	st, err := libindex.LoadManifestLog(manifest)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	if _, err := libindex.AppendRetract(manifest, st, churn, known); err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	dEntries := append(append([]core.LibraryEntry{}, lib.Entries[churnLo:churnLo+nChurn]...), lib.Entries[nBase:]...)
+	dHVs := append(append([]hdc.BinaryHV{}, hvs[churnLo:churnLo+nChurn]...), hvs[nBase:]...)
+	dLib, err := core.RestoreLibrary(dEntries, dHVs, seq(len(dEntries)), 0)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	if st, err = libindex.LoadManifestLog(manifest); err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	if _, err := libindex.AppendDelta(manifest, st, dLib, (len(dEntries)+2)/3); err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	pi, err := libindex.OpenManifest(manifest)
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	defer pi.Close()
+	pe, _, err := core.NewPartitionedEngine(pi.Params, pi.PartitionSet())
+	if err != nil {
+		return Point{}, fmt.Errorf("perfbench incremental: %v", err)
+	}
+	ov := pe.OverlayStats()
+	if ov.DeltaPartitions == 0 || ov.Tombstones == 0 || ov.HiddenRefs == 0 {
+		return Point{}, fmt.Errorf("perfbench incremental: fixture carries no overlay work: %+v", ov)
+	}
+
+	queries := make([]core.PreparedQuery, nQueries)
+	for qi := range queries {
+		ri := rng.Intn(nRefs)
+		hv := hvs[ri].Clone()
+		hv.FlipBits(0.02, rng)
+		mass := lib.Entries[ri].Mass + -140 + rng.Float64()*620
+		lo, hi := lib.CandidateRange(mass, p.Window)
+		queries[qi] = core.PreparedQuery{QueryID: fmt.Sprintf("q-%d", qi), HV: hv, Mass: mass, Lo: lo, Hi: hi}
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pe.SearchPrepared(queries)
+		}
+	})
+	pt := point("incremental", r, nQueries)
+	dp := ov.DeltaPartitions
+	hidden := int64(ov.HiddenRefs)
+	pt.DeltaPartitions = &dp
+	pt.HiddenRefs = &hidden
+	return pt, nil
+}
+
 // runServed measures the serving layer: a client fleet routed through
 // the micro-batcher, one block-major sweep per flushed batch, with
 // the latency quantiles the collector measured over the run.
@@ -594,6 +710,13 @@ func Validate(data []byte) error {
 	}
 	if len(ladder.NaturalTierPruneRates) == 0 {
 		return fmt.Errorf("perfbench: ladder point missing natural_tier_prune_rates")
+	}
+	incr := byName["incremental"]
+	if incr.DeltaPartitions == nil || *incr.DeltaPartitions < 1 {
+		return fmt.Errorf("perfbench: incremental point missing (or non-positive) delta_partitions")
+	}
+	if incr.HiddenRefs == nil || *incr.HiddenRefs < 1 {
+		return fmt.Errorf("perfbench: incremental point missing (or non-positive) hidden_refs")
 	}
 	served := byName["served"]
 	if served.LatencyP50US == nil || served.LatencyP99US == nil {

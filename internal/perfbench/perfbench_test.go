@@ -41,6 +41,11 @@ func validDoc() *Doc {
 			pt.TierPruneRates = []float64{0.9, 0.5}
 			pt.SpeedupVsNatural = &speedup
 			pt.NaturalTierPruneRates = []float64{0.3, 0.5}
+		case "incremental":
+			dp := 3
+			hidden := int64(400)
+			pt.DeltaPartitions = &dp
+			pt.HiddenRefs = &hidden
 		case "served":
 			pt.QueriesPerOp = 1
 			pt.NsPerQuery = 64_000
@@ -88,10 +93,12 @@ func TestValidateRejections(t *testing.T) {
 		{"tier rate above 1", func(d *Doc) { d.Points[2].TierPruneRates = []float64{0.9, 1.5} }, "tier_prune_rates[1]"},
 		{"ladder without speedup", func(d *Doc) { d.Points[2].SpeedupVsNatural = nil }, "speedup_vs_natural"},
 		{"ladder without natural baseline", func(d *Doc) { d.Points[2].NaturalTierPruneRates = nil }, "natural_tier_prune_rates"},
-		{"served without quantiles", func(d *Doc) { d.Points[4].LatencyP50US = nil }, "latency quantiles"},
+		{"incremental without delta partitions", func(d *Doc) { d.Points[4].DeltaPartitions = nil }, "delta_partitions"},
+		{"incremental without hidden refs", func(d *Doc) { h := int64(0); d.Points[4].HiddenRefs = &h }, "hidden_refs"},
+		{"served without quantiles", func(d *Doc) { d.Points[5].LatencyP50US = nil }, "latency quantiles"},
 		{"p99 below p50", func(d *Doc) {
 			p50, p99 := int64(500), int64(100)
-			d.Points[4].LatencyP50US, d.Points[4].LatencyP99US = &p50, &p99
+			d.Points[5].LatencyP50US, d.Points[5].LatencyP99US = &p50, &p99
 		}, "inconsistent"},
 	}
 	for _, tc := range cases {
